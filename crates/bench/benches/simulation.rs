@@ -1,0 +1,42 @@
+//! End-to-end simulator throughput: events/second for a small §6.1-style
+//! run under each scheme. This is the number that decides how long the
+//! paper-scale figure reproductions take.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tlb_engine::SimRng;
+use tlb_simnet::{Scheme, SimConfig, Simulation};
+use tlb_workload::{basic_mix, BasicMixConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let mut mix = BasicMixConfig::paper_default();
+    mix.n_short = 40;
+    mix.n_long = 2;
+    mix.long_lo = 2_000_000;
+    mix.long_hi = 2_000_000;
+
+    // Measure the event count once so the group can report events/second.
+    let probe = {
+        let cfg = SimConfig::basic_paper(Scheme::Ecmp);
+        let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(1));
+        Simulation::new(cfg, flows).run()
+    };
+    group.throughput(Throughput::Elements(probe.events));
+
+    for scheme in [Scheme::Ecmp, Scheme::Rps, Scheme::letflow_default(), Scheme::tlb_default()] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let cfg = SimConfig::basic_paper(scheme.clone());
+                let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(1));
+                let r = Simulation::new(cfg, flows).run();
+                assert_eq!(r.completed, r.total_flows);
+                r.events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

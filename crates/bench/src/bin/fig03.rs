@@ -1,0 +1,97 @@
+//! Fig. 3 — the impact of switching granularity on **short flows**:
+//! (a) CDF of the queue length experienced by short-flow packets,
+//! (b) ratio of TCP duplicate ACKs, (c) CDF of flow completion time, under
+//! flow-level (ECMP), flowlet-level (LetFlow) and packet-level (RPS)
+//! forwarding of the paper's §2.2 mixed workload.
+
+use tlb_bench::{sustained_scenario, granularity_schemes, Out, Scale};
+use tlb_metrics::FlowClass;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut out = Out::new("fig03");
+    let n_short = 100;
+    let n_long = 5; // §2.2: 100 short + 5 long flows
+    let rounds = scale.pick(15, 40); // sustained m_S: clients loop their requests
+    let seeds: Vec<u64> = (0..scale.pick(1, 3))
+        .map(|i| tlb_bench::scale::base_seed() + i)
+        .collect();
+
+    out.line("Fig. 3 — impact of switching granularity on short flows");
+    out.line(&format!("  workload: {n_short} short (<100KB) + {n_long} long (>10MB), 15 paths, DCTCP"));
+    out.blank();
+
+    let reports: Vec<_> = granularity_schemes()
+        .into_iter()
+        .map(|(label, scheme)| {
+            let rs: Vec<_> = seeds
+                .iter()
+                .map(|&s| sustained_scenario(scheme.clone(), n_short, n_long, rounds, s))
+                .collect();
+            (label, rs)
+        })
+        .collect();
+
+    // (a) queue length CDF experienced by short-flow packets.
+    out.line("(a) queue length experienced by short-flow packets (packets)");
+    out.line(&format!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "granular.", "p25", "p50", "p75", "p95", "p99"
+    ));
+    for (label, rs) in &reports {
+        let mut merged = tlb_metrics::SampleSet::new();
+        for r in rs {
+            merged.merge(&r.short_qlen);
+        }
+        out.line(&format!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            label,
+            merged.quantile(0.25),
+            merged.quantile(0.50),
+            merged.quantile(0.75),
+            merged.quantile(0.95),
+            merged.quantile(0.99),
+        ));
+    }
+    out.blank();
+
+    // (b) duplicate-ACK ratio.
+    out.line("(b) TCP duplicate-ACK ratio of short flows (dupACKs per data segment)");
+    for (label, rs) in &reports {
+        let ratio: f64 =
+            rs.iter().map(|r| r.short.dupack_ratio()).sum::<f64>() / rs.len() as f64;
+        out.line(&format!("{:<10} {:>8.4}", label, ratio));
+    }
+    out.blank();
+
+    // (c) FCT CDF of short flows.
+    out.line("(c) CDF of short-flow completion time (ms)");
+    out.line(&format!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "granular.", "p25", "p50", "p75", "p95", "p99"
+    ));
+    for (label, rs) in &reports {
+        // Merge FCTs across seeds.
+        let mut fcts = Vec::new();
+        for r in rs {
+            let cdf = r.fct.fct_cdf(FlowClass::Short);
+            for p in cdf.points(64) {
+                fcts.push(p.0);
+            }
+        }
+        let cdf = tlb_metrics::Cdf::from_samples(fcts);
+        out.line(&format!(
+            "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            label,
+            cdf.quantile(0.25) * 1e3,
+            cdf.quantile(0.50) * 1e3,
+            cdf.quantile(0.75) * 1e3,
+            cdf.quantile(0.95) * 1e3,
+            cdf.quantile(0.99) * 1e3,
+        ));
+    }
+    out.blank();
+    out.line("expected shape (paper): queue length and tail FCT grow with");
+    out.line("granularity (flow worst); dup-ACKs highest at packet level.");
+    out.save();
+}

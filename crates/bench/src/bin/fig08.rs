@@ -1,0 +1,56 @@
+//! Fig. 8 — basic performance of **short flows** under ECMP/RPS/Presto/
+//! LetFlow/TLB: (a) instantaneous reordering ratio, (b) average queueing
+//! delay over time.
+
+use tlb_bench::{sustained_scenario, sample_series, Out, Scale};
+use tlb_simnet::Scheme;
+
+fn main() {
+    let _ = Scale::from_env();
+    let mut out = Out::new("fig08");
+    let seed = tlb_bench::scale::base_seed();
+    let rounds = 15;
+    out.line("Fig. 8 — short flows: reordering and queueing delay over time");
+    out.line("  workload: 100 short + 3 long flows, 15 paths, DCTCP");
+    out.blank();
+
+    let reports: Vec<_> = Scheme::paper_set()
+        .into_iter()
+        .map(|s| sustained_scenario(s, 100, 3, rounds, seed))
+        .collect();
+
+    out.line("(a) short-flow reordering ratio over time (sampled)");
+    for r in &reports {
+        let pts = sample_series(&r.short_reorder_series, 8);
+        let series: Vec<String> = pts
+            .iter()
+            .map(|(t, v)| format!("{:.0}ms:{:.3}", t * 1e3, v))
+            .collect();
+        out.line(&format!(
+            "{:<10} mean={:.4}  [{}]",
+            r.scheme,
+            r.short.reorder_ratio(),
+            series.join(" ")
+        ));
+    }
+    out.blank();
+
+    out.line("(b) short-flow per-hop queueing delay (us)");
+    out.line(&format!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "scheme", "mean", "p95", "p99"
+    ));
+    for r in &reports {
+        out.line(&format!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1}",
+            r.scheme,
+            r.short_qdelay.mean() * 1e6,
+            r.short_qdelay.quantile(0.95) * 1e6,
+            r.short_qdelay.quantile(0.99) * 1e6,
+        ));
+    }
+    out.blank();
+    out.line("expected shape (paper): TLB lowest queueing delay throughout;");
+    out.line("RPS/Presto reorder most, TLB near-none.");
+    out.save();
+}

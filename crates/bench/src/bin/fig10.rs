@@ -1,0 +1,13 @@
+//! Fig. 10 — large-scale **web search** workload: (a) short-flow AFCT,
+//! (b) 99th-percentile FCT, (c) deadline miss ratio, (d) long-flow
+//! throughput, for ECMP/RPS/Presto/LetFlow/TLB across loads.
+
+use tlb_bench::large_scale_figure;
+
+fn main() {
+    large_scale_figure(
+        "fig10",
+        "Fig. 10 — web search application (heavy-tailed, ~30% flows > 1MB)",
+        &tlb_workload::web_search(),
+    );
+}

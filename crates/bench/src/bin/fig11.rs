@@ -1,0 +1,12 @@
+//! Fig. 11 — large-scale **data mining** workload: the same four panels as
+//! Fig. 10 on the VL2 distribution (huge mass of tiny flows, <5% > 35MB).
+
+use tlb_bench::large_scale_figure;
+
+fn main() {
+    large_scale_figure(
+        "fig11",
+        "Fig. 11 — data mining application (VL2 distribution)",
+        &tlb_workload::data_mining(),
+    );
+}

@@ -1,0 +1,20 @@
+//! Fig. 13 — testbed scenario, varying the **number of short flows**:
+//! (a) short-flow AFCT and (b) long-flow throughput, normalized to TLB —
+//! exactly how the paper reports it.
+
+use tlb_bench::{testbed_normalized_panels, Out, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut out = Out::new("fig13");
+    out.line("Fig. 13 — testbed (20 Mbit/s, 10 paths): varying short-flow count");
+    out.blank();
+
+    let counts = scale.pick(vec![50usize, 100, 150], vec![50, 100, 150, 200, 250]);
+    let n_long = 4;
+    let seed = tlb_bench::scale::base_seed();
+    testbed_normalized_panels(&mut out, &counts, |n| (n, n_long), seed);
+    out.line("expected shape (paper): TLB cuts AFCT ~18-40% vs ECMP and");
+    out.line("~10-15% vs LetFlow; long throughput +45-80% vs ECMP.");
+    out.save();
+}

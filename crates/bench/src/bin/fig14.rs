@@ -1,0 +1,20 @@
+//! Fig. 14 — testbed scenario, varying the **number of long flows**:
+//! the same normalized panels as Fig. 13.
+
+use tlb_bench::{testbed_normalized_panels, Out, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut out = Out::new("fig14");
+    out.line("Fig. 14 — testbed (20 Mbit/s, 10 paths): varying long-flow count");
+    out.blank();
+
+    let counts = scale.pick(vec![2usize, 4, 6], vec![2, 4, 6, 8, 10]);
+    let n_short = 100;
+    let seed = tlb_bench::scale::base_seed();
+    testbed_normalized_panels(&mut out, &counts, |n| (n_short, n), seed);
+    out.line("expected shape (paper): TLB's advantage grows with more long");
+    out.line("flows; ECMP/LetFlow suffer long-tailed delay, RPS/Presto");
+    out.line("reordering.");
+    out.save();
+}

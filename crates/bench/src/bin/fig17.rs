@@ -1,0 +1,37 @@
+//! Fig. 17 — asymmetric scenario, varying the **bandwidth** of 2 degraded
+//! leaf-to-spine links: normalized AFCT and long-flow throughput.
+
+use rayon::prelude::*;
+use tlb_bench::{asymmetric_scenario, normalized_panels, Out, Scale};
+use tlb_engine::SimTime;
+use tlb_simnet::Scheme;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut out = Out::new("fig17");
+    out.line("Fig. 17 — asymmetry: 2 of 15 uplinks at reduced bandwidth");
+    out.blank();
+
+    // Bandwidth factors of the degraded links (1.0 = symmetric).
+    let factors = scale.pick(vec![1.0f64, 0.5, 0.25], vec![1.0, 0.75, 0.5, 0.25, 0.1]);
+    let schemes = Scheme::paper_set();
+    let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+    let seed = tlb_bench::scale::base_seed();
+
+    let mut afct = Vec::new();
+    let mut gput = Vec::new();
+    for &f in &factors {
+        let reports: Vec<_> = schemes
+            .par_iter()
+            .map(|s| asymmetric_scenario(s.clone(), f, SimTime::ZERO, seed))
+            .collect();
+        afct.push(reports.iter().map(|r| r.fct_short.afct).collect::<Vec<_>>());
+        gput.push(reports.iter().map(|r| r.long_throughput()).collect::<Vec<_>>());
+    }
+    let labels: Vec<String> = factors.iter().map(|f| format!("{:.0}%bw", f * 100.0)).collect();
+    normalized_panels(&mut out, "degraded bw", &labels, &names, &afct, &gput);
+    out.line("expected shape (paper): the bigger the bandwidth gap, the worse");
+    out.line("the oblivious schemes (ECMP/RPS/Presto) get relative to TLB;");
+    out.line("LetFlow stays competitive.");
+    out.save();
+}

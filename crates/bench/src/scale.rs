@@ -1,0 +1,48 @@
+//! Quick/full experiment scaling.
+
+/// How big to run the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Default: smaller host counts / shorter traffic windows that preserve
+    /// each figure's shape. Minutes for the whole suite.
+    Quick,
+    /// The paper's parameters (256 hosts, longer traces). Slower.
+    Full,
+}
+
+impl Scale {
+    /// Read `TLB_SCALE` from the environment (`full` → [`Scale::Full`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("TLB_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Pick between the quick and full value of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The base RNG seed, overridable via `TLB_SEED`.
+pub fn base_seed() -> u64 {
+    std::env::var("TLB_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20190805) // the paper's conference dates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! # tlb-engine — discrete-event simulation core
+//!
+//! The foundation of the TLB reproduction: a deterministic, single-threaded
+//! discrete-event engine. Everything above it (links, switches, TCP endpoints,
+//! load balancers) is expressed as events on this engine.
+//!
+//! Design points, per the reproduction's determinism requirements:
+//!
+//! * Time is an integer number of **nanoseconds** ([`SimTime`]). There is no
+//!   floating-point clock, so runs are bit-reproducible across platforms.
+//! * The [`EventQueue`] breaks timestamp ties by insertion order (FIFO), so
+//!   event execution order is a pure function of the schedule, never of heap
+//!   internals.
+//! * Randomness comes from [`SimRng`], a self-contained xoshiro256++ generator
+//!   seeded via SplitMix64. No external RNG crate is used at runtime, which
+//!   pins the random stream independent of dependency versions.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;

@@ -1,0 +1,269 @@
+//! Deterministic future-event list.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: timestamp + monotone sequence number + payload.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    /// Reversed ordering so the `BinaryHeap` (a max-heap) pops the earliest
+    /// timestamp first; ties broken by insertion sequence (FIFO).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with deterministic tie-breaking.
+///
+/// Events scheduled for the same timestamp are executed in the order they
+/// were pushed, making simulation traces reproducible regardless of heap
+/// implementation details.
+///
+/// ```
+/// use tlb_engine::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(20), "second");
+/// q.push(SimTime::from_micros(10), "first");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "first")));
+/// assert_eq!(q.now(), SimTime::from_micros(10));
+/// ```
+///
+/// The queue tracks the simulation clock: [`EventQueue::pop`] advances
+/// `now()` to the popped event's timestamp. Scheduling strictly in the past
+/// is a logic error and panics in debug builds.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// An empty queue with pre-allocated capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    ///
+    /// `time` may equal `now()` (the event runs later in the same instant)
+    /// but must not precede it.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {now}",
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Schedule `event` `delay` after the current time.
+    #[inline]
+    pub fn push_after(&mut self, delay: SimTime, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Remove and return the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), "c");
+        q.push(SimTime::from_nanos(10), "a");
+        q.push(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), 0u8);
+        q.pop();
+        q.push_after(SimTime::from_nanos(50), 1u8);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(150), 1u8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), ());
+        q.pop();
+        q.push(SimTime::from_nanos(99), ());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(40), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_nanos(20), 2);
+        q.push(SimTime::from_nanos(30), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(1), ());
+        q.push(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    proptest! {
+        /// Popping must yield non-decreasing timestamps and, within a
+        /// timestamp, ascending insertion order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li);
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+
+        /// All pushed events come back out exactly once.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

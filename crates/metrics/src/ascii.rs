@@ -1,0 +1,130 @@
+//! Terminal plots for the reproduction harness: render time series and
+//! CDFs as compact ASCII charts so `results/*.txt` reads like the paper's
+//! figures.
+
+/// Render one or more named series as an ASCII line chart.
+///
+/// Each series is a list of `(x, y)` points; x ranges are merged, y is
+/// auto-scaled. Series are drawn with distinct glyphs (`*`, `o`, `x`, …)
+/// and overlaps shown with `#`.
+pub fn chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let glyphs = ['*', 'o', 'x', '+', '@', '%', '&', '~'];
+    let pts: Vec<&(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter()).collect();
+    if pts.is_empty() {
+        return "(no data)\n".into();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &&(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in s.iter() {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            let cell = &mut grid[row][cx.min(width - 1)];
+            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '#' };
+        }
+    }
+
+    let mut out = String::new();
+    let label_w = 10;
+    for (i, row) in grid.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        let label = if i == 0 || i == height - 1 || i == height / 2 {
+            format!("{yv:>9.3} ")
+        } else {
+            " ".repeat(label_w)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_w));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<w$.3}{:>r$.3}\n",
+        " ".repeat(label_w + 1),
+        x0,
+        x1,
+        w = width / 2,
+        r = width - width / 2
+    ));
+    // Legend.
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    out.push_str(&format!("{}{}\n", " ".repeat(label_w + 1), legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let s: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        let c = chart(&[("quad", &s)], 40, 10);
+        assert!(c.contains('*'), "glyph missing:\n{c}");
+        assert!(c.contains("quad"));
+        // 10 rows + axis + labels + legend.
+        assert_eq!(c.lines().count(), 13);
+    }
+
+    #[test]
+    fn renders_multiple_series_with_distinct_glyphs() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, (9 - i) as f64)).collect();
+        let c = chart(&[("up", &a), ("down", &b)], 30, 8);
+        assert!(c.contains('*') && c.contains('o'));
+        assert!(c.contains("up") && c.contains("down"));
+    }
+
+    #[test]
+    fn empty_series_is_benign() {
+        assert_eq!(chart(&[("none", &[])], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let c = chart(&[("flat", &s)], 20, 5);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_canvas() {
+        let _ = chart(&[("x", &[(0.0, 0.0)])], 4, 2);
+    }
+
+    #[test]
+    fn extremes_land_on_edges() {
+        let s = [(0.0, 0.0), (10.0, 10.0)];
+        let c = chart(&[("diag", &s)], 21, 7);
+        let lines: Vec<&str> = c.lines().collect();
+        // Max value on the top row, min on the bottom data row.
+        assert!(lines[0].contains('*'), "top row:\n{c}");
+        assert!(lines[6].contains('*'), "bottom row:\n{c}");
+    }
+}

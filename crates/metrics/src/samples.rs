@@ -1,0 +1,117 @@
+//! A bag of scalar samples with summary statistics.
+
+use crate::stats::{mean, percentile, Cdf};
+
+/// Collects scalar observations (queue lengths, queueing delays, …) and
+/// summarizes them. Sorting is deferred to read time.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    pub fn new() -> SampleSet {
+        SampleSet::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite());
+        self.samples.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        mean(&self.samples)
+    }
+
+    /// The `p`-quantile; 0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        percentile(&sorted, p)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Consume into an empirical CDF.
+    pub fn into_cdf(self) -> Cdf {
+        Cdf::from_samples(self.samples)
+    }
+
+    /// Borrowing CDF construction.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_samples(self.samples.clone())
+    }
+
+    /// Merge another sample set into this one.
+    pub fn merge(&mut self, other: &SampleSet) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = SampleSet::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn empty_set_is_benign() {
+        let s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = SampleSet::new();
+        a.push(1.0);
+        let mut b = SampleSet::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+
+    #[test]
+    fn cdf_roundtrip() {
+        let mut s = SampleSet::new();
+        for v in 0..100 {
+            s.push(v as f64);
+        }
+        let cdf = s.into_cdf();
+        assert!((cdf.fraction_below(49.0) - 0.5).abs() < 0.02);
+    }
+}

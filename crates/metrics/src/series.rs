@@ -1,0 +1,146 @@
+//! Bucketed time series for "instantaneous" metrics.
+
+use tlb_engine::SimTime;
+
+/// Accumulates `(time, value)` observations into fixed-width buckets; reads
+/// back per-bucket means, sums or rates. Used for instantaneous throughput
+/// (Fig. 9(b)), reordering ratio over time (Fig. 8(a)), queue delay over
+/// time (Fig. 8(b)).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket: SimTime,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width.
+    pub fn new(bucket: SimTime) -> TimeSeries {
+        assert!(!bucket.is_zero(), "zero bucket width");
+        TimeSeries {
+            bucket,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> SimTime {
+        self.bucket
+    }
+
+    fn idx(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.bucket.as_nanos()) as usize
+    }
+
+    /// Record an observation at time `t`.
+    pub fn add(&mut self, t: SimTime, v: f64) {
+        let i = self.idx(t);
+        if i >= self.sums.len() {
+            self.sums.resize(i + 1, 0.0);
+            self.counts.resize(i + 1, 0);
+        }
+        self.sums[i] += v;
+        self.counts[i] += 1;
+    }
+
+    /// Number of buckets touched so far.
+    pub fn n_buckets(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Per-bucket `(bucket_start_time_s, mean_value)`; buckets without
+    /// observations are skipped.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.per_bucket(|sum, count| sum / count as f64)
+    }
+
+    /// Per-bucket `(bucket_start_time_s, sum)`.
+    pub fn sums(&self) -> Vec<(f64, f64)> {
+        self.per_bucket(|sum, _| sum)
+    }
+
+    /// Per-bucket `(bucket_start_time_s, sum / bucket_seconds)` — e.g.
+    /// bytes recorded per bucket become bytes/second.
+    pub fn rates(&self) -> Vec<(f64, f64)> {
+        let w = self.bucket.as_secs_f64();
+        self.per_bucket(move |sum, _| sum / w)
+    }
+
+    fn per_bucket(&self, f: impl Fn(f64, u64) -> f64) -> Vec<(f64, f64)> {
+        let w = self.bucket.as_secs_f64();
+        self.sums
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .filter(|(_, (_, &c))| c > 0)
+            .map(|(i, (&s, &c))| (i as f64 * w, f(s, c)))
+            .collect()
+    }
+
+    /// Mean of the per-bucket means (a robust "steady-state" scalar).
+    pub fn grand_mean(&self) -> f64 {
+        let m = self.means();
+        if m.is_empty() {
+            return 0.0;
+        }
+        m.iter().map(|(_, v)| v).sum::<f64>() / m.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn buckets_by_time() {
+        let mut s = TimeSeries::new(ms(10));
+        s.add(ms(1), 2.0);
+        s.add(ms(9), 4.0);
+        s.add(ms(15), 10.0);
+        let m = s.means();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (0.0, 3.0));
+        assert_eq!(m[1], (0.010, 10.0));
+    }
+
+    #[test]
+    fn rates_divide_by_width() {
+        let mut s = TimeSeries::new(ms(100));
+        // 1 MB in a 100 ms bucket = 10 MB/s.
+        s.add(ms(50), 1_000_000.0);
+        let r = s.rates();
+        assert_eq!(r.len(), 1);
+        assert!((r[0].1 - 10_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_buckets_skipped() {
+        let mut s = TimeSeries::new(ms(1));
+        s.add(ms(0), 1.0);
+        s.add(ms(5), 1.0);
+        assert_eq!(s.n_buckets(), 6);
+        assert_eq!(s.means().len(), 2);
+        assert_eq!(s.sums().len(), 2);
+    }
+
+    #[test]
+    fn grand_mean_over_buckets() {
+        let mut s = TimeSeries::new(ms(1));
+        s.add(ms(0), 1.0);
+        s.add(ms(1), 3.0);
+        assert_eq!(s.grand_mean(), 2.0);
+        let empty = TimeSeries::new(ms(1));
+        assert_eq!(empty.grand_mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bucket width")]
+    fn zero_bucket_rejected() {
+        let _ = TimeSeries::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,511 @@
+//! # tlb-model — the queueing analysis behind TLB's adaptive granularity
+//!
+//! Faithful implementation of §4.1 of the paper (Equations 1–9): an
+//! M/G/1-FCFS model of the per-port queues that yields the minimum
+//! long-flow switching threshold `q_th` guaranteeing short flows meet a
+//! deadline `D`.
+//!
+//! Symbols (paper ↔ here):
+//!
+//! | paper | field | meaning |
+//! |---|---|---|
+//! | `n` | [`ModelParams::n_paths`] | equal-cost paths |
+//! | `m_S`, `m_L` | `m_short`, `m_long` | active short / long flows |
+//! | `C` | `capacity` | bottleneck link capacity (bytes/s) |
+//! | `RTT` | `rtt` | round-trip propagation delay (s) |
+//! | `t` | `interval` | granularity update interval (s, default 500 µs) |
+//! | `W_L` | `w_long` | long-flow max window (bytes, default 64 KB) |
+//! | `X` | `mean_short` | mean short-flow size (bytes) |
+//! | `MSS` | `mss` | segment payload size (bytes) |
+//! | `D` | `deadline` | short-flow deadline budget (s) |
+//!
+//! The derivation chain: Eq. 1/2 split the `n` paths into `n_L` for long
+//! flows (enough to drain their window-limited sending rate) and `n_S` for
+//! short ones; Eq. 3 counts slow-start rounds; Eq. 4–7 give the mean short
+//! FCT on `n_S` paths via the Pollaczek–Khintchine formula; setting
+//! `FCT_S = D` and eliminating `n_S` yields the Eq. 9 lower bound on `q_th`.
+
+use std::fmt;
+
+/// Inputs to the Eq. 9 threshold computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Total number of equal-cost paths `n`.
+    pub n_paths: f64,
+    /// Number of active short flows `m_S`.
+    pub m_short: f64,
+    /// Number of active long flows `m_L`.
+    pub m_long: f64,
+    /// Bottleneck link capacity `C` in bytes/second.
+    pub capacity: f64,
+    /// Round-trip propagation delay `RTT` in seconds.
+    pub rtt: f64,
+    /// Update interval `t` in seconds (paper default 500 µs).
+    pub interval: f64,
+    /// Long-flow maximum window `W_L` in bytes (paper default 64 KB).
+    pub w_long: f64,
+    /// Mean short-flow size `X` in bytes (paper's verification uses 70 KB).
+    pub mean_short: f64,
+    /// TCP segment payload `MSS` in bytes.
+    pub mss: f64,
+    /// Short-flow deadline `D` in seconds.
+    pub deadline: f64,
+}
+
+impl ModelParams {
+    /// The paper's §4.2 model-verification defaults: 15 paths, 3 long and
+    /// 100 short flows, 1 Gbit/s, 100 µs RTT, t = 500 µs, W_L = 64 KB,
+    /// X̄ = 70 KB, MSS = 1460 B, D = 10 ms (25th pct of U[5 ms, 25 ms]).
+    pub fn paper_defaults() -> ModelParams {
+        ModelParams {
+            n_paths: 15.0,
+            m_short: 100.0,
+            m_long: 3.0,
+            capacity: 125_000_000.0,
+            rtt: 100e-6,
+            interval: 500e-6,
+            w_long: 65_535.0,
+            mean_short: 70_000.0,
+            mss: 1460.0,
+            deadline: 10e-3,
+        }
+    }
+
+    /// Basic sanity of the inputs; all quantities must be positive.
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("n_paths", self.n_paths),
+            ("m_long", self.m_long),
+            ("capacity", self.capacity),
+            ("rtt", self.rtt),
+            ("interval", self.interval),
+            ("w_long", self.w_long),
+            ("mean_short", self.mean_short),
+            ("mss", self.mss),
+            ("deadline", self.deadline),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+        }
+        if !self.m_short.is_finite() || self.m_short < 0.0 {
+            return Err(format!("m_short must be non-negative, got {}", self.m_short));
+        }
+        Ok(())
+    }
+
+    /// Pure transmission time of one mean-size short flow, `X / C` seconds.
+    #[inline]
+    pub fn short_tx_time(&self) -> f64 {
+        self.mean_short / self.capacity
+    }
+}
+
+/// Eq. 3 — the number of RTT rounds a short flow of `x_bytes` needs in slow
+/// start with an initial window of 2 segments (2, 4, 8, … doubling).
+///
+/// `r = ⌊log₂(X / MSS)⌋ + 1`, clamped to at least 1 (a sub-MSS flow still
+/// takes one round).
+pub fn slow_start_rounds(x_bytes: f64, mss: f64) -> f64 {
+    debug_assert!(x_bytes > 0.0 && mss > 0.0);
+    let ratio = x_bytes / mss;
+    if ratio <= 1.0 {
+        return 1.0;
+    }
+    (ratio.log2().floor() + 1.0).max(1.0)
+}
+
+/// Eq. 5/6 — Pollaczek–Khintchine expected waiting time of an M/G/1-FCFS
+/// queue: `E[W] = (1 + Cv²)/2 · ρ/(1-ρ) · E[S]`.
+///
+/// Returns `f64::INFINITY` when the queue is unstable (`ρ ≥ 1`).
+pub fn pk_wait(rho: f64, service: f64, cv2: f64) -> f64 {
+    debug_assert!(rho >= 0.0 && service >= 0.0 && cv2 >= 0.0);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    (1.0 + cv2) / 2.0 * rho / (1.0 - rho) * service
+}
+
+/// Eq. 8 solved for the mean short-flow FCT, given `n_s` paths dedicated to
+/// short flows.
+///
+/// Expanding Eq. 8 gives the quadratic
+/// `2·n_S·C·F² − 2X(m_S + n_S)·F + m_S·X·(2X − r)/C = 0` — we take the
+/// larger root, which reduces to the pure transmission time `X/C` as
+/// `m_S → 0`. Returns `None` when the system is overloaded (no stable
+/// positive solution with `ρ < 1`).
+pub fn mean_fct_short(p: &ModelParams, n_s: f64) -> Option<f64> {
+    if n_s <= 0.0 {
+        return None;
+    }
+    let x = p.mean_short;
+    let c = p.capacity;
+    let r = slow_start_rounds(x, p.mss);
+    let a = 2.0 * n_s * c;
+    let b = -2.0 * x * (p.m_short + n_s);
+    let k = p.m_short * x * (2.0 * x - r) / c;
+    let disc = b * b - 4.0 * a * k;
+    if disc < 0.0 {
+        return None;
+    }
+    let f = (-b + disc.sqrt()) / (2.0 * a);
+    // Validity: the M/G/1 load must be strictly below 1, i.e. the Eq. 8
+    // denominator F·n_S·C − m_S·X must be positive, and F ≥ X/C.
+    if f * n_s * c <= p.m_short * x || f < x / c {
+        return None;
+    }
+    Some(f)
+}
+
+/// The number of paths short flows need so their mean FCT equals the
+/// deadline `D` (Eq. 8 inverted; the `n_S`-coefficient of Eq. 9).
+///
+/// Returns `f64::INFINITY` when `D ≤ X/C` (the deadline is shorter than the
+/// pure transmission time — infeasible at any path count).
+pub fn required_short_paths(p: &ModelParams) -> f64 {
+    let x = p.mean_short;
+    let c = p.capacity;
+    let d = p.deadline;
+    let slack = d - x / c;
+    if slack <= 0.0 {
+        return f64::INFINITY;
+    }
+    let r = slow_start_rounds(x, p.mss);
+    p.m_short * (r * x / c + 2.0 * slack * x) / (2.0 * slack * d * c)
+}
+
+/// The minimum long-flow switching threshold of Eq. 9.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QTh {
+    /// Long flows may switch once their queue reaches this many **bytes**.
+    Finite(f64),
+    /// Short flows need every path (`n_S_required ≥ n`): long flows must
+    /// never switch — they stay pinned to their current path.
+    Infinite,
+}
+
+impl QTh {
+    /// The threshold in packets of `pkt_bytes` each (`None` if infinite).
+    pub fn as_packets(&self, pkt_bytes: f64) -> Option<f64> {
+        match *self {
+            QTh::Finite(b) => Some(b / pkt_bytes),
+            QTh::Infinite => None,
+        }
+    }
+
+    /// The threshold in bytes, mapping `Infinite` to `u64::MAX`.
+    pub fn as_bytes_saturating(&self) -> u64 {
+        match *self {
+            QTh::Finite(b) => b.min(u64::MAX as f64) as u64,
+            QTh::Infinite => u64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for QTh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QTh::Finite(b) => write!(f, "{b:.0}B"),
+            QTh::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// Eq. 9 — the minimum `q_th` (in bytes) such that short flows on the
+/// remaining paths meet deadline `D`:
+///
+/// ```text
+/// q_th ≥ m_L·W_L·(t/RTT) / (n − n_S_required) − t·C
+/// ```
+///
+/// clamped below at 0 (a non-positive bound means long flows may switch on
+/// every packet). When `n_S_required ≥ n` the result is [`QTh::Infinite`].
+///
+/// ```
+/// use tlb_model::{q_th_min, ModelParams, QTh};
+///
+/// let mut p = ModelParams::paper_defaults();
+/// let base = q_th_min(&p);
+/// p.m_short *= 2.0; // heavier short-flow load...
+/// let heavier = q_th_min(&p);
+/// match (base, heavier) {
+///     (QTh::Finite(a), QTh::Finite(b)) => assert!(b > a), // ...larger granularity
+///     _ => unreachable!("paper defaults are finite"),
+/// }
+/// ```
+pub fn q_th_min(p: &ModelParams) -> QTh {
+    let n_s_req = required_short_paths(p);
+    let denom = p.n_paths - n_s_req;
+    if denom <= 0.0 {
+        return QTh::Infinite;
+    }
+    let q = p.m_long * p.w_long * (p.interval / p.rtt) / denom - p.interval * p.capacity;
+    QTh::Finite(q.max(0.0))
+}
+
+/// Eq. 2 — the number of paths long flows occupy given a threshold `q_th`
+/// (bytes): `n_L = m_L·W_L·(t/RTT) / (q_th + t·C)`.
+pub fn long_paths(p: &ModelParams, q_th_bytes: f64) -> f64 {
+    p.m_long * p.w_long * (p.interval / p.rtt) / (q_th_bytes + p.interval * p.capacity)
+}
+
+/// Eq. 7 — short-flow packet arrival rate (bytes/s per path) given their
+/// mean FCT and allocated paths.
+pub fn short_arrival_rate(p: &ModelParams, fct: f64, n_s: f64) -> f64 {
+    debug_assert!(fct > 0.0 && n_s > 0.0);
+    p.m_short * p.mean_short / (fct * n_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> ModelParams {
+        ModelParams::paper_defaults()
+    }
+
+    #[test]
+    fn defaults_validate() {
+        p().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive() {
+        let mut bad = p();
+        bad.capacity = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = p();
+        bad.deadline = -1.0;
+        assert!(bad.validate().is_err());
+        let mut ok = p();
+        ok.m_short = 0.0; // zero short flows is legal
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn rounds_match_slow_start() {
+        // One MSS: a single round.
+        assert_eq!(slow_start_rounds(1460.0, 1460.0), 1.0);
+        // Sub-MSS flows still take one round.
+        assert_eq!(slow_start_rounds(100.0, 1460.0), 1.0);
+        // 70 KB / 1460 B = 47.9 segments: floor(log2(47.9)) + 1 = 6.
+        assert_eq!(slow_start_rounds(70_000.0, 1460.0), 6.0);
+        // 100 KB -> 68.5 segments -> floor(6.09)+1 = 7.
+        assert_eq!(slow_start_rounds(100_000.0, 1460.0), 7.0);
+    }
+
+    #[test]
+    fn pk_wait_basics() {
+        // Deterministic service (Cv²=0), ρ=0.5: E[W] = 0.5/(2·0.5)·S = 0.5·S.
+        let w = pk_wait(0.5, 2.0, 0.0);
+        assert!((w - 1.0).abs() < 1e-12);
+        // Unstable queue.
+        assert_eq!(pk_wait(1.0, 1.0, 0.0), f64::INFINITY);
+        // Empty queue: no waiting.
+        assert_eq!(pk_wait(0.0, 1.0, 0.0), 0.0);
+        // Higher variability waits longer.
+        assert!(pk_wait(0.5, 1.0, 1.0) > pk_wait(0.5, 1.0, 0.0));
+    }
+
+    #[test]
+    fn fct_reduces_to_tx_time_without_load() {
+        let mut params = p();
+        params.m_short = 0.0;
+        let f = mean_fct_short(&params, 10.0).unwrap();
+        assert!((f - params.short_tx_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fct_grows_with_flows_and_shrinks_with_paths() {
+        let params = p();
+        let f10 = mean_fct_short(&params, 10.0).unwrap();
+        let f14 = mean_fct_short(&params, 14.0).unwrap();
+        assert!(f10 > f14, "more paths must not slow short flows");
+        let mut more = params;
+        more.m_short = 200.0;
+        let f10_more = mean_fct_short(&more, 10.0).unwrap();
+        assert!(f10_more > f10, "more short flows must increase FCT");
+    }
+
+    #[test]
+    fn fct_diverges_under_extreme_load() {
+        // Eq. 8 is self-consistent: more flows stretch the FCT (reducing the
+        // per-flow arrival rate) rather than destabilizing the queue, so the
+        // FCT grows roughly linearly in m_S instead of returning None.
+        let mut params = p();
+        params.m_short = 1e6;
+        let f = mean_fct_short(&params, 1.0).expect("self-consistent solution exists");
+        assert!(
+            f > 100.0 * params.deadline,
+            "expected a huge FCT under extreme load, got {f}"
+        );
+    }
+
+    #[test]
+    fn required_paths_infeasible_deadline() {
+        let mut params = p();
+        params.deadline = params.short_tx_time() / 2.0;
+        assert_eq!(required_short_paths(&params), f64::INFINITY);
+        assert_eq!(q_th_min(&params), QTh::Infinite);
+    }
+
+    #[test]
+    fn q_th_paper_defaults_is_finite_positive() {
+        match q_th_min(&p()) {
+            QTh::Finite(b) => {
+                assert!(
+                    b > 0.0,
+                    "paper defaults should need a positive threshold, got {b}"
+                );
+                // Order of magnitude: tens-to-hundreds of packets, not millions.
+                let pkts = b / 1500.0;
+                assert!(pkts < 10_000.0, "q_th implausibly large: {pkts} pkts");
+            }
+            QTh::Infinite => panic!("paper defaults should yield a finite threshold"),
+        }
+    }
+
+    #[test]
+    fn q_th_consistency_with_fct() {
+        // With q_th at the Eq. 9 bound, long flows occupy n_L = Eq. 2 paths,
+        // and the short flows on the remaining n - n_L paths meet D.
+        let params = p();
+        if let QTh::Finite(q) = q_th_min(&params) {
+            let n_l = long_paths(&params, q);
+            let n_s = params.n_paths - n_l;
+            let fct = mean_fct_short(&params, n_s).expect("stable");
+            assert!(
+                fct <= params.deadline * (1.0 + 1e-9),
+                "fct {fct} exceeds deadline {}",
+                params.deadline
+            );
+            // And tight: with the exact bound the deadline binds (unless the
+            // clamp at 0 engaged).
+            if q > 0.0 {
+                assert!((fct - params.deadline).abs() / params.deadline < 1e-6);
+            }
+        } else {
+            panic!("expected finite threshold");
+        }
+    }
+
+    #[test]
+    fn q_th_zero_when_few_flows() {
+        // Nearly no traffic: long flows should be free to switch per packet.
+        let mut params = p();
+        params.m_short = 1.0;
+        params.m_long = 0.1;
+        assert_eq!(q_th_min(&params), QTh::Finite(0.0));
+    }
+
+    #[test]
+    fn q_th_infinite_when_saturated() {
+        let mut params = p();
+        params.m_short = 100_000.0;
+        assert_eq!(q_th_min(&params), QTh::Infinite);
+    }
+
+    #[test]
+    fn qth_as_packets_and_bytes() {
+        assert_eq!(QTh::Finite(15_000.0).as_packets(1500.0), Some(10.0));
+        assert_eq!(QTh::Infinite.as_packets(1500.0), None);
+        assert_eq!(QTh::Finite(42.4).as_bytes_saturating(), 42);
+        assert_eq!(QTh::Infinite.as_bytes_saturating(), u64::MAX);
+        assert_eq!(QTh::Infinite.to_string(), "inf");
+        assert_eq!(QTh::Finite(1000.0).to_string(), "1000B");
+    }
+
+    #[test]
+    fn long_paths_monotone_in_qth() {
+        let params = p();
+        let n1 = long_paths(&params, 0.0);
+        let n2 = long_paths(&params, 100_000.0);
+        assert!(
+            n1 > n2,
+            "larger threshold concentrates long flows on fewer paths"
+        );
+    }
+
+    #[test]
+    fn arrival_rate_eq7() {
+        let params = p();
+        let lambda = short_arrival_rate(&params, 0.01, 10.0);
+        assert!((lambda - 100.0 * 70_000.0 / (0.01 * 10.0)).abs() < 1e-9);
+    }
+
+    /// Extract a finite q_th or map Infinite to +inf — property-test helper.
+    fn finite(q: QTh) -> f64 {
+        match q {
+            QTh::Finite(b) => b,
+            QTh::Infinite => f64::INFINITY,
+        }
+    }
+
+    proptest! {
+        /// Fig. 7(a): q_th non-decreasing in the number of short flows.
+        #[test]
+        fn prop_qth_monotone_m_short(m1 in 1.0f64..400.0, dm in 0.0f64..200.0) {
+            let mut a = p();
+            a.m_short = m1;
+            let mut b = a;
+            b.m_short = m1 + dm;
+            prop_assert!(finite(q_th_min(&b)) >= finite(q_th_min(&a)) - 1e-6);
+        }
+
+        /// Fig. 7(b): q_th non-decreasing in the number of long flows.
+        #[test]
+        fn prop_qth_monotone_m_long(m1 in 0.5f64..20.0, dm in 0.0f64..20.0) {
+            let mut a = p();
+            a.m_long = m1;
+            let mut b = a;
+            b.m_long = m1 + dm;
+            prop_assert!(finite(q_th_min(&b)) >= finite(q_th_min(&a)) - 1e-6);
+        }
+
+        /// Fig. 7(c): q_th non-increasing in the number of paths.
+        #[test]
+        fn prop_qth_monotone_paths(n1 in 4.0f64..40.0, dn in 0.0f64..40.0) {
+            let mut a = p();
+            a.n_paths = n1;
+            let mut b = a;
+            b.n_paths = n1 + dn;
+            prop_assert!(finite(q_th_min(&b)) <= finite(q_th_min(&a)) + 1e-6);
+        }
+
+        /// Fig. 7(d): q_th non-increasing in the deadline.
+        #[test]
+        fn prop_qth_monotone_deadline(d1 in 2e-3f64..40e-3, dd in 0.0f64..40e-3) {
+            let mut a = p();
+            a.deadline = d1;
+            let mut b = a;
+            b.deadline = d1 + dd;
+            prop_assert!(finite(q_th_min(&b)) <= finite(q_th_min(&a)) + 1e-6);
+        }
+
+        /// Eq. 8's solution, when it exists, is at least the transmission
+        /// time and decreasing in n_s.
+        #[test]
+        fn prop_fct_bounds(m_s in 0.0f64..300.0, n_s in 1.0f64..15.0) {
+            let mut params = p();
+            params.m_short = m_s;
+            if let Some(f) = mean_fct_short(&params, n_s) {
+                prop_assert!(f >= params.short_tx_time() - 1e-12);
+                if let Some(f2) = mean_fct_short(&params, n_s + 1.0) {
+                    prop_assert!(f2 <= f + 1e-12);
+                }
+            }
+        }
+
+        /// Slow-start rounds grow (weakly) with flow size and are >= 1.
+        #[test]
+        fn prop_rounds_monotone(x in 10.0f64..1e7, scale in 1.0f64..8.0) {
+            let r1 = slow_start_rounds(x, 1460.0);
+            let r2 = slow_start_rounds(x * scale, 1460.0);
+            prop_assert!(r1 >= 1.0);
+            prop_assert!(r2 >= r1);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Strongly-typed identifiers.
+//!
+//! Everything is a dense `u32` index so components can use `Vec`s instead of
+//! hash maps on the hot path; the newtypes only exist to stop an index from
+//! being used against the wrong table.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index this id wraps.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A host (end system). Hosts are numbered leaf-major: host `h` hangs off
+    /// leaf `h / hosts_per_leaf`.
+    HostId,
+    "h"
+);
+id_type!(
+    /// A leaf (top-of-rack) switch.
+    LeafId,
+    "leaf"
+);
+id_type!(
+    /// A spine (core) switch. With `S` spines there are `S` equal-cost paths
+    /// between any pair of hosts in different racks.
+    SpineId,
+    "spine"
+);
+id_type!(
+    /// A flow (one sender->receiver byte stream). Flow ids are dense and
+    /// assigned by the workload generator in arrival order.
+    FlowId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let h: HostId = 7usize.into();
+        assert_eq!(h.index(), 7);
+        assert_eq!(h, HostId(7));
+    }
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(HostId(3).to_string(), "h3");
+        assert_eq!(LeafId(1).to_string(), "leaf1");
+        assert_eq!(SpineId(0).to_string(), "spine0");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(FlowId(1) < FlowId(2));
+    }
+}

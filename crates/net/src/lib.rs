@@ -1,0 +1,14 @@
+//! # tlb-net — network primitives for the TLB simulator
+//!
+//! Identifiers, packet representation, link properties and the leaf-spine
+//! topology the paper evaluates on (§2.2, §4.2, §6.2, §7), including the
+//! asymmetric variants of Fig. 16/17 built by degrading individual
+//! leaf-to-spine links.
+
+pub mod ids;
+pub mod packet;
+pub mod topology;
+
+pub use ids::{FlowId, HostId, LeafId, SpineId};
+pub use packet::{Packet, PktKind};
+pub use topology::{LeafSpine, LeafSpineBuilder, LinkProps};

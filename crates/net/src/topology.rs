@@ -1,0 +1,381 @@
+//! Leaf-spine topology with per-link properties and asymmetry injection.
+//!
+//! The paper's topologies:
+//! * §2.2/§4.2/§6.1 basic: one leaf pair, 15 spines (15 equal-cost paths),
+//!   1 Gbit/s, 100 µs base RTT.
+//! * §6.2 large-scale: 8 ToR × 8 core, 256 hosts, 1 Gbit/s.
+//! * §7 testbed: 10 equal-cost paths, 20 Mbit/s, 1 ms per-link delay.
+//! * Fig. 16/17 asymmetry: 2 randomly chosen leaf-to-spine links with extra
+//!   delay or reduced bandwidth.
+
+use crate::ids::{HostId, LeafId, SpineId};
+use tlb_engine::SimTime;
+
+/// Physical properties of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkProps {
+    /// Capacity in bytes per second.
+    pub bytes_per_sec: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimTime,
+}
+
+impl LinkProps {
+    /// A link specified in Gbit/s and nanoseconds of propagation delay.
+    pub fn gbps(gbps: f64, prop_delay: SimTime) -> LinkProps {
+        LinkProps {
+            bytes_per_sec: (gbps * 1e9 / 8.0).round() as u64,
+            prop_delay,
+        }
+    }
+
+    /// A link specified in Mbit/s.
+    pub fn mbps(mbps: f64, prop_delay: SimTime) -> LinkProps {
+        LinkProps {
+            bytes_per_sec: (mbps * 1e6 / 8.0).round() as u64,
+            prop_delay,
+        }
+    }
+}
+
+/// A two-tier leaf-spine (folded Clos) fabric.
+///
+/// Hosts are numbered leaf-major: hosts `l * hosts_per_leaf ..` belong to
+/// leaf `l`. Every leaf connects to every spine, so hosts in different racks
+/// have exactly `n_spines` equal-cost paths; links are stored per direction
+/// so asymmetry can be injected on individual leaf→spine (and the paired
+/// spine→leaf) links.
+#[derive(Clone, Debug)]
+pub struct LeafSpine {
+    n_leaves: usize,
+    n_spines: usize,
+    hosts_per_leaf: usize,
+    /// Host NIC -> leaf (and symmetric leaf -> host) link.
+    host_link: LinkProps,
+    /// `up[leaf][spine]`: leaf -> spine.
+    up: Vec<LinkProps>,
+    /// `down[spine][leaf]`: spine -> leaf.
+    down: Vec<LinkProps>,
+}
+
+impl LeafSpine {
+    /// Number of leaf switches.
+    #[inline]
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Number of spine switches (= number of equal-cost inter-rack paths).
+    #[inline]
+    pub fn n_spines(&self) -> usize {
+        self.n_spines
+    }
+
+    /// Hosts attached to each leaf.
+    #[inline]
+    pub fn hosts_per_leaf(&self) -> usize {
+        self.hosts_per_leaf
+    }
+
+    /// Total host count.
+    #[inline]
+    pub fn n_hosts(&self) -> usize {
+        self.n_leaves * self.hosts_per_leaf
+    }
+
+    /// The leaf a host hangs off.
+    #[inline]
+    pub fn leaf_of(&self, h: HostId) -> LeafId {
+        debug_assert!(h.index() < self.n_hosts());
+        LeafId((h.index() / self.hosts_per_leaf) as u32)
+    }
+
+    /// A host's port index on its leaf (0-based within the rack).
+    #[inline]
+    pub fn host_slot(&self, h: HostId) -> usize {
+        h.index() % self.hosts_per_leaf
+    }
+
+    /// All hosts under a leaf.
+    pub fn hosts_of(&self, l: LeafId) -> impl Iterator<Item = HostId> {
+        let start = l.index() * self.hosts_per_leaf;
+        (start..start + self.hosts_per_leaf).map(HostId::from)
+    }
+
+    /// The host NIC <-> leaf link (same both directions).
+    #[inline]
+    pub fn host_link(&self) -> LinkProps {
+        self.host_link
+    }
+
+    /// The leaf -> spine uplink.
+    #[inline]
+    pub fn uplink(&self, l: LeafId, s: SpineId) -> LinkProps {
+        self.up[l.index() * self.n_spines + s.index()]
+    }
+
+    /// The spine -> leaf downlink.
+    #[inline]
+    pub fn downlink(&self, s: SpineId, l: LeafId) -> LinkProps {
+        self.down[s.index() * self.n_leaves + l.index()]
+    }
+
+    /// Base round-trip propagation delay between two inter-rack hosts via a
+    /// given spine (excludes serialization and queueing).
+    pub fn rtt_via(&self, src: HostId, spine: SpineId, dst: HostId) -> SimTime {
+        let sl = self.leaf_of(src);
+        let dl = self.leaf_of(dst);
+        let one_way = self.host_link.prop_delay
+            + self.uplink(sl, spine).prop_delay
+            + self.downlink(spine, dl).prop_delay
+            + self.host_link.prop_delay;
+        let back = self.host_link.prop_delay
+            + self.uplink(dl, spine).prop_delay
+            + self.downlink(spine, sl).prop_delay
+            + self.host_link.prop_delay;
+        one_way + back
+    }
+
+    /// Minimum base RTT over all spines for a host pair (what a transport's
+    /// RTT estimate converges to on idle paths).
+    pub fn min_rtt(&self, src: HostId, dst: HostId) -> SimTime {
+        (0..self.n_spines)
+            .map(|s| self.rtt_via(src, SpineId(s as u32), dst))
+            .min()
+            .expect("topology has no spines")
+    }
+
+    /// Degrade the leaf<->spine link pair: multiply bandwidth by
+    /// `bw_factor` (≤ 1.0) and add `extra_delay` to propagation, in both
+    /// directions. This is how Fig. 16/17's asymmetric scenarios are built.
+    pub fn degrade_link(
+        &mut self,
+        l: LeafId,
+        s: SpineId,
+        bw_factor: f64,
+        extra_delay: SimTime,
+    ) {
+        assert!(
+            bw_factor > 0.0 && bw_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        let up = &mut self.up[l.index() * self.n_spines + s.index()];
+        up.bytes_per_sec = ((up.bytes_per_sec as f64) * bw_factor).max(1.0) as u64;
+        up.prop_delay += extra_delay;
+        let down = &mut self.down[s.index() * self.n_leaves + l.index()];
+        down.bytes_per_sec = ((down.bytes_per_sec as f64) * bw_factor).max(1.0) as u64;
+        down.prop_delay += extra_delay;
+    }
+
+    /// True if any leaf<->spine link differs from any other (diagnostics).
+    pub fn is_asymmetric(&self) -> bool {
+        self.up.windows(2).any(|w| w[0] != w[1]) || self.down.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// Builder for [`LeafSpine`] fabrics.
+///
+/// The default matches the paper's basic NS2 setup: all links 1 Gbit/s, and
+/// per-link propagation delay chosen so the end-to-end round-trip propagation
+/// is 100 µs (8 link traversals per round trip).
+///
+/// ```
+/// use tlb_net::{HostId, LeafSpineBuilder};
+/// use tlb_engine::SimTime;
+///
+/// // The paper's §4.2 fabric: 15 equal-cost paths at 1 Gbit/s.
+/// let topo = LeafSpineBuilder::new(3, 15, 16)
+///     .link_gbps(1.0)
+///     .target_rtt(SimTime::from_micros(100))
+///     .build();
+/// assert_eq!(topo.n_spines(), 15);
+/// assert_eq!(topo.min_rtt(HostId(0), HostId(20)), SimTime::from_micros(100));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LeafSpineBuilder {
+    n_leaves: usize,
+    n_spines: usize,
+    hosts_per_leaf: usize,
+    link_bytes_per_sec: u64,
+    prop_per_link: SimTime,
+}
+
+impl LeafSpineBuilder {
+    /// Start a fabric with the given switch/host counts.
+    pub fn new(n_leaves: usize, n_spines: usize, hosts_per_leaf: usize) -> Self {
+        assert!(n_leaves > 0 && n_spines > 0 && hosts_per_leaf > 0);
+        LeafSpineBuilder {
+            n_leaves,
+            n_spines,
+            hosts_per_leaf,
+            link_bytes_per_sec: 125_000_000, // 1 Gbit/s
+            prop_per_link: SimTime::from_nanos(12_500), // 100 us RTT / 8 hops
+        }
+    }
+
+    /// Set every link's capacity in Gbit/s.
+    pub fn link_gbps(mut self, gbps: f64) -> Self {
+        self.link_bytes_per_sec = (gbps * 1e9 / 8.0).round() as u64;
+        self
+    }
+
+    /// Set every link's capacity in Mbit/s (testbed scenarios).
+    pub fn link_mbps(mut self, mbps: f64) -> Self {
+        self.link_bytes_per_sec = (mbps * 1e6 / 8.0).round() as u64;
+        self
+    }
+
+    /// Set the per-link one-way propagation delay directly.
+    pub fn prop_per_link(mut self, d: SimTime) -> Self {
+        self.prop_per_link = d;
+        self
+    }
+
+    /// Choose per-link propagation so the host-to-host round-trip
+    /// propagation equals `rtt` (divided evenly over the 8 traversals of a
+    /// 4-hop path).
+    pub fn target_rtt(mut self, rtt: SimTime) -> Self {
+        self.prop_per_link = rtt / 8;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> LeafSpine {
+        let link = LinkProps {
+            bytes_per_sec: self.link_bytes_per_sec,
+            prop_delay: self.prop_per_link,
+        };
+        LeafSpine {
+            n_leaves: self.n_leaves,
+            n_spines: self.n_spines,
+            hosts_per_leaf: self.hosts_per_leaf,
+            host_link: link,
+            up: vec![link; self.n_leaves * self.n_spines],
+            down: vec![link; self.n_spines * self.n_leaves],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn basic() -> LeafSpine {
+        // Paper §4.2: 15 equal-cost paths, 1 Gbit/s, 100 us RTT.
+        LeafSpineBuilder::new(3, 15, 16)
+            .link_gbps(1.0)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = basic();
+        assert_eq!(t.n_leaves(), 3);
+        assert_eq!(t.n_spines(), 15);
+        assert_eq!(t.n_hosts(), 48);
+        assert_eq!(t.hosts_per_leaf(), 16);
+    }
+
+    #[test]
+    fn leaf_major_numbering() {
+        let t = basic();
+        assert_eq!(t.leaf_of(HostId(0)), LeafId(0));
+        assert_eq!(t.leaf_of(HostId(15)), LeafId(0));
+        assert_eq!(t.leaf_of(HostId(16)), LeafId(1));
+        assert_eq!(t.host_slot(HostId(17)), 1);
+        let under_leaf2: Vec<_> = t.hosts_of(LeafId(2)).collect();
+        assert_eq!(under_leaf2.len(), 16);
+        assert_eq!(under_leaf2[0], HostId(32));
+        assert_eq!(under_leaf2[15], HostId(47));
+    }
+
+    #[test]
+    fn symmetric_rtt_matches_target() {
+        let t = basic();
+        let rtt = t.rtt_via(HostId(0), SpineId(7), HostId(20));
+        assert_eq!(rtt, SimTime::from_micros(100));
+        assert_eq!(t.min_rtt(HostId(0), HostId(20)), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        let t = basic();
+        assert_eq!(t.host_link().bytes_per_sec, 125_000_000);
+        let l = LinkProps::mbps(20.0, SimTime::from_millis(1));
+        assert_eq!(l.bytes_per_sec, 2_500_000);
+    }
+
+    #[test]
+    fn degrade_adds_delay_and_cuts_bandwidth() {
+        let mut t = basic();
+        assert!(!t.is_asymmetric());
+        t.degrade_link(LeafId(1), SpineId(3), 0.5, SimTime::from_micros(40));
+        assert!(t.is_asymmetric());
+        let up = t.uplink(LeafId(1), SpineId(3));
+        assert_eq!(up.bytes_per_sec, 62_500_000);
+        assert_eq!(
+            up.prop_delay,
+            SimTime::from_nanos(12_500) + SimTime::from_micros(40)
+        );
+        // Paired downlink degraded too.
+        let down = t.downlink(SpineId(3), LeafId(1));
+        assert_eq!(down.bytes_per_sec, 62_500_000);
+        // Other links untouched.
+        assert_eq!(t.uplink(LeafId(0), SpineId(3)).bytes_per_sec, 125_000_000);
+        assert_eq!(t.uplink(LeafId(1), SpineId(2)).bytes_per_sec, 125_000_000);
+    }
+
+    #[test]
+    fn degraded_path_rtt_grows() {
+        let mut t = basic();
+        let before = t.rtt_via(HostId(0), SpineId(0), HostId(20));
+        t.degrade_link(LeafId(0), SpineId(0), 1.0, SimTime::from_micros(100));
+        let after = t.rtt_via(HostId(0), SpineId(0), HostId(20));
+        // The degraded hop is crossed twice per round trip (uplink out,
+        // downlink back), so the RTT grows by twice the extra delay.
+        assert_eq!(after, before + SimTime::from_micros(200));
+        // Path via another spine unchanged.
+        assert_eq!(t.rtt_via(HostId(0), SpineId(1), HostId(20)), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn degrade_rejects_zero_factor() {
+        let mut t = basic();
+        t.degrade_link(LeafId(0), SpineId(0), 0.0, SimTime::ZERO);
+    }
+
+    proptest! {
+        /// Every host maps to a valid leaf and back.
+        #[test]
+        fn prop_host_leaf_roundtrip(
+            leaves in 1usize..10,
+            spines in 1usize..20,
+            hpl in 1usize..40,
+        ) {
+            let t = LeafSpineBuilder::new(leaves, spines, hpl).build();
+            for h in 0..t.n_hosts() {
+                let host = HostId::from(h);
+                let leaf = t.leaf_of(host);
+                prop_assert!(leaf.index() < leaves);
+                let slot = t.host_slot(host);
+                prop_assert!(slot < hpl);
+                prop_assert_eq!(leaf.index() * hpl + slot, h);
+            }
+        }
+
+        /// RTT via every spine is identical on a symmetric fabric.
+        #[test]
+        fn prop_symmetric_equal_paths(spines in 1usize..16, rtt_us in 10u64..500) {
+            let t = LeafSpineBuilder::new(2, spines, 2)
+                .target_rtt(SimTime::from_micros(rtt_us))
+                .build();
+            let r0 = t.rtt_via(HostId(0), SpineId(0), HostId(2));
+            for s in 1..spines {
+                prop_assert_eq!(t.rtt_via(HostId(0), SpineId(s as u32), HostId(2)), r0);
+            }
+        }
+    }
+}

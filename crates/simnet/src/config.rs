@@ -1,0 +1,221 @@
+//! Simulation configuration: topology + transport + switch + scheme.
+
+use crate::scheme::Scheme;
+use tlb_engine::SimTime;
+use tlb_net::{LeafId, LeafSpine, LeafSpineBuilder, SpineId};
+use tlb_switch::QueueCfg;
+use tlb_transport::TcpConfig;
+
+/// A scheduled mid-run change to one leaf<->spine link pair: at `at`, the
+/// link's bandwidth is multiplied by `bw_factor` (of its *current* value)
+/// and `extra_delay` is added to its propagation delay — in both
+/// directions. Models failures/brownouts (paper §7's asymmetry, but
+/// dynamic).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// The leaf side of the link.
+    pub leaf: LeafId,
+    /// The spine side of the link.
+    pub spine: SpineId,
+    /// Multiplier on the current bandwidth, in (0, 1].
+    pub bw_factor: f64,
+    /// Added one-way propagation delay.
+    pub extra_delay: SimTime,
+}
+
+/// Everything needed to run one simulation (besides the flow set).
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The fabric.
+    pub topo: LeafSpine,
+    /// Transport endpoints' parameters.
+    pub tcp: TcpConfig,
+    /// Switch output-queue parameters (buffer size, ECN threshold).
+    pub queue: QueueCfg,
+    /// Host NIC queue parameters (large buffer; same ECN marking).
+    pub host_queue: QueueCfg,
+    /// The load-balancing scheme under test.
+    pub scheme: Scheme,
+    /// Master seed: fixes the balancers' randomness. (Workload randomness
+    /// is seeded separately by the generator.)
+    pub seed: u64,
+    /// Hard stop; flows unfinished by then count as incomplete/missed.
+    pub horizon: SimTime,
+    /// Metrics classification threshold for short vs long (paper: 100 KB).
+    pub short_threshold: u64,
+    /// Bucket width for "instantaneous" time series.
+    pub series_bucket: SimTime,
+    /// Mid-run link degradations (failure injection).
+    pub link_events: Vec<LinkEvent>,
+    /// Flows whose packets should be path-traced into
+    /// [`crate::RunReport::traces`] (diagnostics/tests; keep small — every
+    /// hop of every traced packet is recorded).
+    pub trace_flows: Vec<tlb_net::FlowId>,
+    /// Sample leaf-0's uplink queue lengths every `series_bucket` into
+    /// [`crate::RunReport::queue_series`] (the Fig. 5 queueing-process
+    /// visualization).
+    pub sample_queues: bool,
+}
+
+impl SimConfig {
+    /// The paper's basic NS2 setup (§4.2/§6.1): one sending rack and two
+    /// receiving racks behind 15 spines, 1 Gbit/s links, 100 µs RTT,
+    /// 256-packet buffers, DCTCP.
+    pub fn basic_paper(scheme: Scheme) -> SimConfig {
+        SimConfig {
+            topo: LeafSpineBuilder::new(3, 15, 16)
+                .link_gbps(1.0)
+                .target_rtt(SimTime::from_micros(100))
+                .build(),
+            tcp: TcpConfig::dctcp_default(),
+            queue: QueueCfg {
+                capacity_pkts: 256,
+                ecn_threshold_pkts: Some(20),
+            },
+            host_queue: QueueCfg {
+                capacity_pkts: 2048,
+                ecn_threshold_pkts: Some(20),
+            },
+            scheme,
+            seed: 1,
+            horizon: SimTime::from_secs(10),
+            short_threshold: 100_000,
+            series_bucket: SimTime::from_millis(1),
+            link_events: Vec::new(),
+            trace_flows: Vec::new(),
+            sample_queues: false,
+        }
+    }
+
+    /// The §6.2 large-scale setup: 8 ToR × 8 core. The paper uses 256 hosts
+    /// (32 per rack, 4:1 oversubscription); `hosts_per_leaf` scales that
+    /// down for quicker runs while preserving the oversubscription shape
+    /// when set ≥ `2 × spines`.
+    pub fn large_scale(scheme: Scheme, hosts_per_leaf: usize) -> SimConfig {
+        SimConfig {
+            topo: LeafSpineBuilder::new(8, 8, hosts_per_leaf)
+                .link_gbps(1.0)
+                .target_rtt(SimTime::from_micros(100))
+                .build(),
+            tcp: TcpConfig::dctcp_default(),
+            queue: QueueCfg {
+                capacity_pkts: 256,
+                ecn_threshold_pkts: Some(20),
+            },
+            host_queue: QueueCfg {
+                capacity_pkts: 2048,
+                ecn_threshold_pkts: Some(20),
+            },
+            scheme,
+            seed: 1,
+            horizon: SimTime::from_secs(20),
+            short_threshold: 100_000,
+            series_bucket: SimTime::from_millis(5),
+            link_events: Vec::new(),
+            trace_flows: Vec::new(),
+            sample_queues: false,
+        }
+    }
+
+    /// The §7 Mininet-testbed setup: 10 equal-cost paths, 20 Mbit/s links,
+    /// 1 ms per-link delay, 256-packet buffers, 200 ms min RTO.
+    pub fn testbed(scheme: Scheme) -> SimConfig {
+        SimConfig {
+            topo: LeafSpineBuilder::new(2, 10, 12)
+                .link_mbps(20.0)
+                .prop_per_link(SimTime::from_millis(1))
+                .build(),
+            tcp: TcpConfig::testbed_default(),
+            queue: QueueCfg {
+                capacity_pkts: 256,
+                ecn_threshold_pkts: Some(20),
+            },
+            host_queue: QueueCfg {
+                capacity_pkts: 2048,
+                ecn_threshold_pkts: Some(20),
+            },
+            scheme,
+            seed: 1,
+            horizon: SimTime::from_secs(400),
+            short_threshold: 100_000,
+            series_bucket: SimTime::from_millis(500),
+            link_events: Vec::new(),
+            trace_flows: Vec::new(),
+            sample_queues: false,
+        }
+    }
+
+    /// Check configuration consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.tcp.validate()?;
+        if self.queue.capacity_pkts == 0 || self.host_queue.capacity_pkts == 0 {
+            return Err("queues need nonzero capacity".into());
+        }
+        if self.horizon.is_zero() {
+            return Err("horizon must be positive".into());
+        }
+        if self.series_bucket.is_zero() {
+            return Err("series bucket must be positive".into());
+        }
+        for (i, ev) in self.link_events.iter().enumerate() {
+            if !(ev.bw_factor > 0.0 && ev.bw_factor <= 1.0) {
+                return Err(format!("link event {i}: bw_factor out of (0,1]"));
+            }
+            if ev.leaf.index() >= self.topo.n_leaves()
+                || ev.spine.index() >= self.topo.n_spines()
+            {
+                return Err(format!("link event {i}: link out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimConfig::basic_paper(Scheme::Ecmp).validate().unwrap();
+        SimConfig::large_scale(Scheme::Rps, 16).validate().unwrap();
+        SimConfig::testbed(Scheme::tlb_default()).validate().unwrap();
+    }
+
+    #[test]
+    fn basic_matches_paper_parameters() {
+        let c = SimConfig::basic_paper(Scheme::Ecmp);
+        assert_eq!(c.topo.n_spines(), 15, "15 equal-cost paths");
+        assert_eq!(c.topo.host_link().bytes_per_sec, 125_000_000, "1 Gbit/s");
+        assert_eq!(c.queue.capacity_pkts, 256);
+        assert_eq!(
+            c.topo.min_rtt(tlb_net::HostId(0), tlb_net::HostId(20)),
+            SimTime::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn large_scale_matches_paper_shape() {
+        let c = SimConfig::large_scale(Scheme::Ecmp, 32);
+        assert_eq!(c.topo.n_leaves(), 8);
+        assert_eq!(c.topo.n_spines(), 8);
+        assert_eq!(c.topo.n_hosts(), 256);
+    }
+
+    #[test]
+    fn testbed_matches_paper_shape() {
+        let c = SimConfig::testbed(Scheme::Ecmp);
+        assert_eq!(c.topo.n_spines(), 10, "10 equal-cost paths");
+        assert_eq!(c.topo.host_link().bytes_per_sec, 2_500_000, "20 Mbit/s");
+        assert_eq!(c.tcp.min_rto, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn validation_catches_zero_horizon() {
+        let mut c = SimConfig::basic_paper(Scheme::Ecmp);
+        c.horizon = SimTime::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,669 @@
+//! The event-driven network: forwarding, serialization, endpoints, metrics.
+//!
+//! Node/queue layout for a leaf-spine fabric (all queues are
+//! [`tlb_switch::OutPort`]s):
+//!
+//! ```text
+//! host NIC ──> leaf { uplinks[spine] ──> spine { downlinks[leaf] ──> leaf { downlinks[host] ──> host
+//! ```
+//!
+//! The load balancer runs at the *source* leaf: every packet a local host
+//! sends to a remote rack goes through `LoadBalancer::choose_uplink`.
+//! Spine→leaf and leaf→host forwarding are single-path.
+
+use crate::config::SimConfig;
+use crate::report::{ClassCounters, RunReport};
+use tlb_engine::{EventQueue, SimRng, SimTime};
+use tlb_metrics::{FctRecorder, FlowClass, SampleSet, TimeSeries};
+use tlb_net::{FlowId, HostId, LeafId, Packet, PktKind, SpineId};
+use tlb_switch::{Enqueued, LoadBalancer, OutPort, PortView};
+use tlb_transport::{SenderOutput, TcpReceiver, TcpSender};
+use tlb_workload::FlowSpec;
+
+/// A specific output queue in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PortRef {
+    /// Host `h`'s NIC queue (towards its leaf).
+    HostNic(u32),
+    /// Leaf `leaf`'s uplink to spine `up`.
+    LeafUp { leaf: u16, up: u16 },
+    /// Leaf `leaf`'s downlink to its local host slot `slot`.
+    LeafDown { leaf: u16, slot: u16 },
+    /// Spine `spine`'s downlink to leaf `leaf`.
+    SpineDown { spine: u16, leaf: u16 },
+}
+
+/// Where a packet lands after crossing a link.
+#[derive(Clone, Copy, Debug)]
+enum NodeRef {
+    Host(u32),
+    Leaf(u16),
+    Spine(u16),
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A flow's start time arrived.
+    FlowStart(u32),
+    /// A packet finished serializing on `port`; deliver it across the link.
+    TxDone { port: PortRef, pkt: Packet },
+    /// A packet arrives at a node (after propagation).
+    Arrive { node: NodeRef, pkt: Packet },
+    /// A sender's retransmission timer fires.
+    Timer { flow: u32 },
+    /// A leaf balancer's periodic tick.
+    LbTick { leaf: u16 },
+    /// Apply the `i`-th configured [`crate::config::LinkEvent`].
+    LinkChange(u32),
+    /// Sample leaf-0's uplink queues (Fig. 5 visualization).
+    QueueSample,
+}
+
+struct LeafSw {
+    up: Vec<OutPort>,
+    down: Vec<OutPort>,
+    lb: Box<dyn LoadBalancer>,
+    rng: SimRng,
+}
+
+struct SpineSw {
+    down: Vec<OutPort>,
+}
+
+/// One configured simulation, ready to run.
+pub struct Simulation {
+    cfg: SimConfig,
+    flows: Vec<FlowSpec>,
+    /// `next[i] = Some(j)`: flow `j` starts when flow `i` completes
+    /// (closed-loop chains). Chain heads start at their `start` time;
+    /// chained flows' `start` fields are ignored.
+    next: Vec<Option<u32>>,
+}
+
+struct Net {
+    cfg: SimConfig,
+    flows: Vec<FlowSpec>,
+    host_nics: Vec<OutPort>,
+    leaves: Vec<LeafSw>,
+    spines: Vec<SpineSw>,
+    senders: Vec<Option<TcpSender>>,
+    receivers: Vec<Option<TcpReceiver>>,
+    next_flow: Vec<Option<u32>>,
+    total_segs: Vec<u32>,
+    completed: Vec<bool>,
+    n_completed: usize,
+    q: EventQueue<Event>,
+    out_buf: Vec<SenderOutput>,
+    // Metrics.
+    fct: FctRecorder,
+    short_qlen: SampleSet,
+    long_qlen: SampleSet,
+    short_qdelay: SampleSet,
+    short_qdelay_series: TimeSeries,
+    short_reorder: TimeSeries,
+    long_reorder: TimeSeries,
+    long_goodput: TimeSeries,
+    qth_series: Vec<(f64, f64)>,
+    traced: Vec<bool>,
+    traces: Vec<crate::report::TraceEvent>,
+    queue_series: Vec<(f64, Vec<u32>)>,
+    lb_state_peak: usize,
+    lb_decisions: u64,
+    events: u64,
+}
+
+impl Simulation {
+    /// Configure a simulation over the given flow set (all flows start at
+    /// their `start` time).
+    pub fn new(cfg: SimConfig, flows: Vec<FlowSpec>) -> Simulation {
+        cfg.validate().expect("invalid simulation configuration");
+        let n = flows.len();
+        Simulation {
+            cfg,
+            flows,
+            next: vec![None; n],
+        }
+    }
+
+    /// Configure a closed-loop simulation: `next[i] = Some(j)` makes flow
+    /// `j` start back-to-back when flow `i` delivers its last byte — the
+    /// way a request/response client keeps a sustained number of flows in
+    /// flight. Chained flows must not also have their own start event, so
+    /// every index that appears as someone's `next` is launched only by its
+    /// predecessor.
+    pub fn new_chained(cfg: SimConfig, flows: Vec<FlowSpec>, next: Vec<Option<u32>>) -> Simulation {
+        cfg.validate().expect("invalid simulation configuration");
+        assert_eq!(flows.len(), next.len(), "next pointers must cover all flows");
+        // No flow may be the successor of two predecessors.
+        let mut seen = vec![false; flows.len()];
+        for &n in next.iter().flatten() {
+            let i = n as usize;
+            assert!(i < flows.len(), "next pointer out of range");
+            assert!(!seen[i], "flow {i} chained twice");
+            seen[i] = true;
+        }
+        Simulation { cfg, flows, next }
+    }
+
+    /// Run to completion (all flows done or horizon reached) and report.
+    pub fn run(self) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let mut net = Net::build(self.cfg, self.flows, self.next);
+        net.run_loop();
+        net.into_report(wall_start.elapsed())
+    }
+}
+
+impl Net {
+    fn build(cfg: SimConfig, flows: Vec<FlowSpec>, next_flow: Vec<Option<u32>>) -> Net {
+        let topo = &cfg.topo;
+        let mut master_rng = SimRng::new(cfg.seed);
+
+        let host_nics = (0..topo.n_hosts())
+            .map(|_| OutPort::new(topo.host_link(), cfg.host_queue))
+            .collect();
+
+        let leaves = (0..topo.n_leaves())
+            .map(|l| LeafSw {
+                up: (0..topo.n_spines())
+                    .map(|s| {
+                        OutPort::new(topo.uplink(LeafId(l as u32), SpineId(s as u32)), cfg.queue)
+                    })
+                    .collect(),
+                down: (0..topo.hosts_per_leaf())
+                    .map(|_| OutPort::new(topo.host_link(), cfg.queue))
+                    .collect(),
+                lb: cfg.scheme.build(l as u64 + 1),
+                rng: master_rng.fork(l as u64),
+            })
+            .collect();
+
+        let spines = (0..topo.n_spines())
+            .map(|s| SpineSw {
+                down: (0..topo.n_leaves())
+                    .map(|l| {
+                        OutPort::new(topo.downlink(SpineId(s as u32), LeafId(l as u32)), cfg.queue)
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let n = flows.len();
+        let mut q = EventQueue::with_capacity(n * 4 + 1024);
+        // Only chain heads get their own start event; chained flows are
+        // launched by their predecessor's completion.
+        let mut is_chained = vec![false; n];
+        for &nf in next_flow.iter().flatten() {
+            is_chained[nf as usize] = true;
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !is_chained[i] {
+                q.push(f.start, Event::FlowStart(i as u32));
+            }
+        }
+        // Balancer ticks per leaf.
+        let mut net = Net {
+            total_segs: flows
+                .iter()
+                .map(|f| f.size_bytes.div_ceil(cfg.tcp.mss as u64) as u32)
+                .collect(),
+            fct: FctRecorder::new(cfg.short_threshold),
+            short_qdelay_series: TimeSeries::new(cfg.series_bucket),
+            short_reorder: TimeSeries::new(cfg.series_bucket),
+            long_reorder: TimeSeries::new(cfg.series_bucket),
+            long_goodput: TimeSeries::new(cfg.series_bucket),
+            host_nics,
+            leaves,
+            spines,
+            senders: (0..n).map(|_| None).collect(),
+            receivers: (0..n).map(|_| None).collect(),
+            next_flow,
+            completed: vec![false; n],
+            n_completed: 0,
+            q,
+            out_buf: Vec::with_capacity(64),
+            short_qlen: SampleSet::new(),
+            long_qlen: SampleSet::new(),
+            short_qdelay: SampleSet::new(),
+            qth_series: Vec::new(),
+            traced: {
+                let mut t = vec![false; n];
+                for f in &cfg.trace_flows {
+                    if f.index() < n {
+                        t[f.index()] = true;
+                    }
+                }
+                t
+            },
+            traces: Vec::new(),
+            queue_series: Vec::new(),
+            lb_state_peak: 0,
+            lb_decisions: 0,
+            events: 0,
+            cfg,
+            flows,
+        };
+        for l in 0..net.leaves.len() {
+            if let Some(iv) = net.leaves[l].lb.tick_interval() {
+                net.q.push(iv, Event::LbTick { leaf: l as u16 });
+            }
+        }
+        for (i, ev) in net.cfg.link_events.iter().enumerate() {
+            net.q.push(ev.at, Event::LinkChange(i as u32));
+        }
+        if net.cfg.sample_queues {
+            net.q.push(net.cfg.series_bucket, Event::QueueSample);
+        }
+        net
+    }
+
+    fn run_loop(&mut self) {
+        let horizon = self.cfg.horizon;
+        while self.n_completed < self.flows.len() {
+            let Some((now, ev)) = self.q.pop() else {
+                break; // nothing left to do (stalled flows hit no timer?)
+            };
+            if now > horizon {
+                break;
+            }
+            self.events += 1;
+            match ev {
+                Event::FlowStart(i) => self.on_flow_start(i, now),
+                Event::TxDone { port, pkt } => self.on_tx_done(port, pkt, now),
+                Event::Arrive { node, pkt } => self.on_arrive(node, pkt, now),
+                Event::Timer { flow } => self.on_timer(flow, now),
+                Event::LbTick { leaf } => self.on_lb_tick(leaf, now),
+                Event::LinkChange(i) => self.on_link_change(i as usize),
+                Event::QueueSample => self.on_queue_sample(now),
+            }
+        }
+    }
+
+    // ---- event handlers --------------------------------------------------
+
+    fn on_flow_start(&mut self, i: u32, now: SimTime) {
+        let spec = self.flows[i as usize];
+        self.fct
+            .flow_started(spec.id, spec.size_bytes, now, spec.deadline);
+        let mut sender = TcpSender::new(self.cfg.tcp, spec.id, spec.src, spec.dst, spec.size_bytes);
+        let mut out = std::mem::take(&mut self.out_buf);
+        sender.start(now, &mut out);
+        self.senders[i as usize] = Some(sender);
+        self.process_outputs(i, &mut out, now);
+        self.out_buf = out;
+    }
+
+    fn on_timer(&mut self, flow: u32, now: SimTime) {
+        let mut out = std::mem::take(&mut self.out_buf);
+        if let Some(sender) = self.senders[flow as usize].as_mut() {
+            sender.on_timer(now, &mut out);
+        }
+        self.process_outputs(flow, &mut out, now);
+        self.out_buf = out;
+    }
+
+    fn on_lb_tick(&mut self, leaf: u16, now: SimTime) {
+        let l = &mut self.leaves[leaf as usize];
+        l.lb.on_tick(PortView::new(&l.up), now);
+        self.lb_state_peak = self.lb_state_peak.max(l.lb.state_bytes());
+        if leaf == 0 {
+            if let Some(qth) = l.lb.q_threshold() {
+                // Saturate "infinite" to a plottable sentinel.
+                let v = if qth == u64::MAX { f64::INFINITY } else { qth as f64 };
+                self.qth_series.push((now.as_secs_f64(), v));
+            }
+        }
+        if let Some(iv) = l.lb.tick_interval() {
+            let next = now + iv;
+            if next <= self.cfg.horizon {
+                self.q.push(next, Event::LbTick { leaf });
+            }
+        }
+    }
+
+    /// Apply a sender's outputs: transmit packets from its host NIC, arm
+    /// timers.
+    fn process_outputs(&mut self, flow: u32, out: &mut Vec<SenderOutput>, now: SimTime) {
+        let src = self.flows[flow as usize].src;
+        for o in out.drain(..) {
+            match o {
+                SenderOutput::Send(pkt) => {
+                    self.enqueue(PortRef::HostNic(src.0), pkt, now);
+                }
+                SenderOutput::ArmTimer { deadline } => {
+                    self.q.push(deadline.max(now), Event::Timer { flow });
+                }
+                SenderOutput::Finished => {
+                    // Sender-side completion; FCT is recorded at the
+                    // receiver when the last byte arrives.
+                }
+            }
+        }
+    }
+
+    /// Record leaf-0's uplink occupancy and re-arm the sampler.
+    fn on_queue_sample(&mut self, now: SimTime) {
+        let lens: Vec<u32> = self.leaves[0].up.iter().map(|p| p.len_pkts() as u32).collect();
+        self.queue_series.push((now.as_secs_f64(), lens));
+        let next = now + self.cfg.series_bucket;
+        if next <= self.cfg.horizon {
+            self.q.push(next, Event::QueueSample);
+        }
+    }
+
+    /// Apply a configured mid-run link degradation to both directions of
+    /// the leaf<->spine pair.
+    fn on_link_change(&mut self, i: usize) {
+        let ev = self.cfg.link_events[i];
+        let degrade = |port: &mut OutPort| {
+            let mut l = port.link();
+            l.bytes_per_sec = ((l.bytes_per_sec as f64) * ev.bw_factor).max(1.0) as u64;
+            l.prop_delay += ev.extra_delay;
+            port.set_link(l);
+        };
+        degrade(&mut self.leaves[ev.leaf.index()].up[ev.spine.index()]);
+        degrade(&mut self.spines[ev.spine.index()].down[ev.leaf.index()]);
+    }
+
+    // ---- forwarding ------------------------------------------------------
+
+    fn port_mut(&mut self, r: PortRef) -> &mut OutPort {
+        match r {
+            PortRef::HostNic(h) => &mut self.host_nics[h as usize],
+            PortRef::LeafUp { leaf, up } => &mut self.leaves[leaf as usize].up[up as usize],
+            PortRef::LeafDown { leaf, slot } => {
+                &mut self.leaves[leaf as usize].down[slot as usize]
+            }
+            PortRef::SpineDown { spine, leaf } => {
+                &mut self.spines[spine as usize].down[leaf as usize]
+            }
+        }
+    }
+
+    fn next_node(&self, r: PortRef) -> NodeRef {
+        match r {
+            PortRef::HostNic(h) => {
+                NodeRef::Leaf(self.cfg.topo.leaf_of(HostId(h)).index() as u16)
+            }
+            PortRef::LeafUp { up, .. } => NodeRef::Spine(up),
+            PortRef::LeafDown { leaf, slot } => NodeRef::Host(
+                (leaf as usize * self.cfg.topo.hosts_per_leaf() + slot as usize) as u32,
+            ),
+            PortRef::SpineDown { leaf, .. } => NodeRef::Leaf(leaf),
+        }
+    }
+
+    fn enqueue(&mut self, r: PortRef, pkt: Packet, now: SimTime) {
+        if self.traced[pkt.flow.index()] {
+            self.trace(r, &pkt, now);
+        }
+        match self.port_mut(r).enqueue(pkt, now) {
+            Enqueued::Queued { was_idle, .. } => {
+                if was_idle {
+                    self.start_tx(r, now);
+                }
+            }
+            Enqueued::Dropped => {
+                // Loss is recovered by the transport; counters live in the
+                // port stats.
+            }
+        }
+    }
+
+    fn start_tx(&mut self, r: PortRef, now: SimTime) {
+        let is_short = |net: &Net, f: FlowId| {
+            net.flows[f.index()].size_bytes < net.cfg.short_threshold
+        };
+        let (pkt, tx_time, wait) = {
+            let port = self.port_mut(r);
+            let pkt = port
+                .start_service()
+                .expect("start_tx on an empty port");
+            let t = port.tx_time(pkt.wire_bytes as u64);
+            (pkt, t, now.saturating_sub(pkt.enqueued_at))
+        };
+        // Leaf-uplink queueing delay of short-flow data (Fig. 8(b)) — the
+        // queues the load balancer controls; NIC and downlink waits are the
+        // same for every scheme and would only dilute the comparison.
+        if matches!(r, PortRef::LeafUp { .. })
+            && pkt.kind == PktKind::Data
+            && is_short(self, pkt.flow)
+        {
+            let w = wait.as_secs_f64();
+            self.short_qdelay.push(w);
+            self.short_qdelay_series.add(now, w);
+        }
+        self.q.push(now + tx_time, Event::TxDone { port: r, pkt });
+    }
+
+    fn on_tx_done(&mut self, r: PortRef, pkt: Packet, now: SimTime) {
+        let (more, prop) = {
+            let port = self.port_mut(r);
+            (port.finish_service(&pkt), port.link().prop_delay)
+        };
+        if more {
+            self.start_tx(r, now);
+        }
+        let node = self.next_node(r);
+        self.q.push(now + prop, Event::Arrive { node, pkt });
+    }
+
+    fn on_arrive(&mut self, node: NodeRef, pkt: Packet, now: SimTime) {
+        match node {
+            NodeRef::Spine(s) => {
+                let leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u16;
+                self.enqueue(PortRef::SpineDown { spine: s, leaf }, pkt, now);
+            }
+            NodeRef::Leaf(l) => {
+                let dst_leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u16;
+                if dst_leaf == l {
+                    // Downstream (or intra-rack): single path to the host.
+                    let slot = self.cfg.topo.host_slot(pkt.dst) as u16;
+                    self.enqueue(PortRef::LeafDown { leaf: l, slot }, pkt, now);
+                } else {
+                    // Upstream: the load balancer picks the uplink.
+                    self.lb_decisions += 1;
+                    let leaf = &mut self.leaves[l as usize];
+                    let view = PortView::new(&leaf.up);
+                    let up = leaf.lb.choose_uplink(&pkt, view, now, &mut leaf.rng) as u16;
+                    debug_assert!((up as usize) < leaf.up.len());
+                    // Fig. 3(a): queue length experienced at enqueue.
+                    if pkt.kind == PktKind::Data {
+                        let qlen = leaf.up[up as usize].len_pkts() as f64;
+                        if self.flows[pkt.flow.index()].size_bytes < self.cfg.short_threshold {
+                            self.short_qlen.push(qlen);
+                        } else {
+                            self.long_qlen.push(qlen);
+                        }
+                    }
+                    self.enqueue(PortRef::LeafUp { leaf: l, up }, pkt, now);
+                }
+            }
+            NodeRef::Host(h) => self.deliver_to_host(h, pkt, now),
+        }
+    }
+
+    fn trace(&mut self, r: PortRef, pkt: &Packet, now: SimTime) {
+        use crate::report::{Hop, TraceEvent};
+        let hop = match r {
+            PortRef::HostNic(h) => Hop::HostNic { host: h },
+            PortRef::LeafUp { leaf, up } => Hop::LeafUplink { leaf, spine: up },
+            PortRef::LeafDown { leaf, slot } => Hop::LeafDownlink { leaf, slot },
+            PortRef::SpineDown { spine, leaf } => Hop::SpineDownlink { spine, leaf },
+        };
+        self.traces.push(TraceEvent {
+            flow: pkt.flow,
+            kind: pkt.kind,
+            seq: pkt.seq,
+            at: now,
+            hop,
+        });
+    }
+
+    fn deliver_to_host(&mut self, h: u32, pkt: Packet, now: SimTime) {
+        debug_assert_eq!(pkt.dst.0, h, "packet delivered to the wrong host");
+        if self.traced[pkt.flow.index()] {
+            self.traces.push(crate::report::TraceEvent {
+                flow: pkt.flow,
+                kind: pkt.kind,
+                seq: pkt.seq,
+                at: now,
+                hop: crate::report::Hop::Delivered { host: h },
+            });
+        }
+        let fi = pkt.flow.index();
+        match pkt.kind {
+            PktKind::Syn => {
+                let receiver = self.receivers[fi].get_or_insert_with(|| {
+                    TcpReceiver::new(pkt.flow, pkt.dst, pkt.src)
+                });
+                let synack = receiver.on_syn(now);
+                self.enqueue(PortRef::HostNic(h), synack, now);
+            }
+            PktKind::Data => {
+                let spec = self.flows[fi];
+                let is_short = spec.size_bytes < self.cfg.short_threshold;
+                let Some(receiver) = self.receivers[fi].as_mut() else {
+                    // Data before SYN can't happen; drop defensively.
+                    debug_assert!(false, "data for unknown receiver");
+                    return;
+                };
+                let before = receiver.delivered_segs();
+                let ooo_before = receiver.stats().out_of_order;
+                let ack = receiver.on_data(&pkt, now);
+                let after = receiver.delivered_segs();
+                let was_ooo = receiver.stats().out_of_order > ooo_before;
+
+                // Reordering time series per class.
+                if is_short {
+                    self.short_reorder.add(now, if was_ooo { 1.0 } else { 0.0 });
+                } else {
+                    self.long_reorder.add(now, if was_ooo { 1.0 } else { 0.0 });
+                    if after > before {
+                        let bytes = (after - before) as f64 * self.cfg.tcp.mss as f64;
+                        self.long_goodput.add(now, bytes);
+                    }
+                }
+
+                // Completion: every segment delivered in order.
+                if after >= self.total_segs[fi] && !self.completed[fi] {
+                    self.completed[fi] = true;
+                    self.n_completed += 1;
+                    self.fct.flow_completed(pkt.flow, now);
+                    // Closed-loop chain: launch the successor back-to-back.
+                    if let Some(nf) = self.next_flow[fi] {
+                        self.q.push(now, Event::FlowStart(nf));
+                    }
+                }
+                self.enqueue(PortRef::HostNic(h), ack, now);
+            }
+            PktKind::SynAck | PktKind::Ack => {
+                let mut out = std::mem::take(&mut self.out_buf);
+                if let Some(sender) = self.senders[fi].as_mut() {
+                    sender.on_packet(&pkt, now, &mut out);
+                }
+                self.process_outputs(pkt.flow.0, &mut out, now);
+                self.out_buf = out;
+            }
+            PktKind::Fin => {
+                // Connection teardown carries no data; flow counting
+                // happened at the leaf switch.
+            }
+        }
+    }
+
+    // ---- reporting ---------------------------------------------------
+
+    fn into_report(self, wall: std::time::Duration) -> RunReport {
+        let sim_end = self.q.now();
+        let dur = sim_end.as_secs_f64().max(1e-9);
+
+        let mut short = ClassCounters::default();
+        let mut long = ClassCounters::default();
+        for (i, spec) in self.flows.iter().enumerate() {
+            let c = if spec.size_bytes < self.cfg.short_threshold {
+                &mut short
+            } else {
+                &mut long
+            };
+            if let Some(s) = &self.senders[i] {
+                let st = s.stats();
+                c.data_sent += st.data_sent;
+                c.retransmits += st.retransmits;
+                c.timeouts += st.timeouts;
+                c.fast_retransmits += st.fast_retransmits;
+                c.dup_acks += st.dup_acks;
+            }
+            if let Some(r) = &self.receivers[i] {
+                let st = r.stats();
+                c.data_received += st.total_data;
+                c.out_of_order += st.out_of_order;
+            }
+        }
+
+        let uplink_utilization = self
+            .leaves
+            .iter()
+            .map(|l| {
+                l.up
+                    .iter()
+                    .map(|p| p.stats().busy.as_secs_f64() / dur)
+                    .collect()
+            })
+            .collect();
+
+        let mut drops = 0;
+        let mut marks = 0;
+        let mut count_port = |p: &OutPort| {
+            drops += p.stats().dropped;
+            marks += p.stats().marked;
+        };
+        self.host_nics.iter().for_each(&mut count_port);
+        for l in &self.leaves {
+            l.up.iter().for_each(&mut count_port);
+            l.down.iter().for_each(&mut count_port);
+        }
+        for s in &self.spines {
+            s.down.iter().for_each(&mut count_port);
+        }
+
+        let lb_state_final = self
+            .leaves
+            .iter()
+            .map(|l| l.lb.state_bytes())
+            .max()
+            .unwrap_or(0);
+
+        RunReport {
+            scheme: self.cfg.scheme.name().to_string(),
+            total_flows: self.flows.len(),
+            completed: self.n_completed,
+            fct_short: self.fct.summary(FlowClass::Short),
+            fct_long: self.fct.summary(FlowClass::Long),
+            fct: self.fct,
+            short,
+            long,
+            short_qlen: self.short_qlen,
+            long_qlen: self.long_qlen,
+            short_qdelay: self.short_qdelay,
+            short_reorder_series: self.short_reorder.means(),
+            long_reorder_series: self.long_reorder.means(),
+            long_goodput_series: self.long_goodput.rates(),
+            short_qdelay_series: self.short_qdelay_series.means(),
+            uplink_utilization,
+            drops,
+            marks,
+            lb_state_bytes_peak: self.lb_state_peak.max(lb_state_final),
+            qth_series: self.qth_series,
+            traces: self.traces,
+            queue_series: self.queue_series,
+            lb_decisions: self.lb_decisions,
+            events: self.events,
+            sim_end,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

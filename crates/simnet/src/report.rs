@@ -1,0 +1,254 @@
+//! The result of one simulation run.
+
+use tlb_engine::SimTime;
+use tlb_metrics::{FctRecorder, FctSummary, FlowClass, SampleSet};
+use tlb_net::{FlowId, PktKind};
+
+/// One point a traced packet passed through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hop {
+    /// Entered host `host`'s NIC queue.
+    HostNic {
+        /// Sending host index.
+        host: u32,
+    },
+    /// Entered a leaf's uplink queue — the load balancer's choice.
+    LeafUplink {
+        /// Leaf switch index.
+        leaf: u16,
+        /// Chosen spine/uplink index.
+        spine: u16,
+    },
+    /// Entered a leaf's host-facing downlink queue.
+    LeafDownlink {
+        /// Leaf switch index.
+        leaf: u16,
+        /// Local host slot.
+        slot: u16,
+    },
+    /// Entered a spine's leaf-facing downlink queue.
+    SpineDownlink {
+        /// Spine switch index.
+        spine: u16,
+        /// Destination leaf index.
+        leaf: u16,
+    },
+    /// Delivered to the destination host's endpoint.
+    Delivered {
+        /// Receiving host index.
+        host: u32,
+    },
+}
+
+/// One trace record: a packet of a traced flow entering a hop.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// The traced flow.
+    pub flow: FlowId,
+    /// Packet kind (Data/Ack/...).
+    pub kind: PktKind,
+    /// Segment or ack number.
+    pub seq: u32,
+    /// When the packet reached this hop.
+    pub at: SimTime,
+    /// Where it went.
+    pub hop: Hop,
+}
+
+/// Aggregated per-class transport counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassCounters {
+    /// Data segments received (any disposition).
+    pub data_received: u64,
+    /// Out-of-order arrivals at receivers (gap detected).
+    pub out_of_order: u64,
+    /// Duplicate ACKs observed by senders.
+    pub dup_acks: u64,
+    /// Data segments sent (first transmissions).
+    pub data_sent: u64,
+    /// Retransmissions.
+    pub retransmits: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Fast retransmits.
+    pub fast_retransmits: u64,
+}
+
+impl ClassCounters {
+    /// Fraction of received data segments that arrived out of order —
+    /// the paper's "reordering ratio" (Fig. 8(a)/9(a)).
+    pub fn reorder_ratio(&self) -> f64 {
+        if self.data_received == 0 {
+            0.0
+        } else {
+            self.out_of_order as f64 / self.data_received as f64
+        }
+    }
+
+    /// Duplicate ACKs per data segment sent — Fig. 3(b)'s metric.
+    pub fn dupack_ratio(&self) -> f64 {
+        if self.data_sent == 0 {
+            0.0
+        } else {
+            self.dup_acks as f64 / self.data_sent as f64
+        }
+    }
+}
+
+/// A flat, serializable digest of a run — what sweep scripts and the CLI's
+/// `--json` mode emit.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Flows launched / completed.
+    pub total_flows: usize,
+    /// Flows that delivered every byte.
+    pub completed: usize,
+    /// Mean short-flow FCT (seconds).
+    pub short_afct_s: f64,
+    /// 99th-percentile short-flow FCT (seconds).
+    pub short_p99_s: f64,
+    /// Fraction of deadline-carrying flows that missed.
+    pub deadline_miss: f64,
+    /// Mean long-flow goodput (bytes/second).
+    pub long_goodput_bps: f64,
+    /// Short-flow out-of-order arrival ratio.
+    pub short_reorder: f64,
+    /// Long-flow out-of-order arrival ratio.
+    pub long_reorder: f64,
+    /// Packets dropped.
+    pub drops: u64,
+    /// Packets ECN-marked.
+    pub marks: u64,
+    /// Mean leaf-uplink utilization.
+    pub mean_uplink_utilization: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Simulated duration (seconds).
+    pub sim_end_s: f64,
+    /// Wall-clock runtime (milliseconds).
+    pub wall_ms: u128,
+}
+
+/// Everything measured in one run. Time series carry
+/// `(bucket_start_seconds, value)` points.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Flows that were launched.
+    pub total_flows: usize,
+    /// Flows that delivered every byte.
+    pub completed: usize,
+    /// Short-flow FCT summary.
+    pub fct_short: FctSummary,
+    /// Long-flow FCT summary.
+    pub fct_long: FctSummary,
+    /// The full recorder, for CDFs (Fig. 3(c)).
+    pub fct: FctRecorder,
+    /// Transport counters per class.
+    pub short: ClassCounters,
+    /// Transport counters per class.
+    pub long: ClassCounters,
+    /// Uplink queue length (packets) seen by short-flow data at enqueue —
+    /// Fig. 3(a).
+    pub short_qlen: SampleSet,
+    /// Same for long-flow data.
+    pub long_qlen: SampleSet,
+    /// Per-hop queueing delay of short-flow data (seconds) — Fig. 8(b).
+    pub short_qdelay: SampleSet,
+    /// Instantaneous reorder ratio of short flows over time — Fig. 8(a).
+    pub short_reorder_series: Vec<(f64, f64)>,
+    /// Instantaneous reorder ratio of long flows — Fig. 9(a).
+    pub long_reorder_series: Vec<(f64, f64)>,
+    /// Aggregate long-flow goodput (bytes/s) over time — Fig. 9(b).
+    pub long_goodput_series: Vec<(f64, f64)>,
+    /// Mean queueing delay of short flows over time (seconds) — Fig. 8(b).
+    pub short_qdelay_series: Vec<(f64, f64)>,
+    /// Utilization of each leaf uplink: `busy_time / sim_duration`,
+    /// indexed `[leaf][uplink]` — Fig. 4(a).
+    pub uplink_utilization: Vec<Vec<f64>>,
+    /// Packets dropped at switch/host queues.
+    pub drops: u64,
+    /// Packets ECN-marked.
+    pub marks: u64,
+    /// Peak balancer state across leaves, in bytes (Fig. 15(b)).
+    pub lb_state_bytes_peak: usize,
+    /// TLB only: `(time_s, q_th_bytes)` at each granularity update.
+    pub qth_series: Vec<(f64, f64)>,
+    /// Per-packet LB decisions taken (≈ upstream packets).
+    pub lb_decisions: u64,
+    /// Path traces for [`crate::SimConfig::trace_flows`] (in time order).
+    pub traces: Vec<TraceEvent>,
+    /// With [`crate::SimConfig::sample_queues`]: `(time_s, qlen_pkts per
+    /// leaf-0 uplink)` sampled every series bucket.
+    pub queue_series: Vec<(f64, Vec<u32>)>,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Simulated time at which the run ended.
+    pub sim_end: SimTime,
+    /// Wall-clock runtime.
+    pub wall: std::time::Duration,
+}
+
+impl RunReport {
+    /// Mean long-flow goodput in bytes/second (completed long flows).
+    pub fn long_throughput(&self) -> f64 {
+        self.fct_long.mean_goodput
+    }
+
+    /// Mean utilization over all leaf uplinks.
+    pub fn mean_uplink_utilization(&self) -> f64 {
+        let all: Vec<f64> = self.uplink_utilization.iter().flatten().copied().collect();
+        if all.is_empty() {
+            0.0
+        } else {
+            all.iter().sum::<f64>() / all.len() as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{:<10} short: afct={:.3}ms p99={:.3}ms miss={:.1}% | long: gput={:.1}Mbps reord={:.3}% | done {}/{}",
+            self.scheme,
+            self.fct_short.afct * 1e3,
+            self.fct_short.p99 * 1e3,
+            self.fct_short.deadline_miss * 100.0,
+            self.long_throughput() * 8.0 / 1e6,
+            self.long.reorder_ratio() * 100.0,
+            self.completed,
+            self.total_flows,
+        )
+    }
+
+    /// Class summary accessor by enum.
+    pub fn summary(&self, class: FlowClass) -> &FctSummary {
+        match class {
+            FlowClass::Short => &self.fct_short,
+            FlowClass::Long => &self.fct_long,
+        }
+    }
+
+    /// The flat serializable digest of this run.
+    pub fn to_summary(&self) -> Summary {
+        Summary {
+            scheme: self.scheme.clone(),
+            total_flows: self.total_flows,
+            completed: self.completed,
+            short_afct_s: self.fct_short.afct,
+            short_p99_s: self.fct_short.p99,
+            deadline_miss: self.fct_short.deadline_miss,
+            long_goodput_bps: self.long_throughput(),
+            short_reorder: self.short.reorder_ratio(),
+            long_reorder: self.long.reorder_ratio(),
+            drops: self.drops,
+            marks: self.marks,
+            mean_uplink_utilization: self.mean_uplink_utilization(),
+            events: self.events,
+            sim_end_s: self.sim_end.as_secs_f64(),
+            wall_ms: self.wall.as_millis(),
+        }
+    }
+}

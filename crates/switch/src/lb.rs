@@ -1,0 +1,285 @@
+//! The load-balancer plug-in interface.
+//!
+//! A leaf switch delegates its uplink choice for every upstream packet to a
+//! [`LoadBalancer`]. The balancer only sees switch-local state — the
+//! [`PortView`] of uplink queues plus the packet itself — matching the
+//! deployment model of the paper (§3: "TLB is deployed at the switch,
+//! without any modifications on the end-hosts").
+
+use crate::port::OutPort;
+use tlb_engine::{SimRng, SimTime};
+use tlb_net::Packet;
+
+/// A read-only view of a leaf switch's uplink ports, handed to the balancer
+/// for each decision. Borrow-based: no per-packet allocation.
+#[derive(Clone, Copy)]
+pub struct PortView<'a> {
+    ports: &'a [OutPort],
+}
+
+impl<'a> PortView<'a> {
+    /// Wrap a slice of uplink ports.
+    pub fn new(ports: &'a [OutPort]) -> PortView<'a> {
+        PortView { ports }
+    }
+
+    /// Number of uplinks (= equal-cost paths from this leaf).
+    #[inline]
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Queue length of uplink `i` in packets.
+    #[inline]
+    pub fn qlen_pkts(&self, i: usize) -> usize {
+        self.ports[i].len_pkts()
+    }
+
+    /// Queue length of uplink `i` in bytes.
+    #[inline]
+    pub fn qlen_bytes(&self, i: usize) -> u64 {
+        self.ports[i].len_bytes()
+    }
+
+    /// Capacity of uplink `i` in bytes/second.
+    #[inline]
+    pub fn link_bytes_per_sec(&self, i: usize) -> u64 {
+        self.ports[i].link().bytes_per_sec
+    }
+
+    /// The uplink with the fewest queued bytes (lowest index on ties) —
+    /// the "shortest queue" both TLB rules route to.
+    pub fn shortest_bytes(&self) -> usize {
+        let mut best = 0;
+        let mut best_bytes = self.ports[0].len_bytes();
+        for (i, p) in self.ports.iter().enumerate().skip(1) {
+            let b = p.len_bytes();
+            if b < best_bytes {
+                best = i;
+                best_bytes = b;
+            }
+        }
+        best
+    }
+
+    /// The uplink with the fewest queued bytes, breaking ties uniformly at
+    /// random. Deterministic tie-breaking would herd every decision onto
+    /// the lowest-indexed port whenever queues equalize (the common case
+    /// under DCTCP's shallow queues), synchronizing flows onto one uplink —
+    /// the classic pitfall randomized "power of choices" schemes avoid.
+    pub fn shortest_bytes_rand(&self, rng: &mut tlb_engine::SimRng) -> usize {
+        let mut best = 0;
+        let mut best_bytes = self.ports[0].len_bytes();
+        let mut ties = 1u64;
+        for (i, p) in self.ports.iter().enumerate().skip(1) {
+            let b = p.len_bytes();
+            if b < best_bytes {
+                best = i;
+                best_bytes = b;
+                ties = 1;
+            } else if b == best_bytes {
+                // Reservoir sampling over the tied minima.
+                ties += 1;
+                if rng.gen_range(ties) == 0 {
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+
+    /// The uplink with the fewest queued packets (lowest index on ties).
+    pub fn shortest_pkts(&self) -> usize {
+        let mut best = 0;
+        let mut best_len = self.ports[0].len_pkts();
+        for (i, p) in self.ports.iter().enumerate().skip(1) {
+            let l = p.len_pkts();
+            if l < best_len {
+                best = i;
+                best_len = l;
+            }
+        }
+        best
+    }
+
+    /// Mean uplink capacity (bytes/s); TLB's model term `C` under (possibly
+    /// asymmetric) heterogeneous uplinks.
+    pub fn mean_capacity(&self) -> f64 {
+        let sum: u64 = self.ports.iter().map(|p| p.link().bytes_per_sec).sum();
+        sum as f64 / self.ports.len() as f64
+    }
+}
+
+/// A leaf-switch load-balancing scheme.
+///
+/// Implementations exist for the paper's baselines (`tlb-lb`: ECMP, RPS,
+/// Presto, LetFlow, DRILL, CONGA-lite) and for TLB itself (`tlb-core`).
+pub trait LoadBalancer: Send {
+    /// Human-readable scheme name, used in reports and figures.
+    fn name(&self) -> &'static str;
+
+    /// Pick the uplink for an upstream packet. Called for **every** packet a
+    /// local host sends through this leaf (data, ACKs of reverse flows, and
+    /// SYN/FIN control packets — the latter drive TLB's flow counting).
+    fn choose_uplink(
+        &mut self,
+        pkt: &Packet,
+        view: PortView<'_>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> usize;
+
+    /// Periodic control-plane work (e.g. TLB's granularity recomputation and
+    /// idle-flow sampling). Called every [`LoadBalancer::tick_interval`]
+    /// when that returns `Some`.
+    fn on_tick(&mut self, _view: PortView<'_>, _now: SimTime) {}
+
+    /// How often [`LoadBalancer::on_tick`] should run; `None` disables it.
+    fn tick_interval(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Bytes of switch state the scheme maintains right now (flow tables,
+    /// counters). Used to reproduce Fig. 15(b)'s memory-overhead comparison.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// The current long-flow switching threshold in bytes, for schemes that
+    /// have one (TLB). `None` for everything else; `Some(u64::MAX)` encodes
+    /// an infinite (pinning) threshold. Used by diagnostics and the Fig. 7
+    /// harness.
+    fn q_threshold(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::QueueCfg;
+    use tlb_net::{FlowId, HostId, LinkProps};
+
+    fn ports(lens: &[usize]) -> Vec<OutPort> {
+        let link = LinkProps::gbps(1.0, SimTime::ZERO);
+        let cfg = QueueCfg {
+            capacity_pkts: 1024,
+            ecn_threshold_pkts: None,
+        };
+        lens.iter()
+            .map(|&n| {
+                let mut p = OutPort::new(link, cfg);
+                for s in 0..n {
+                    p.enqueue(
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
+                        SimTime::ZERO,
+                    );
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shortest_picks_min() {
+        let ps = ports(&[3, 1, 2]);
+        let v = PortView::new(&ps);
+        assert_eq!(v.shortest_bytes(), 1);
+        assert_eq!(v.shortest_pkts(), 1);
+    }
+
+    #[test]
+    fn shortest_breaks_ties_low_index() {
+        let ps = ports(&[2, 1, 1]);
+        let v = PortView::new(&ps);
+        assert_eq!(v.shortest_bytes(), 1);
+    }
+
+    #[test]
+    fn view_reports_lengths() {
+        let ps = ports(&[0, 4]);
+        let v = PortView::new(&ps);
+        assert_eq!(v.n_ports(), 2);
+        assert_eq!(v.qlen_pkts(0), 0);
+        assert_eq!(v.qlen_pkts(1), 4);
+        assert_eq!(v.qlen_bytes(1), 6000);
+        assert_eq!(v.link_bytes_per_sec(0), 125_000_000);
+        assert_eq!(v.mean_capacity(), 125_000_000.0);
+    }
+}
+
+#[cfg(test)]
+mod rand_tiebreak_tests {
+    use super::*;
+    use crate::port::QueueCfg;
+    use tlb_engine::SimRng;
+    use tlb_net::{FlowId, HostId, LinkProps, Packet};
+
+    fn ports(lens: &[usize]) -> Vec<OutPort> {
+        let link = LinkProps::gbps(1.0, SimTime::ZERO);
+        let cfg = QueueCfg {
+            capacity_pkts: 1024,
+            ecn_threshold_pkts: None,
+        };
+        lens.iter()
+            .map(|&n| {
+                let mut p = OutPort::new(link, cfg);
+                for s in 0..n {
+                    p.enqueue(
+                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        SimTime::ZERO,
+                    );
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rand_tiebreak_is_uniform_over_minima() {
+        // Ports 1, 3, 4 tie at the minimum: each should win ~1/3 of calls.
+        let ps = ports(&[5, 2, 7, 2, 2]);
+        let v = PortView::new(&ps);
+        let mut rng = SimRng::new(42);
+        let mut counts = [0usize; 5];
+        let n = 9000;
+        for _ in 0..n {
+            counts[v.shortest_bytes_rand(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        for &i in &[1usize, 3, 4] {
+            assert!(
+                (2500..3500).contains(&counts[i]),
+                "port {i} won {} of {n}: {counts:?}",
+                counts[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rand_tiebreak_unique_minimum_is_deterministic() {
+        let ps = ports(&[4, 1, 9]);
+        let v = PortView::new(&ps);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(v.shortest_bytes_rand(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn rand_tiebreak_single_port() {
+        let ps = ports(&[3]);
+        let v = PortView::new(&ps);
+        let mut rng = SimRng::new(2);
+        assert_eq!(v.shortest_bytes_rand(&mut rng), 0);
+    }
+}

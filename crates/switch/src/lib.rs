@@ -1,0 +1,17 @@
+//! # tlb-switch — the output-queued switch model
+//!
+//! Switches in the TLB reproduction are output-queued: every output port owns
+//! one FIFO [`OutPort`] with drop-tail admission and DCTCP-style
+//! instantaneous ECN marking. Load-balancing schemes plug into the leaf
+//! switch through the [`LoadBalancer`] trait, deciding which uplink each
+//! upstream packet takes based on a [`PortView`] of the local uplink queues —
+//! exactly the switch-local information the paper's designs (TLB, DRILL,
+//! LetFlow...) assume.
+
+pub mod flowmap;
+pub mod lb;
+pub mod port;
+
+pub use flowmap::FlowMap;
+pub use lb::{LoadBalancer, PortView};
+pub use port::{Enqueued, OutPort, PortStats, QueueCfg};

@@ -1,0 +1,400 @@
+//! One output port: FIFO queue + drop-tail + ECN marking + counters.
+
+use std::collections::VecDeque;
+use tlb_engine::{time::tx_time, SimTime};
+use tlb_net::{LinkProps, Packet};
+
+/// Queue admission/marking configuration for a port.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueCfg {
+    /// Drop-tail capacity in packets (the paper uses 256 or 512).
+    pub capacity_pkts: usize,
+    /// DCTCP marking threshold `K` in packets: an ECN-capable packet is
+    /// marked CE when, at enqueue, the queue already holds at least this
+    /// many packets. `None` disables marking (plain drop-tail TCP).
+    pub ecn_threshold_pkts: Option<usize>,
+}
+
+impl QueueCfg {
+    /// The paper's NS2 setup: 256-packet buffer, DCTCP `K = 20` (the
+    /// standard marking threshold for 1 Gbit/s links).
+    pub fn paper_default() -> QueueCfg {
+        QueueCfg {
+            capacity_pkts: 256,
+            ecn_threshold_pkts: Some(20),
+        }
+    }
+}
+
+/// Result of offering a packet to a port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enqueued {
+    /// Packet admitted. `marked` reports ECN CE marking; `was_idle` tells
+    /// the caller the port had no packet in service or queued before this
+    /// one, i.e. serialization of this packet should be scheduled now.
+    Queued { marked: bool, was_idle: bool },
+    /// Queue full; the packet was dropped.
+    Dropped,
+}
+
+/// Lifetime counters for one port.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets rejected by drop-tail.
+    pub dropped: u64,
+    /// Packets that received a CE mark here.
+    pub marked: u64,
+    /// Bytes fully serialized onto the wire.
+    pub bytes_tx: u64,
+    /// Packets fully serialized onto the wire.
+    pub pkts_tx: u64,
+    /// Time the transmitter spent busy (for utilization).
+    pub busy: SimTime,
+    /// Peak queue length observed at enqueue time, in packets.
+    pub peak_qlen_pkts: usize,
+}
+
+/// An output port: a FIFO of packets plus its outgoing link.
+///
+/// The port does not schedule events itself — the simulation driver calls
+/// [`OutPort::start_service`] / [`OutPort::finish_service`] around the
+/// serialization events it schedules, so the port stays a pure data
+/// structure that is easy to test.
+#[derive(Debug)]
+pub struct OutPort {
+    link: LinkProps,
+    cfg: QueueCfg,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// True while a packet is being serialized (it has been popped from
+    /// `queue` but its last bit has not left yet).
+    serializing: bool,
+    stats: PortStats,
+}
+
+impl OutPort {
+    /// A fresh, idle port on the given link.
+    pub fn new(link: LinkProps, cfg: QueueCfg) -> OutPort {
+        OutPort {
+            link,
+            cfg,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            serializing: false,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// The outgoing link's properties.
+    #[inline]
+    pub fn link(&self) -> LinkProps {
+        self.link
+    }
+
+    /// Replace the link's properties mid-run (failure/degradation
+    /// injection). Affects packets serialized from now on; the packet
+    /// currently on the wire keeps its old timing.
+    pub fn set_link(&mut self, link: LinkProps) {
+        self.link = link;
+    }
+
+    /// Queue length in packets (excluding the packet in service).
+    #[inline]
+    pub fn len_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue length in bytes (excluding the packet in service).
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// True when nothing is queued or being serialized.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && !self.serializing
+    }
+
+    /// Serialization time of a packet of `bytes` on this port's link.
+    #[inline]
+    pub fn tx_time(&self, bytes: u64) -> SimTime {
+        tx_time(bytes, self.link.bytes_per_sec)
+    }
+
+    /// Offer a packet. Applies drop-tail admission and ECN marking, stamps
+    /// `enqueued_at`, and reports whether the caller must kick off
+    /// serialization (`was_idle`).
+    pub fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueued {
+        if self.queue.len() >= self.cfg.capacity_pkts {
+            self.stats.dropped += 1;
+            return Enqueued::Dropped;
+        }
+        let mut marked = false;
+        if let Some(k) = self.cfg.ecn_threshold_pkts {
+            if pkt.ecn_capable() && self.queue.len() >= k {
+                pkt.mark_ce();
+                marked = true;
+                self.stats.marked += 1;
+            }
+        }
+        pkt.enqueued_at = now;
+        let was_idle = self.is_idle();
+        self.queued_bytes += pkt.wire_bytes as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued += 1;
+        self.stats.peak_qlen_pkts = self.stats.peak_qlen_pkts.max(self.queue.len());
+        Enqueued::Queued { marked, was_idle }
+    }
+
+    /// Take the head packet and mark the transmitter busy. The caller
+    /// schedules the end-of-serialization event `tx_time(pkt)` later and
+    /// then calls [`OutPort::finish_service`].
+    ///
+    /// Panics if called while already serializing (a driver bug).
+    pub fn start_service(&mut self) -> Option<Packet> {
+        assert!(!self.serializing, "start_service while busy");
+        let pkt = self.queue.pop_front()?;
+        self.queued_bytes -= pkt.wire_bytes as u64;
+        self.serializing = true;
+        Some(pkt)
+    }
+
+    /// Mark the in-flight packet fully serialized and account for it.
+    /// Returns `true` if more packets are waiting (the caller should start
+    /// the next service immediately).
+    pub fn finish_service(&mut self, pkt: &Packet) -> bool {
+        debug_assert!(self.serializing, "finish_service while idle");
+        self.serializing = false;
+        self.stats.bytes_tx += pkt.wire_bytes as u64;
+        self.stats.pkts_tx += 1;
+        self.stats.busy += self.tx_time(pkt.wire_bytes as u64);
+        !self.queue.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[inline]
+    pub fn stats(&self) -> &PortStats {
+        &self.stats
+    }
+
+    /// Queueing delay the head-of-line packet has accumulated so far.
+    pub fn head_wait(&self, now: SimTime) -> Option<SimTime> {
+        self.queue.front().map(|p| now.saturating_sub(p.enqueued_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tlb_net::{FlowId, HostId};
+
+    fn link() -> LinkProps {
+        LinkProps::gbps(1.0, SimTime::from_micros(10))
+    }
+
+    fn data(seq: u32) -> Packet {
+        Packet::data(
+            FlowId(1),
+            HostId(0),
+            HostId(1),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
+    }
+
+    fn cfg(cap: usize, k: Option<usize>) -> QueueCfg {
+        QueueCfg {
+            capacity_pkts: cap,
+            ecn_threshold_pkts: k,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        for s in 0..5 {
+            p.enqueue(data(s), SimTime::ZERO);
+        }
+        for s in 0..5 {
+            let pkt = p.start_service().unwrap();
+            assert_eq!(pkt.seq, s);
+            p.finish_service(&pkt);
+        }
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn drop_tail_at_capacity() {
+        let mut p = OutPort::new(link(), cfg(3, None));
+        for s in 0..3 {
+            assert!(matches!(
+                p.enqueue(data(s), SimTime::ZERO),
+                Enqueued::Queued { .. }
+            ));
+        }
+        assert_eq!(p.enqueue(data(3), SimTime::ZERO), Enqueued::Dropped);
+        assert_eq!(p.stats().dropped, 1);
+        assert_eq!(p.len_pkts(), 3);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let mut p = OutPort::new(link(), cfg(16, Some(2)));
+        // Queue occupancies at enqueue: 0, 1 (no mark), 2, 3 (marked).
+        for s in 0..4 {
+            let r = p.enqueue(data(s), SimTime::ZERO);
+            let expect_mark = s >= 2;
+            assert_eq!(
+                r,
+                Enqueued::Queued {
+                    marked: expect_mark,
+                    was_idle: s == 0
+                }
+            );
+        }
+        assert_eq!(p.stats().marked, 2);
+        // The CE bit is actually on the queued packets.
+        let mut ce = 0;
+        while let Some(pkt) = p.start_service() {
+            if pkt.ce() {
+                ce += 1;
+            }
+            p.finish_service(&pkt);
+        }
+        assert_eq!(ce, 2);
+    }
+
+    #[test]
+    fn non_ecn_capable_never_marked() {
+        let mut p = OutPort::new(link(), cfg(16, Some(0)));
+        let mut ctrl = Packet::control(
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            tlb_net::PktKind::Ack,
+            0,
+            SimTime::ZERO,
+        );
+        ctrl.flags = tlb_net::packet::PktFlags::empty();
+        assert_eq!(
+            p.enqueue(ctrl, SimTime::ZERO),
+            Enqueued::Queued {
+                marked: false,
+                was_idle: true
+            }
+        );
+        assert_eq!(p.stats().marked, 0);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_queue() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        p.enqueue(data(0), SimTime::ZERO);
+        p.enqueue(data(1), SimTime::ZERO);
+        assert_eq!(p.len_bytes(), 3000);
+        let pkt = p.start_service().unwrap();
+        assert_eq!(p.len_bytes(), 1500);
+        p.finish_service(&pkt);
+        assert_eq!(p.len_bytes(), 1500);
+    }
+
+    #[test]
+    fn was_idle_only_when_fully_idle() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        let r0 = p.enqueue(data(0), SimTime::ZERO);
+        assert_eq!(
+            r0,
+            Enqueued::Queued {
+                marked: false,
+                was_idle: true
+            }
+        );
+        let pkt = p.start_service().unwrap();
+        // While serializing, the queue is empty but the port is not idle.
+        let r1 = p.enqueue(data(1), SimTime::ZERO);
+        assert_eq!(
+            r1,
+            Enqueued::Queued {
+                marked: false,
+                was_idle: false
+            }
+        );
+        assert!(p.finish_service(&pkt), "one more packet waits");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        p.enqueue(data(0), SimTime::ZERO);
+        let pkt = p.start_service().unwrap();
+        p.finish_service(&pkt);
+        // 1500 B at 1 Gbit/s = 12 us.
+        assert_eq!(p.stats().busy, SimTime::from_micros(12));
+        assert_eq!(p.stats().bytes_tx, 1500);
+        assert_eq!(p.stats().pkts_tx, 1);
+    }
+
+    #[test]
+    fn head_wait_measures_queueing() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        assert_eq!(p.head_wait(SimTime::from_micros(5)), None);
+        p.enqueue(data(0), SimTime::from_micros(2));
+        assert_eq!(
+            p.head_wait(SimTime::from_micros(5)),
+            Some(SimTime::from_micros(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start_service while busy")]
+    fn double_service_panics() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        p.enqueue(data(0), SimTime::ZERO);
+        p.enqueue(data(1), SimTime::ZERO);
+        let _ = p.start_service();
+        let _ = p.start_service();
+    }
+
+    proptest! {
+        /// Under any interleaving of enqueues and services, byte/packet
+        /// accounting stays consistent and drop-tail is never exceeded.
+        #[test]
+        fn prop_accounting(ops in proptest::collection::vec(0u8..3, 1..200)) {
+            let mut p = OutPort::new(link(), cfg(8, Some(4)));
+            let mut in_service: Option<Packet> = None;
+            let mut seq = 0u32;
+            for op in ops {
+                match op {
+                    0 | 1 => {
+                        let before = p.len_pkts();
+                        let r = p.enqueue(data(seq), SimTime::ZERO);
+                        seq += 1;
+                        match r {
+                            Enqueued::Queued { .. } => prop_assert_eq!(p.len_pkts(), before + 1),
+                            Enqueued::Dropped => {
+                                prop_assert_eq!(before, 8);
+                                prop_assert_eq!(p.len_pkts(), 8);
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(pkt) = in_service.take() {
+                            p.finish_service(&pkt);
+                        } else {
+                            in_service = p.start_service();
+                        }
+                    }
+                }
+                let bytes: u64 = (0..p.len_pkts()).map(|_| 1500u64).sum();
+                prop_assert_eq!(p.len_bytes(), bytes);
+                prop_assert!(p.len_pkts() <= 8);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the transport state machines: no input sequence —
+//! however adversarial — may violate the TCP invariants.
+
+use crate::config::TcpConfig;
+use crate::receiver::TcpReceiver;
+use crate::sender::{SenderOutput, TcpSender};
+use proptest::prelude::*;
+use tlb_engine::{SimRng, SimTime};
+use tlb_net::{packet::PktFlags, FlowId, HostId, Packet, PktKind};
+
+fn ack(seq: u32, ece: bool, now: SimTime) -> Packet {
+    let mut a = Packet::control(FlowId(1), HostId(9), HostId(0), PktKind::Ack, seq, now);
+    a.flags.set(PktFlags::ECE, ece);
+    a
+}
+
+fn synack(now: SimTime) -> Packet {
+    Packet::control(FlowId(1), HostId(9), HostId(0), PktKind::SynAck, 0, now)
+}
+
+proptest! {
+    /// Feeding the sender an arbitrary stream of ACK numbers (valid,
+    /// stale, duplicated, or beyond what was sent — a byzantine receiver)
+    /// must never panic, never shrink snd_una, and never push the
+    /// congestion window below 1 segment.
+    #[test]
+    fn prop_sender_survives_byzantine_acks(
+        acks in proptest::collection::vec((0u32..200, any::<bool>()), 1..300),
+        size_segs in 1u64..150,
+    ) {
+        let mut s = TcpSender::new(
+            TcpConfig::dctcp_default(),
+            FlowId(1),
+            HostId(0),
+            HostId(9),
+            size_segs * 1460,
+        );
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        s.start(now, &mut out);
+        now += SimTime::from_micros(100);
+        out.clear();
+        s.on_packet(&synack(now), now, &mut out);
+        let mut last_una = 0;
+        for (a, ece) in acks {
+            now += SimTime::from_micros(10);
+            out.clear();
+            s.on_packet(&ack(a, ece, now), now, &mut out);
+            prop_assert!(s.acked_segs() >= last_una, "snd_una went backwards");
+            last_una = s.acked_segs();
+            prop_assert!(s.cwnd() >= 1.0, "cwnd {} < 1", s.cwnd());
+            prop_assert!((0.0..=1.0).contains(&s.alpha()), "alpha {}", s.alpha());
+            // Everything it sends stays within the sequence space.
+            for o in &out {
+                if let SenderOutput::Send(p) = o {
+                    if p.kind == PktKind::Data {
+                        prop_assert!(p.seq < size_segs as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Random timer fires interleaved with valid cumulative ACKs: the
+    /// transfer state stays consistent and the RTO never exceeds its cap.
+    #[test]
+    fn prop_sender_timers_and_acks(
+        script in proptest::collection::vec(any::<bool>(), 1..200),
+        size_segs in 1u64..100,
+    ) {
+        let cfg = TcpConfig::dctcp_default();
+        let mut s = TcpSender::new(cfg, FlowId(1), HostId(0), HostId(9), size_segs * 1460);
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        s.start(now, &mut out);
+        now += SimTime::from_micros(100);
+        out.clear();
+        s.on_packet(&synack(now), now, &mut out);
+        let mut next_ack = 1u32;
+        for fire_timer in script {
+            if s.is_finished() {
+                break;
+            }
+            if fire_timer {
+                now += s.rto() + SimTime::from_micros(1);
+                out.clear();
+                s.on_timer(now, &mut out);
+            } else {
+                now += SimTime::from_micros(50);
+                out.clear();
+                s.on_packet(&ack(next_ack, false, now), now, &mut out);
+                next_ack = (next_ack + 1).min(size_segs as u32);
+            }
+            prop_assert!(s.rto() <= cfg.max_rto);
+            prop_assert!(s.rto() >= cfg.min_rto);
+            prop_assert!(s.cwnd() >= 1.0);
+        }
+    }
+
+    /// The receiver's cumulative pointer never exceeds the highest
+    /// contiguous prefix, whatever arrives (including far-future seqs).
+    #[test]
+    fn prop_receiver_cumulative_invariant(
+        seqs in proptest::collection::vec(0u32..1000, 1..300),
+    ) {
+        let mut r = TcpReceiver::new(FlowId(1), HostId(9), HostId(0));
+        let mut delivered = std::collections::HashSet::new();
+        for s in seqs {
+            let pkt = Packet::data(FlowId(1), HostId(0), HostId(9), s, 1460, 40, SimTime::ZERO);
+            let a = r.on_data(&pkt, SimTime::ZERO);
+            delivered.insert(s);
+            // ACK always equals rcv_nxt and rcv_nxt == contiguous prefix.
+            let mut prefix = 0;
+            while delivered.contains(&prefix) {
+                prefix += 1;
+            }
+            prop_assert_eq!(a.seq, prefix);
+            prop_assert_eq!(r.delivered_segs(), prefix);
+        }
+    }
+
+    /// Loopback with an arbitrary loss pattern always completes, and the
+    /// receiver never delivers a byte twice (delivered == total exactly).
+    #[test]
+    fn prop_lossy_loopback_completes(
+        seed in 0u64..5000,
+        loss_pct in 0u32..30,
+        segs in 1u64..80,
+    ) {
+        let mut s = TcpSender::new(
+            TcpConfig::dctcp_default(),
+            FlowId(1),
+            HostId(0),
+            HostId(9),
+            segs * 1460,
+        );
+        let mut r = TcpReceiver::new(FlowId(1), HostId(9), HostId(0));
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::new();
+        let mut pending: Vec<SenderOutput> = Vec::new();
+        let mut deadline = None;
+        s.start(now, &mut out);
+        pending.append(&mut out);
+        let mut steps = 0u64;
+        while !s.is_finished() {
+            steps += 1;
+            prop_assert!(steps < 500_000, "no convergence");
+            if pending.is_empty() {
+                let d: SimTime = deadline.expect("stall without timer");
+                now = now.max(d);
+                s.on_timer(now, &mut out);
+                pending.append(&mut out);
+                continue;
+            }
+            match pending.remove(0) {
+                SenderOutput::ArmTimer { deadline: d } => deadline = Some(d),
+                SenderOutput::Finished => {}
+                SenderOutput::Send(pkt) => {
+                    now += SimTime::from_micros(5);
+                    match pkt.kind {
+                        PktKind::Syn => {
+                            let sa = r.on_syn(now);
+                            s.on_packet(&sa, now, &mut out);
+                            pending.append(&mut out);
+                        }
+                        PktKind::Data if rng.gen_range(100) >= loss_pct as u64 => {
+                            let a = r.on_data(&pkt, now);
+                            s.on_packet(&a, now, &mut out);
+                            pending.append(&mut out);
+                        }
+                        PktKind::Fin => {}
+                        _ => {}
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(r.delivered_segs() as u64, segs);
+    }
+}

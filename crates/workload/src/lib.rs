@@ -1,0 +1,23 @@
+//! # tlb-workload — data-center traffic generation
+//!
+//! The traffic the paper evaluates on:
+//!
+//! * §6.1 basic mix: 100 short flows (< 100 KB) + a few long flows
+//!   (> 10 MB) on one leaf pair — [`basic_mix`].
+//! * §6.2 large-scale: Poisson arrivals between random host pairs with the
+//!   heavy-tailed **web search** (DCTCP) and **data mining** (VL2)
+//!   flow-size distributions, load swept 0.1–0.8 — [`PoissonWorkload`].
+//! * short-flow deadlines drawn uniformly from a range (§4.2: [5 ms, 25 ms];
+//!   §7 testbed: [2 s, 6 s]).
+
+pub mod mix;
+pub mod permutation;
+pub mod poisson;
+pub mod sizes;
+pub mod spec;
+
+pub use mix::{basic_mix, sustained_mix, BasicMixConfig};
+pub use permutation::permutation;
+pub use poisson::PoissonWorkload;
+pub use sizes::{data_mining, web_search, FixedBytes, PiecewiseCdf, SizeDist, UniformBytes};
+pub use spec::FlowSpec;

@@ -1,0 +1,322 @@
+//! Flow-size distributions.
+//!
+//! The two production traces the paper's §6.2 uses, encoded as piecewise
+//! CDFs with log-linear interpolation (the standard encoding used by the
+//! pFabric/DCTCP/VL2 line of papers):
+//!
+//! * [`web_search`] — the DCTCP web-search workload. Matches the paper's
+//!   "about 30% flows are larger than 1 MB".
+//! * [`data_mining`] — the VL2 data-mining workload. Matches the paper's
+//!   "less than 5% flows larger than 35 MB".
+//!
+//! Both are heavy-tailed: ≈90 % of bytes come from ≈10 % of flows.
+
+use tlb_engine::SimRng;
+
+/// A sampleable flow-size distribution.
+pub trait SizeDist {
+    /// Draw one flow size in bytes.
+    fn sample(&self, rng: &mut SimRng) -> u64;
+    /// The distribution mean in bytes.
+    fn mean(&self) -> f64;
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A piecewise-linear CDF over flow sizes, interpolated in log-size space
+/// (sizes span 5+ orders of magnitude, so linear-in-log is the natural
+/// interpolation).
+#[derive(Clone, Debug)]
+pub struct PiecewiseCdf {
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in both.
+    points: Vec<(f64, f64)>,
+    name: &'static str,
+    mean: f64,
+}
+
+impl PiecewiseCdf {
+    /// Build from `(bytes, cdf)` control points. The last point must have
+    /// cdf = 1.0; the first point's cdf may be > 0 (an atom at the minimum
+    /// size).
+    pub fn new(name: &'static str, points: Vec<(f64, f64)>) -> PiecewiseCdf {
+        assert!(points.len() >= 2, "need at least 2 CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must increase: {points:?}");
+            assert!(w[0].1 <= w[1].1, "cdf must not decrease: {points:?}");
+        }
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "cdf must end at 1.0"
+        );
+        assert!(points[0].0 >= 1.0, "sizes must be at least 1 byte");
+        let mean = Self::numeric_mean(&points);
+        PiecewiseCdf { points, name, mean }
+    }
+
+    /// Mean by integrating the interpolated inverse CDF.
+    fn numeric_mean(points: &[(f64, f64)]) -> f64 {
+        // E[X] = ∫0..1 Q(p) dp, approximated on a fine grid.
+        let n = 20_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            acc += Self::quantile_of(points, p);
+        }
+        acc / n as f64
+    }
+
+    fn quantile_of(points: &[(f64, f64)], p: f64) -> f64 {
+        let first = points[0];
+        if p <= first.1 {
+            return first.0;
+        }
+        for w in points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if p <= p1 {
+                if p1 == p0 {
+                    return x1;
+                }
+                let frac = (p - p0) / (p1 - p0);
+                // Log-linear interpolation between the two sizes.
+                let lx = x0.ln() + frac * (x1.ln() - x0.ln());
+                return lx.exp();
+            }
+        }
+        points.last().unwrap().0
+    }
+
+    /// The size at quantile `p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        Self::quantile_of(&self.points, p.clamp(0.0, 1.0))
+    }
+
+    /// Fraction of flows larger than `bytes`.
+    pub fn frac_larger_than(&self, bytes: f64) -> f64 {
+        // Invert by scanning quantiles (points are few).
+        let mut lo = 0.0;
+        let mut hi = 1.0;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.quantile(mid) < bytes {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        1.0 - lo
+    }
+}
+
+impl SizeDist for PiecewiseCdf {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        (self.quantile(rng.f64()).round() as u64).max(1)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The DCTCP web-search flow-size distribution (as tabulated in the pFabric
+/// line of work). ~30 % of flows exceed 1 MB; mean ≈ 1.6 MB.
+pub fn web_search() -> PiecewiseCdf {
+    PiecewiseCdf::new(
+        "web-search",
+        vec![
+            (6_000.0, 0.15),
+            (13_000.0, 0.2),
+            (19_000.0, 0.3),
+            (33_000.0, 0.4),
+            (53_000.0, 0.53),
+            (133_000.0, 0.6),
+            (667_000.0, 0.7),
+            (1_333_000.0, 0.8),
+            (3_333_000.0, 0.9),
+            (6_667_000.0, 0.97),
+            (20_000_000.0, 1.0),
+        ],
+    )
+}
+
+/// The VL2 data-mining flow-size distribution. A huge mass of tiny flows
+/// with a very long tail; < 5 % of flows exceed 35 MB; ~80 % are under
+/// 125 kB.
+pub fn data_mining() -> PiecewiseCdf {
+    PiecewiseCdf::new(
+        "data-mining",
+        vec![
+            (100.0, 0.03),
+            (180.0, 0.1),
+            (250.0, 0.2),
+            (560.0, 0.3),
+            (900.0, 0.4),
+            (1_100.0, 0.5),
+            (60_000.0, 0.6),
+            (80_000.0, 0.7),
+            (125_000.0, 0.8),
+            (570_000.0, 0.9),
+            (1_580_000.0, 0.95),
+            (30_000_000.0, 0.98),
+            (66_000_000.0, 1.0),
+        ],
+    )
+}
+
+/// Uniform size in `[lo, hi]` bytes — used for the §6.1 basic mix's
+/// "random size of less than 100 KB" short flows.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformBytes {
+    /// Smallest size (inclusive).
+    pub lo: u64,
+    /// Largest size (inclusive).
+    pub hi: u64,
+}
+
+impl SizeDist for UniformBytes {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        assert!(self.hi >= self.lo);
+        self.lo + rng.gen_range(self.hi - self.lo + 1)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) as f64 / 2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// A constant size.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedBytes(pub u64);
+
+impl SizeDist for FixedBytes {
+    fn sample(&self, _rng: &mut SimRng) -> u64 {
+        self.0
+    }
+
+    fn mean(&self) -> f64 {
+        self.0 as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_search_matches_paper_claims() {
+        let d = web_search();
+        // Paper §6.2: "about 30% flows are larger than 1MB".
+        let frac = d.frac_larger_than(1_000_000.0);
+        assert!(
+            (0.2..=0.4).contains(&frac),
+            "P(>1MB) = {frac}, expected ~0.3"
+        );
+        // Heavy-tailed mean in the low-MB range.
+        assert!(
+            (500_000.0..3_000_000.0).contains(&d.mean()),
+            "mean {} out of range",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn data_mining_matches_paper_claims() {
+        let d = data_mining();
+        // Paper §6.2: "less than 5% flows larger than 35MB".
+        let frac = d.frac_larger_than(35_000_000.0);
+        assert!(frac < 0.05, "P(>35MB) = {frac}");
+        // And ~80% below 125 kB.
+        let small = 1.0 - d.frac_larger_than(125_000.0);
+        assert!((0.7..=0.9).contains(&small), "P(<125kB) = {small}");
+    }
+
+    #[test]
+    fn sampling_tracks_quantiles() {
+        let d = web_search();
+        let mut rng = SimRng::new(42);
+        let n = 200_000;
+        let big = (0..n)
+            .filter(|_| d.sample(&mut rng) > 1_000_000)
+            .count() as f64
+            / n as f64;
+        let expected = d.frac_larger_than(1_000_000.0);
+        assert!(
+            (big - expected).abs() < 0.01,
+            "sampled {big}, analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn sample_mean_matches_numeric_mean() {
+        let d = data_mining();
+        let mut rng = SimRng::new(7);
+        let n = 400_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let rel = (mean - d.mean()).abs() / d.mean();
+        assert!(rel < 0.05, "sample mean {mean} vs numeric {}", d.mean());
+    }
+
+    #[test]
+    fn heavy_tail_byte_concentration() {
+        // ~90% of bytes from ~10-30% of flows (paper §1).
+        let d = web_search();
+        let mut rng = SimRng::new(3);
+        let mut sizes: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        sizes.sort_unstable();
+        let total: u64 = sizes.iter().sum();
+        let top10pct: u64 = sizes[sizes.len() * 9 / 10..].iter().sum();
+        let share = top10pct as f64 / total as f64;
+        assert!(share > 0.5, "top-10% flows carry {share} of bytes");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = UniformBytes { lo: 40_000, hi: 100_000 };
+        assert_eq!(d.mean(), 70_000.0);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((40_000..=100_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let d = FixedBytes(10_000_000);
+        let mut rng = SimRng::new(1);
+        assert_eq!(d.sample(&mut rng), 10_000_000);
+        assert_eq!(d.mean(), 10_000_000.0);
+    }
+
+    #[test]
+    fn quantile_clamps() {
+        let d = web_search();
+        assert_eq!(d.quantile(-0.5), d.quantile(0.0));
+        assert_eq!(d.quantile(1.5), d.quantile(1.0));
+        assert!(d.quantile(0.0) <= d.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cdf must end at 1.0")]
+    fn rejects_incomplete_cdf() {
+        let _ = PiecewiseCdf::new("bad", vec![(1.0, 0.1), (2.0, 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must increase")]
+    fn rejects_unsorted_sizes() {
+        let _ = PiecewiseCdf::new("bad", vec![(10.0, 0.1), (5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,97 @@
+//! One flow's specification, as produced by the generators.
+
+use tlb_engine::SimTime;
+use tlb_net::{FlowId, HostId};
+
+/// Everything the simulator needs to launch one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Dense id, assigned in arrival order.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Payload size in bytes.
+    pub size_bytes: u64,
+    /// Absolute start time.
+    pub start: SimTime,
+    /// Completion deadline as a duration from `start` (the paper assigns
+    /// deadlines to short flows only).
+    pub deadline: Option<SimTime>,
+}
+
+impl FlowSpec {
+    /// True when this flow counts as short under `threshold` bytes.
+    pub fn is_short(&self, threshold: u64) -> bool {
+        self.size_bytes < threshold
+    }
+}
+
+/// Sanity-check a batch of specs: dense ids from 0, src != dst, positive
+/// sizes, sorted by start time. Generators call this in debug builds; tests
+/// call it directly.
+pub fn validate_specs(specs: &[FlowSpec]) -> Result<(), String> {
+    for (i, s) in specs.iter().enumerate() {
+        if s.id.index() != i {
+            return Err(format!("non-dense flow id at {i}: {}", s.id));
+        }
+        if s.src == s.dst {
+            return Err(format!("flow {} sends to itself", s.id));
+        }
+        if s.size_bytes == 0 {
+            return Err(format!("flow {} has zero size", s.id));
+        }
+        if i > 0 && specs[i - 1].start > s.start {
+            return Err(format!("flows not sorted by start at {i}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u32, start_us: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src: HostId(0),
+            dst: HostId(1),
+            size_bytes: 1000,
+            start: SimTime::from_micros(start_us),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn is_short_threshold() {
+        let mut s = spec(0, 0);
+        s.size_bytes = 99_999;
+        assert!(s.is_short(100_000));
+        s.size_bytes = 100_000;
+        assert!(!s.is_short(100_000));
+    }
+
+    #[test]
+    fn validate_accepts_good_batch() {
+        let specs = vec![spec(0, 0), spec(1, 5), spec(2, 5)];
+        validate_specs(&specs).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_batches() {
+        // Non-dense ids.
+        assert!(validate_specs(&[spec(1, 0)]).is_err());
+        // Unsorted starts.
+        assert!(validate_specs(&[spec(0, 10), spec(1, 5)]).is_err());
+        // Self-send.
+        let mut s = spec(0, 0);
+        s.dst = s.src;
+        assert!(validate_specs(&[s]).is_err());
+        // Zero size.
+        let mut z = spec(0, 0);
+        z.size_bytes = 0;
+        assert!(validate_specs(&[z]).is_err());
+    }
+}

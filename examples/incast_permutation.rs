@@ -1,0 +1,76 @@
+//! Two classic data-center stress patterns on the simulator:
+//!
+//! 1. **Incast** — N senders answer one aggregator simultaneously; the
+//!    receiver's access link melts. DCTCP's ECN marking keeps the queue
+//!    shallow; the load balancer barely matters (single downlink
+//!    bottleneck).
+//! 2. **Permutation** — every host sends to a distinct remote host; the
+//!    fabric is the bottleneck and the balancer is everything. ECMP's hash
+//!    collisions strand capacity; TLB/RPS recover it.
+//!
+//! ```sh
+//! cargo run --release --example incast_permutation
+//! ```
+
+use tlb::prelude::*;
+use tlb::workload::permutation::permutation;
+use tlb::workload::FixedBytes;
+
+fn main() {
+    // --- Part 1: incast -------------------------------------------------
+    println!("== incast: 24 responses of 256 kB into one aggregator ==\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8}",
+        "scheme", "AFCT(ms)", "p99(ms)", "drops", "marks"
+    );
+    for scheme in [Scheme::Ecmp, Scheme::tlb_default()] {
+        let cfg = SimConfig::basic_paper(scheme);
+        let flows: Vec<FlowSpec> = (0..24)
+            .map(|i| FlowSpec {
+                id: FlowId(i),
+                src: HostId(16 + i), // leaf 1 + leaf 2 workers
+                dst: HostId(0),      // the aggregator on leaf 0
+                size_bytes: 256 * 1024,
+                start: SimTime::ZERO,
+                deadline: None,
+            })
+            .collect();
+        let r = Simulation::new(cfg, flows).run();
+        let s = r.summary(FlowClass::Long); // 256 kB > 100 kB threshold
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>8} {:>8}",
+            r.scheme,
+            s.afct * 1e3,
+            s.p99 * 1e3,
+            r.drops,
+            r.marks
+        );
+    }
+    println!("\n(the bottleneck is the aggregator's own link — schemes tie,");
+    println!("and DCTCP absorbs the burst without drops)\n");
+
+    // --- Part 2: permutation --------------------------------------------
+    println!("== permutation: all 48 hosts send 4 MB to a distinct peer ==\n");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "scheme", "mean gput(Mbps)", "min gput(Mbps)"
+    );
+    for scheme in Scheme::paper_set() {
+        let cfg = SimConfig::basic_paper(scheme);
+        let flows = permutation(&cfg.topo, &FixedBytes(4_000_000), &mut SimRng::new(11));
+        let r = Simulation::new(cfg, flows).run();
+        // Per-flow goodputs.
+        let mut gputs: Vec<f64> = (0..r.total_flows)
+            .filter_map(|i| {
+                r.fct
+                    .fct_of(FlowId(i as u32))
+                    .map(|fct| 4_000_000.0 / fct * 8.0 / 1e6)
+            })
+            .collect();
+        gputs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = gputs.iter().sum::<f64>() / gputs.len() as f64;
+        println!("{:<10} {:>16.1} {:>16.1}", r.scheme, mean, gputs[0]);
+    }
+    println!("\n(ECMP's unlucky flows collide and crawl — look at the min;");
+    println!("queue-aware spreading keeps the worst case near the mean)");
+}

@@ -1,0 +1,172 @@
+//! `tlb-sim` — run one data-center load-balancing simulation from the
+//! command line.
+//!
+//! ```sh
+//! tlb-sim --scheme tlb --workload websearch --load 0.6
+//! tlb-sim --scheme letflow --workload mix --shorts 100 --longs 3
+//! tlb-sim --scheme rps --degrade 0:3:0.25:200 --json
+//! tlb-sim --help
+//! ```
+
+use tlb::prelude::*;
+
+const HELP: &str = "\
+tlb-sim — packet-level DCN load-balancing simulator (TLB reproduction)
+
+USAGE:
+    tlb-sim [OPTIONS]
+
+OPTIONS:
+    --scheme <s>          ecmp | rps | presto | letflow | drill | conga |
+                          flowbender | hermes | wcmp | tlb                      [tlb]
+    --workload <w>        websearch | datamining | mix                    [websearch]
+    --load <f>            offered load fraction for Poisson workloads           [0.6]
+    --shorts <n>          short flows for the 'mix' workload                    [100]
+    --longs <n>           long flows for the 'mix' workload                       [3]
+    --leaves <n>          leaf switches                                           [8]
+    --spines <n>          spine switches (= equal-cost paths)                     [8]
+    --hosts-per-leaf <n>  hosts per rack                                         [16]
+    --gbps <f>            link rate in Gbit/s                                   [1.0]
+    --duration-ms <n>     Poisson traffic window                                 [50]
+    --seed <n>            RNG seed (runs are deterministic per seed)              [1]
+    --degrade l:s:bw:us   degrade uplink leaf l -> spine s to bw x bandwidth
+                          with +us microseconds delay (repeatable)
+    --json                machine-readable output
+    --help                this text
+";
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value_of(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn values_of<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.0
+            .windows(2)
+            .filter(move |w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.value_of(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn scheme_from(name: &str) -> Scheme {
+    match name {
+        "ecmp" => Scheme::Ecmp,
+        "rps" => Scheme::Rps,
+        "presto" => Scheme::presto_default(),
+        "letflow" => Scheme::letflow_default(),
+        "drill" => Scheme::Drill { d: 2, m: 1 },
+        "flowbender" => Scheme::flowbender_default(),
+        "hermes" => Scheme::hermes_default(),
+        "wcmp" => Scheme::Wcmp,
+        "conga" => Scheme::CongaLite {
+            timeout: SimTime::from_micros(500),
+        },
+        "tlb" => Scheme::tlb_default(),
+        other => {
+            eprintln!("unknown scheme: {other}\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        print!("{HELP}");
+        return;
+    }
+
+    let scheme = scheme_from(args.value_of("--scheme").unwrap_or("tlb"));
+    let scheme_name = scheme.name();
+    let leaves: usize = args.parse("--leaves", 8);
+    let spines: usize = args.parse("--spines", 8);
+    let hosts_per_leaf: usize = args.parse("--hosts-per-leaf", 16);
+    let gbps: f64 = args.parse("--gbps", 1.0);
+    let seed: u64 = args.parse("--seed", 1);
+
+    let mut cfg = SimConfig::basic_paper(scheme);
+    cfg.topo = LeafSpineBuilder::new(leaves, spines, hosts_per_leaf)
+        .link_gbps(gbps)
+        .target_rtt(SimTime::from_micros(100))
+        .build();
+    cfg.seed = seed;
+
+    for spec in args.values_of("--degrade") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 4 {
+            eprintln!("bad --degrade '{spec}', expected l:s:bw:us");
+            std::process::exit(2);
+        }
+        let l: u32 = parts[0].parse().expect("leaf index");
+        let s: u32 = parts[1].parse().expect("spine index");
+        let bw: f64 = parts[2].parse().expect("bandwidth factor");
+        let us: u64 = parts[3].parse().expect("extra delay (us)");
+        cfg.topo
+            .degrade_link(LeafId(l), SpineId(s), bw, SimTime::from_micros(us));
+    }
+
+    let workload = args.value_of("--workload").unwrap_or("websearch");
+    let mut rng = SimRng::new(seed ^ 0xABCD);
+    let flows = match workload {
+        "mix" => {
+            let mut mix = BasicMixConfig::paper_default();
+            mix.n_short = args.parse("--shorts", 100);
+            mix.n_long = args.parse("--longs", 3);
+            basic_mix(&cfg.topo, &mix, &mut rng)
+        }
+        w @ ("websearch" | "datamining") => {
+            let dist = if w == "websearch" {
+                web_search()
+            } else {
+                data_mining()
+            };
+            let wl = PoissonWorkload {
+                load: args.parse("--load", 0.6),
+                dist: &dist,
+                duration: SimTime::from_millis(args.parse("--duration-ms", 50u64)),
+                deadline_lo: SimTime::from_millis(5),
+                deadline_hi: SimTime::from_millis(25),
+                short_threshold: 100_000,
+                inter_leaf_only: true,
+            };
+            wl.generate(&cfg.topo, &mut rng)
+        }
+        other => {
+            eprintln!("unknown workload: {other}\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let n = flows.len();
+    eprintln!("running {n} flows under {scheme_name} (seed {seed})...");
+    let r = Simulation::new(cfg, flows).run();
+
+    if args.flag("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&r.to_summary()).expect("serializable summary")
+        );
+    } else {
+        println!("{}", r.one_line());
+        println!(
+            "  events {}  drops {}  ECN marks {}  wall {:?}",
+            r.events, r.drops, r.marks, r.wall
+        );
+    }
+}

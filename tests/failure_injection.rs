@@ -1,0 +1,116 @@
+//! Mid-run link degradation (failure injection): the fabric loses most of
+//! two uplinks' capacity while traffic is in flight; adaptive schemes must
+//! keep delivering.
+
+use tlb::prelude::*;
+use tlb::simnet::config::LinkEvent;
+
+fn mix() -> BasicMixConfig {
+    let mut m = BasicMixConfig::paper_default();
+    m.n_short = 50;
+    m.n_long = 3;
+    m.long_lo = 4_000_000;
+    m.long_hi = 6_000_000;
+    m.short_window = SimTime::from_millis(20);
+    m
+}
+
+fn run_with_failure(scheme: Scheme, seed: u64) -> RunReport {
+    let mut cfg = SimConfig::basic_paper(scheme);
+    // 10 ms in: two uplinks brown out to 5% bandwidth with +1 ms delay.
+    for spine in [2u32, 9] {
+        cfg.link_events.push(LinkEvent {
+            at: SimTime::from_millis(10),
+            leaf: LeafId(0),
+            spine: SpineId(spine),
+            bw_factor: 0.05,
+            extra_delay: SimTime::from_millis(1),
+        });
+    }
+    let flows = basic_mix(&cfg.topo, &mix(), &mut SimRng::new(seed));
+    Simulation::new(cfg, flows).run()
+}
+
+#[test]
+fn every_scheme_survives_a_brownout() {
+    for scheme in Scheme::paper_set() {
+        let name = scheme.name();
+        let r = run_with_failure(scheme, 3);
+        assert_eq!(
+            r.completed, r.total_flows,
+            "{name}: flows stranded by the brownout"
+        );
+    }
+}
+
+#[test]
+fn brownout_slows_oblivious_schemes_more() {
+    // ECMP keeps hashing flows onto the dead-slow links; TLB's shortest-
+    // queue choice migrates away once their queues build.
+    let tlb = run_with_failure(Scheme::tlb_default(), 7);
+    let ecmp = run_with_failure(Scheme::Ecmp, 7);
+    assert!(
+        tlb.fct_short.p99 < ecmp.fct_short.p99,
+        "TLB p99 {} !< ECMP p99 {} after brownout",
+        tlb.fct_short.p99,
+        ecmp.fct_short.p99
+    );
+}
+
+#[test]
+fn link_event_validation() {
+    let mut cfg = SimConfig::basic_paper(Scheme::Ecmp);
+    cfg.link_events.push(LinkEvent {
+        at: SimTime::ZERO,
+        leaf: LeafId(0),
+        spine: SpineId(99), // out of range
+        bw_factor: 0.5,
+        extra_delay: SimTime::ZERO,
+    });
+    assert!(cfg.validate().is_err());
+    cfg.link_events[0].spine = SpineId(0);
+    cfg.link_events[0].bw_factor = 0.0; // invalid
+    assert!(cfg.validate().is_err());
+    cfg.link_events[0].bw_factor = 0.5;
+    cfg.validate().unwrap();
+}
+
+#[test]
+fn degradation_actually_bites() {
+    // A single long flow pinned (ECMP) through a link that browns out must
+    // take much longer than without the failure.
+    let one_flow = |with_failure: bool| {
+        let mut cfg = SimConfig::basic_paper(Scheme::Ecmp);
+        cfg.topo = LeafSpineBuilder::new(2, 1, 2) // exactly one path
+            .link_gbps(1.0)
+            .target_rtt(SimTime::from_micros(100))
+            .build();
+        if with_failure {
+            cfg.link_events.push(LinkEvent {
+                at: SimTime::from_millis(5),
+                leaf: LeafId(0),
+                spine: SpineId(0),
+                bw_factor: 0.1,
+                extra_delay: SimTime::ZERO,
+            });
+        }
+        let flows = vec![FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(2),
+            size_bytes: 10_000_000,
+            start: SimTime::ZERO,
+            deadline: None,
+        }];
+        Simulation::new(cfg, flows).run()
+    };
+    let healthy = one_flow(false);
+    let failed = one_flow(true);
+    let h = healthy.fct.fct_of(FlowId(0)).unwrap();
+    let f = failed.fct.fct_of(FlowId(0)).unwrap();
+    assert!(
+        f > 3.0 * h,
+        "10x brownout on the only path must slow the flow: {f} vs {h}"
+    );
+    assert_eq!(failed.completed, 1);
+}
