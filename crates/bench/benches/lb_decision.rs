@@ -19,7 +19,15 @@ fn make_ports(n: usize) -> Vec<OutPort> {
             let mut p = OutPort::new(link, cfg);
             for s in 0..(i * 5 % 23) {
                 p.enqueue(
-                    Packet::data(FlowId(9999), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                    Packet::data(
+                        FlowId(9999),
+                        HostId(0),
+                        HostId(1),
+                        s as u32,
+                        1460,
+                        40,
+                        SimTime::ZERO,
+                    ),
                     SimTime::ZERO,
                 );
             }
@@ -36,7 +44,15 @@ fn stream(n: usize) -> Vec<Packet> {
             match i % 101 {
                 0 => Packet::control(flow, HostId(0), HostId(20), PktKind::Syn, 0, SimTime::ZERO),
                 1 => Packet::control(flow, HostId(0), HostId(20), PktKind::Fin, 0, SimTime::ZERO),
-                _ => Packet::data(flow, HostId(0), HostId(20), i as u32, 1460, 40, SimTime::ZERO),
+                _ => Packet::data(
+                    flow,
+                    HostId(0),
+                    HostId(20),
+                    i as u32,
+                    1460,
+                    40,
+                    SimTime::ZERO,
+                ),
             }
         })
         .collect()

@@ -24,7 +24,12 @@ fn bench_simulation(c: &mut Criterion) {
     };
     group.throughput(Throughput::Elements(probe.events));
 
-    for scheme in [Scheme::Ecmp, Scheme::Rps, Scheme::letflow_default(), Scheme::tlb_default()] {
+    for scheme in [
+        Scheme::Ecmp,
+        Scheme::Rps,
+        Scheme::letflow_default(),
+        Scheme::tlb_default(),
+    ] {
         group.bench_function(scheme.name(), |b| {
             b.iter(|| {
                 let cfg = SimConfig::basic_paper(scheme.clone());

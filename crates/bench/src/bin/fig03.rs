@@ -4,7 +4,7 @@
 //! flow-level (ECMP), flowlet-level (LetFlow) and packet-level (RPS)
 //! forwarding of the paper's §2.2 mixed workload.
 
-use tlb_bench::{sustained_scenario, granularity_schemes, Out, Scale};
+use tlb_bench::{granularity_schemes, sustained_scenario, Out, Scale};
 use tlb_metrics::FlowClass;
 
 fn main() {
@@ -18,7 +18,9 @@ fn main() {
         .collect();
 
     out.line("Fig. 3 — impact of switching granularity on short flows");
-    out.line(&format!("  workload: {n_short} short (<100KB) + {n_long} long (>10MB), 15 paths, DCTCP"));
+    out.line(&format!(
+        "  workload: {n_short} short (<100KB) + {n_long} long (>10MB), 15 paths, DCTCP"
+    ));
     out.blank();
 
     let reports: Vec<_> = granularity_schemes()
@@ -58,8 +60,7 @@ fn main() {
     // (b) duplicate-ACK ratio.
     out.line("(b) TCP duplicate-ACK ratio of short flows (dupACKs per data segment)");
     for (label, rs) in &reports {
-        let ratio: f64 =
-            rs.iter().map(|r| r.short.dupack_ratio()).sum::<f64>() / rs.len() as f64;
+        let ratio: f64 = rs.iter().map(|r| r.short.dupack_ratio()).sum::<f64>() / rs.len() as f64;
         out.line(&format!("{:<10} {:>8.4}", label, ratio));
     }
     out.blank();

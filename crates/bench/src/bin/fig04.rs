@@ -2,7 +2,7 @@
 //! (a) per-path link utilization, (b) out-of-order ratio, (c) average
 //! long-flow throughput, under flow/flowlet/packet granularity.
 
-use tlb_bench::{sustained_scenario, granularity_schemes, Out, Scale};
+use tlb_bench::{granularity_schemes, sustained_scenario, Out, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -14,12 +14,19 @@ fn main() {
     let _ = scale;
 
     out.line("Fig. 4 — impact of switching granularity on long flows");
-    out.line(&format!("  workload: {n_short} short + {n_long} long, 15 paths, DCTCP"));
+    out.line(&format!(
+        "  workload: {n_short} short + {n_long} long, 15 paths, DCTCP"
+    ));
     out.blank();
 
     let reports: Vec<_> = granularity_schemes()
         .into_iter()
-        .map(|(label, scheme)| (label, sustained_scenario(scheme, n_short, n_long, rounds, seed)))
+        .map(|(label, scheme)| {
+            (
+                label,
+                sustained_scenario(scheme, n_short, n_long, rounds, seed),
+            )
+        })
         .collect();
 
     out.line("(a) sender-rack uplink utilization");

@@ -25,10 +25,7 @@ fn profile(lens: &[u32]) -> String {
     let mut v: Vec<u32> = lens.to_vec();
     v.sort_unstable_by(|a, b| b.cmp(a));
     let busy = v.iter().filter(|&&l| l > 0).count();
-    format!(
-        "busy {busy:>2}/15  top queues {:?}",
-        &v[..5.min(v.len())]
-    )
+    format!("busy {busy:>2}/15  top queues {:?}", &v[..5.min(v.len())])
 }
 
 fn main() {
@@ -40,7 +37,11 @@ fn main() {
     out.line("  sustained 100 short + 3 long flows; snapshots every 250 us");
     out.blank();
 
-    for scheme in [Scheme::Ecmp, Scheme::letflow_default(), Scheme::tlb_default()] {
+    for scheme in [
+        Scheme::Ecmp,
+        Scheme::letflow_default(),
+        Scheme::tlb_default(),
+    ] {
         let r = run_sampled(scheme, rounds, seed);
         out.line(&format!("{}:", r.scheme));
         // Restrict to the active phase (some queue non-empty): the chained

@@ -136,49 +136,43 @@ fn main() {
     let base = Point::paper_default();
 
     let panel_a: Vec<_> = scale
-        .pick(vec![40usize, 80, 120, 160], vec![40, 60, 80, 100, 120, 160, 200])
+        .pick(
+            vec![40usize, 80, 120, 160],
+            vec![40, 60, 80, 100, 120, 160, 200],
+        )
         .into_iter()
-        .map(|m| {
-            (
-                format!("m_S={m}"),
-                Point {
-                    n_short: m,
-                    ..base
-                },
-            )
-        })
+        .map(|m| (format!("m_S={m}"), Point { n_short: m, ..base }))
         .collect();
-    run_panel(&mut out, "(a) varying the number of short flows", &panel_a, &seeds);
+    run_panel(
+        &mut out,
+        "(a) varying the number of short flows",
+        &panel_a,
+        &seeds,
+    );
 
     let panel_b: Vec<_> = scale
         .pick(vec![1usize, 3, 5, 7], vec![1, 2, 3, 4, 5, 6, 7, 8])
         .into_iter()
-        .map(|m| {
-            (
-                format!("m_L={m}"),
-                Point {
-                    n_long: m,
-                    ..base
-                },
-            )
-        })
+        .map(|m| (format!("m_L={m}"), Point { n_long: m, ..base }))
         .collect();
-    run_panel(&mut out, "(b) varying the number of long flows", &panel_b, &seeds);
+    run_panel(
+        &mut out,
+        "(b) varying the number of long flows",
+        &panel_b,
+        &seeds,
+    );
 
     let panel_c: Vec<_> = scale
         .pick(vec![9usize, 12, 15, 18], vec![9, 11, 13, 15, 17, 19, 21])
         .into_iter()
-        .map(|n| {
-            (
-                format!("n={n}"),
-                Point {
-                    n_paths: n,
-                    ..base
-                },
-            )
-        })
+        .map(|n| (format!("n={n}"), Point { n_paths: n, ..base }))
         .collect();
-    run_panel(&mut out, "(c) varying the number of paths", &panel_c, &seeds);
+    run_panel(
+        &mut out,
+        "(c) varying the number of paths",
+        &panel_c,
+        &seeds,
+    );
 
     let panel_d: Vec<_> = scale
         .pick(vec![5u64, 10, 15, 25], vec![5, 8, 10, 13, 15, 20, 25])

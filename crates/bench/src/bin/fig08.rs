@@ -2,7 +2,7 @@
 //! LetFlow/TLB: (a) instantaneous reordering ratio, (b) average queueing
 //! delay over time.
 
-use tlb_bench::{sustained_scenario, sample_series, Out, Scale};
+use tlb_bench::{sample_series, sustained_scenario, Out, Scale};
 use tlb_simnet::Scheme;
 
 fn main() {

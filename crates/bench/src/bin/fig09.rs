@@ -1,7 +1,7 @@
 //! Fig. 9 — basic performance of **long flows**: (a) reordering ratio over
 //! time, (b) instantaneous aggregate throughput.
 
-use tlb_bench::{sustained_scenario, sample_series, Out, Scale};
+use tlb_bench::{sample_series, sustained_scenario, Out, Scale};
 use tlb_simnet::Scheme;
 
 fn main() {
@@ -56,10 +56,8 @@ fn main() {
             (r.scheme.as_str(), pts)
         })
         .collect();
-    let series_refs: Vec<(&str, &[(f64, f64)])> = charted
-        .iter()
-        .map(|(n, v)| (*n, v.as_slice()))
-        .collect();
+    let series_refs: Vec<(&str, &[(f64, f64)])> =
+        charted.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     for line in tlb_metrics::chart(&series_refs, 72, 16).lines() {
         out.line(line);
     }

@@ -13,14 +13,19 @@ fn main() {
     out.line("  true deadlines U[5ms, 25ms]; TLB protects a fixed percentile");
     out.blank();
 
-    let variants: Vec<(String, Scheme)> = [(0.05, "TLB-5th"), (0.25, "TLB-25th"), (0.50, "TLB-50th"), (0.75, "TLB-75th")]
-        .into_iter()
-        .map(|(pct, name)| {
-            let mut cfg = TlbConfig::paper_default();
-            cfg.deadline_percentile = pct;
-            (name.to_string(), Scheme::Tlb(cfg))
-        })
-        .collect();
+    let variants: Vec<(String, Scheme)> = [
+        (0.05, "TLB-5th"),
+        (0.25, "TLB-25th"),
+        (0.50, "TLB-50th"),
+        (0.75, "TLB-75th"),
+    ]
+    .into_iter()
+    .map(|(pct, name)| {
+        let mut cfg = TlbConfig::paper_default();
+        cfg.deadline_percentile = pct;
+        (name.to_string(), Scheme::Tlb(cfg))
+    })
+    .collect();
 
     let schemes: Vec<Scheme> = variants.iter().map(|(_, s)| s.clone()).collect();
     let names: Vec<&str> = variants.iter().map(|(n, _)| n.as_str()).collect();
@@ -42,10 +47,22 @@ fn main() {
     };
     type Panel = (&'static str, Box<dyn Fn(&RunReport) -> f64>);
     let panels: Vec<Panel> = vec![
-        ("(a) AFCT of short flows (ms)", Box::new(|r: &RunReport| r.fct_short.afct * 1e3)),
-        ("(b) 99th-pct FCT of short flows (ms)", Box::new(|r: &RunReport| r.fct_short.p99 * 1e3)),
-        ("(c) missed deadlines (%)", Box::new(|r: &RunReport| r.fct_short.deadline_miss * 100.0)),
-        ("(d) long-flow throughput (Mbit/s)", Box::new(|r: &RunReport| r.long_throughput() * 8.0 / 1e6)),
+        (
+            "(a) AFCT of short flows (ms)",
+            Box::new(|r: &RunReport| r.fct_short.afct * 1e3),
+        ),
+        (
+            "(b) 99th-pct FCT of short flows (ms)",
+            Box::new(|r: &RunReport| r.fct_short.p99 * 1e3),
+        ),
+        (
+            "(c) missed deadlines (%)",
+            Box::new(|r: &RunReport| r.fct_short.deadline_miss * 100.0),
+        ),
+        (
+            "(d) long-flow throughput (Mbit/s)",
+            Box::new(|r: &RunReport| r.long_throughput() * 8.0 / 1e6),
+        ),
     ];
     for (panel, f) in &panels {
         out.line(panel);

@@ -26,7 +26,15 @@ fn make_ports() -> Vec<OutPort> {
             let mut p = OutPort::new(link, cfg);
             for s in 0..(i * 3 % 17) {
                 p.enqueue(
-                    Packet::data(FlowId(9999), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                    Packet::data(
+                        FlowId(9999),
+                        HostId(0),
+                        HostId(1),
+                        s as u32,
+                        1460,
+                        40,
+                        SimTime::ZERO,
+                    ),
                     SimTime::ZERO,
                 );
             }
@@ -44,7 +52,15 @@ fn make_stream(n: usize, rng: &mut SimRng) -> Vec<Packet> {
             match i % 97 {
                 0 => Packet::control(flow, HostId(0), HostId(20), PktKind::Syn, 0, SimTime::ZERO),
                 1 => Packet::control(flow, HostId(0), HostId(20), PktKind::Fin, 0, SimTime::ZERO),
-                _ => Packet::data(flow, HostId(0), HostId(20), i as u32, 1460, 40, SimTime::ZERO),
+                _ => Packet::data(
+                    flow,
+                    HostId(0),
+                    HostId(20),
+                    i as u32,
+                    1460,
+                    40,
+                    SimTime::ZERO,
+                ),
             }
         })
         .collect()
@@ -79,7 +95,11 @@ fn main() {
 
     out.line("(a) CPU: per-packet forwarding-decision cost (ns)");
     for s in &schemes {
-        out.line(&format!("{:<10} {:>8.1} ns/decision", s.name(), measure_decision_ns(s)));
+        out.line(&format!(
+            "{:<10} {:>8.1} ns/decision",
+            s.name(),
+            measure_decision_ns(s)
+        ));
     }
     out.blank();
 
@@ -87,7 +107,10 @@ fn main() {
     let seed = tlb_bench::scale::base_seed();
     for s in &schemes {
         let r = basic_scenario(s.clone(), 100, 3, seed);
-        out.line(&format!("{:<10} {:>8} bytes", r.scheme, r.lb_state_bytes_peak));
+        out.line(&format!(
+            "{:<10} {:>8} bytes",
+            r.scheme, r.lb_state_bytes_peak
+        ));
     }
     out.blank();
     out.line("expected shape (paper): ECMP/RPS/Presto near-zero overhead;");

@@ -26,7 +26,12 @@ fn main() {
             .map(|s| asymmetric_scenario(s.clone(), 1.0, SimTime::from_micros(d), seed))
             .collect();
         afct.push(reports.iter().map(|r| r.fct_short.afct).collect::<Vec<_>>());
-        gput.push(reports.iter().map(|r| r.long_throughput()).collect::<Vec<_>>());
+        gput.push(
+            reports
+                .iter()
+                .map(|r| r.long_throughput())
+                .collect::<Vec<_>>(),
+        );
     }
     let labels: Vec<String> = delays_us.iter().map(|d| format!("{d}us")).collect();
     normalized_panels(&mut out, "extra delay", &labels, &names, &afct, &gput);

@@ -26,9 +26,17 @@ fn main() {
             .map(|s| asymmetric_scenario(s.clone(), f, SimTime::ZERO, seed))
             .collect();
         afct.push(reports.iter().map(|r| r.fct_short.afct).collect::<Vec<_>>());
-        gput.push(reports.iter().map(|r| r.long_throughput()).collect::<Vec<_>>());
+        gput.push(
+            reports
+                .iter()
+                .map(|r| r.long_throughput())
+                .collect::<Vec<_>>(),
+        );
     }
-    let labels: Vec<String> = factors.iter().map(|f| format!("{:.0}%bw", f * 100.0)).collect();
+    let labels: Vec<String> = factors
+        .iter()
+        .map(|f| format!("{:.0}%bw", f * 100.0))
+        .collect();
     normalized_panels(&mut out, "degraded bw", &labels, &names, &afct, &gput);
     out.line("expected shape (paper): the bigger the bandwidth gap, the worse");
     out.line("the oblivious schemes (ECMP/RPS/Presto) get relative to TLB;");

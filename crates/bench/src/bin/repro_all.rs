@@ -9,8 +9,22 @@ use std::process::Command;
 
 fn main() {
     let figures = [
-        "fig03", "fig04", "fig05", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "ablation", "extensions",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "ablation",
+        "extensions",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -30,7 +30,8 @@ pub fn sustained_scenario(
     let mut mix = BasicMixConfig::paper_default();
     mix.n_short = n_short;
     mix.n_long = n_long;
-    let (flows, next) = tlb_workload::sustained_mix(&cfg.topo, &mix, rounds, &mut SimRng::new(seed));
+    let (flows, next) =
+        tlb_workload::sustained_mix(&cfg.topo, &mix, rounds, &mut SimRng::new(seed));
     Simulation::new_chained(cfg, flows, next).run()
 }
 
@@ -211,10 +212,18 @@ pub fn asymmetric_scenario(
     let mut cfg = SimConfig::basic_paper(scheme);
     // "2 randomly selected leaf-to-spine links" — fixed choice keeps the
     // comparison identical across schemes.
-    cfg.topo
-        .degrade_link(tlb_net::LeafId(0), tlb_net::SpineId(3), bw_factor, extra_delay);
-    cfg.topo
-        .degrade_link(tlb_net::LeafId(0), tlb_net::SpineId(11), bw_factor, extra_delay);
+    cfg.topo.degrade_link(
+        tlb_net::LeafId(0),
+        tlb_net::SpineId(3),
+        bw_factor,
+        extra_delay,
+    );
+    cfg.topo.degrade_link(
+        tlb_net::LeafId(0),
+        tlb_net::SpineId(11),
+        bw_factor,
+        extra_delay,
+    );
     let mut mix = BasicMixConfig::paper_default();
     mix.n_short = 100;
     mix.n_long = 4;
@@ -258,10 +267,22 @@ pub fn large_scale_figure(id: &str, title: &str, dist: &impl SizeDist) {
     };
 
     let panels: Vec<Panel> = vec![
-        ("(a) short-flow AFCT (ms)", Box::new(|r: &RunReport| r.fct_short.afct * 1e3)),
-        ("(b) short-flow 99th-pct FCT (ms)", Box::new(|r: &RunReport| r.fct_short.p99 * 1e3)),
-        ("(c) short-flow deadline miss (%)", Box::new(|r: &RunReport| r.fct_short.deadline_miss * 100.0)),
-        ("(d) long-flow throughput (Mbit/s)", Box::new(|r: &RunReport| r.long_throughput() * 8.0 / 1e6)),
+        (
+            "(a) short-flow AFCT (ms)",
+            Box::new(|r: &RunReport| r.fct_short.afct * 1e3),
+        ),
+        (
+            "(b) short-flow 99th-pct FCT (ms)",
+            Box::new(|r: &RunReport| r.fct_short.p99 * 1e3),
+        ),
+        (
+            "(c) short-flow deadline miss (%)",
+            Box::new(|r: &RunReport| r.fct_short.deadline_miss * 100.0),
+        ),
+        (
+            "(d) long-flow throughput (Mbit/s)",
+            Box::new(|r: &RunReport| r.long_throughput() * 8.0 / 1e6),
+        ),
     ];
     for (panel, f) in &panels {
         out.line(panel);
@@ -290,10 +311,8 @@ pub fn large_scale_figure(id: &str, title: &str, dist: &impl SizeDist) {
             (*n, pts)
         })
         .collect();
-    let series_refs: Vec<(&str, &[(f64, f64)])> = charted
-        .iter()
-        .map(|(n, v)| (*n, v.as_slice()))
-        .collect();
+    let series_refs: Vec<(&str, &[(f64, f64)])> =
+        charted.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     for line in tlb_metrics::chart(&series_refs, 64, 14).lines() {
         out.line(line);
     }
@@ -307,7 +326,11 @@ pub fn large_scale_figure(id: &str, title: &str, dist: &impl SizeDist) {
     let mut line = format!("TLB AFCT change at load {:.1}: ", loads[li]);
     for (si, n) in names.iter().enumerate() {
         if si != tlb_idx {
-            line.push_str(&format!("{}: {:+.0}%  ", n, pct_change(tlb_afct, cell(li, si).fct_short.afct)));
+            line.push_str(&format!(
+                "{}: {:+.0}%  ",
+                n,
+                pct_change(tlb_afct, cell(li, si).fct_short.afct)
+            ));
         }
     }
     out.line(&line);

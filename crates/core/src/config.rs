@@ -133,13 +133,19 @@ mod tests {
     #[test]
     fn paper_deadline_is_10ms() {
         // U[5 ms, 25 ms] at the 25th percentile = 10 ms (paper §4.2).
-        assert_eq!(TlbConfig::paper_default().deadline(), SimTime::from_millis(10));
+        assert_eq!(
+            TlbConfig::paper_default().deadline(),
+            SimTime::from_millis(10)
+        );
     }
 
     #[test]
     fn testbed_deadline_is_3s() {
         // U[2 s, 6 s] at the 25th percentile = 3 s (paper §7).
-        assert_eq!(TlbConfig::testbed_default().deadline(), SimTime::from_secs(3));
+        assert_eq!(
+            TlbConfig::testbed_default().deadline(),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

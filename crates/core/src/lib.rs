@@ -214,8 +214,8 @@ impl LoadBalancer for Tlb {
                             self.m_short = self.m_short.saturating_sub(1);
                             if self.cfg.estimate_mean_short && st.bytes_seen > 0 {
                                 let g = self.cfg.ewma_gain;
-                                self.mean_short_est = (1.0 - g) * self.mean_short_est
-                                    + g * st.bytes_seen as f64;
+                                self.mean_short_est =
+                                    (1.0 - g) * self.mean_short_est + g * st.bytes_seen as f64;
                             }
                         }
                     }
@@ -308,12 +308,14 @@ impl LoadBalancer for Tlb {
             // control traffic, routed per packet to the shortest queue, and
             // tracked uncounted so they do not distort m_S.
             PktKind::SynAck | PktKind::Ack => {
-                let st = self.flows.touch_or_insert_with(pkt.flow, now, || FlowState {
-                    bytes_seen: 0,
-                    port: shortest,
-                    is_long: false,
-                    counted: false,
-                });
+                let st = self
+                    .flows
+                    .touch_or_insert_with(pkt.flow, now, || FlowState {
+                        bytes_seen: 0,
+                        port: shortest,
+                        is_long: false,
+                        counted: false,
+                    });
                 st.port = shortest;
                 shortest
             }

@@ -33,15 +33,37 @@ fn ports_with_lens(lens: &[usize]) -> Vec<OutPort> {
 }
 
 fn syn(flow: u32) -> Packet {
-    Packet::control(FlowId(flow), HostId(0), HostId(9), PktKind::Syn, 0, SimTime::ZERO)
+    Packet::control(
+        FlowId(flow),
+        HostId(0),
+        HostId(9),
+        PktKind::Syn,
+        0,
+        SimTime::ZERO,
+    )
 }
 
 fn fin(flow: u32) -> Packet {
-    Packet::control(FlowId(flow), HostId(0), HostId(9), PktKind::Fin, 0, SimTime::ZERO)
+    Packet::control(
+        FlowId(flow),
+        HostId(0),
+        HostId(9),
+        PktKind::Fin,
+        0,
+        SimTime::ZERO,
+    )
 }
 
 fn data(flow: u32, seq: u32, payload: u32) -> Packet {
-    Packet::data(FlowId(flow), HostId(0), HostId(9), seq, payload, 40, SimTime::ZERO)
+    Packet::data(
+        FlowId(flow),
+        HostId(0),
+        HostId(9),
+        seq,
+        payload,
+        40,
+        SimTime::ZERO,
+    )
 }
 
 fn us(n: u64) -> SimTime {
@@ -177,7 +199,10 @@ fn adaptive_threshold_reacts_to_load() {
     // With m_S = 0 Eq. 9 still yields a small residual threshold
     // (m_L*W_L*t/RTT/n - t*C ~ 3 kB, about two packets): effectively free
     // switching.
-    assert!(q_low < 5_000, "no short flows -> tiny threshold, got {q_low}");
+    assert!(
+        q_low < 5_000,
+        "no short flows -> tiny threshold, got {q_low}"
+    );
 
     // Add 100 short flows -> q_th must grow.
     for f in 100..200 {
@@ -228,13 +253,56 @@ fn relearned_data_flow_is_counted_again() {
 }
 
 #[test]
+fn data_after_fin_is_relearned_then_sampled_out() {
+    // A straggler data packet arriving after the flow's FIN (retransmission
+    // raced the teardown) hits the removed-record path: the switch has no
+    // state for it and re-learns the flow as counted. That transient
+    // over-count of m_S must be temporary — the flow never speaks again, so
+    // the idle purge has to reclaim the record and recount back to zero.
+    let ps = ports_with_lens(&[0, 0]);
+    let mut tlb = Tlb::paper_default();
+    let mut rng = SimRng::new(0);
+    tlb.choose_uplink(&syn(1), PortView::new(&ps), us(0), &mut rng);
+    tlb.choose_uplink(&data(1, 0, 1460), PortView::new(&ps), us(1), &mut rng);
+    tlb.choose_uplink(&fin(1), PortView::new(&ps), us(2), &mut rng);
+    assert_eq!(tlb.counts(), (0, 0), "FIN closes the flow");
+
+    tlb.choose_uplink(&data(1, 0, 1460), PortView::new(&ps), us(3), &mut rng);
+    assert_eq!(
+        tlb.counts(),
+        (1, 0),
+        "data after FIN re-learns the flow as counted"
+    );
+
+    tlb.on_tick(PortView::new(&ps), us(1500));
+    assert_eq!(
+        tlb.counts(),
+        (0, 0),
+        "idle purge must recover m_S from the post-FIN re-learn"
+    );
+}
+
+#[test]
 fn ack_streams_are_not_counted() {
     let ps = ports_with_lens(&[0, 0]);
     let mut tlb = Tlb::paper_default();
     let mut rng = SimRng::new(0);
-    let ack = Packet::control(FlowId(7), HostId(9), HostId(0), PktKind::Ack, 3, SimTime::ZERO);
-    let synack =
-        Packet::control(FlowId(7), HostId(9), HostId(0), PktKind::SynAck, 0, SimTime::ZERO);
+    let ack = Packet::control(
+        FlowId(7),
+        HostId(9),
+        HostId(0),
+        PktKind::Ack,
+        3,
+        SimTime::ZERO,
+    );
+    let synack = Packet::control(
+        FlowId(7),
+        HostId(9),
+        HostId(0),
+        PktKind::SynAck,
+        0,
+        SimTime::ZERO,
+    );
     tlb.choose_uplink(&synack, PortView::new(&ps), us(0), &mut rng);
     for i in 0..50 {
         tlb.choose_uplink(&ack, PortView::new(&ps), us(i), &mut rng);
@@ -247,8 +315,18 @@ fn acks_take_shortest_queue() {
     let ps = ports_with_lens(&[3, 0, 5]);
     let mut tlb = Tlb::paper_default();
     let mut rng = SimRng::new(0);
-    let ack = Packet::control(FlowId(7), HostId(9), HostId(0), PktKind::Ack, 3, SimTime::ZERO);
-    assert_eq!(tlb.choose_uplink(&ack, PortView::new(&ps), us(0), &mut rng), 1);
+    let ack = Packet::control(
+        FlowId(7),
+        HostId(9),
+        HostId(0),
+        PktKind::Ack,
+        3,
+        SimTime::ZERO,
+    );
+    assert_eq!(
+        tlb.choose_uplink(&ack, PortView::new(&ps), us(0), &mut rng),
+        1
+    );
 }
 
 #[test]
@@ -321,7 +399,10 @@ fn saturated_short_load_pins_long_flows() {
         let cur = tlb.choose_uplink(&data(1, 501, 1460), PortView::new(&ps2), us(501), &mut rng);
         lens.swap(0, cur); // put the big queue on the long flow's port
         let ps3 = ports_with_lens(&lens);
-        (cur, tlb.choose_uplink(&data(1, 502, 1460), PortView::new(&ps3), us(502), &mut rng))
+        (
+            cur,
+            tlb.choose_uplink(&data(1, 502, 1460), PortView::new(&ps3), us(502), &mut rng),
+        )
     };
     assert_eq!(cur_before.0, cur_before.1, "pinned flow must not switch");
 }

@@ -58,6 +58,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    monotonicity_violations: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,6 +74,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            monotonicity_violations: 0,
         }
     }
 
@@ -82,6 +84,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
             now: SimTime::ZERO,
+            monotonicity_violations: 0,
         }
     }
 
@@ -97,6 +100,11 @@ impl<E> EventQueue<E> {
     /// but must not precede it.
     #[inline]
     pub fn push(&mut self, time: SimTime, event: E) {
+        if time < self.now {
+            // Counted before the debug assert so release-mode audits (see
+            // `monotonicity_violations`) still observe the violation.
+            self.monotonicity_violations += 1;
+        }
         debug_assert!(
             time >= self.now,
             "scheduling into the past: {time} < now {now}",
@@ -118,6 +126,9 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
+        if entry.time < self.now {
+            self.monotonicity_violations += 1;
+        }
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         Some((entry.time, entry.event))
@@ -145,6 +156,22 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.seq
+    }
+
+    /// How many times the clock invariant was broken: an event scheduled
+    /// or popped at a timestamp earlier than `now()`. Debug builds also
+    /// assert on the spot; this counter is what release-mode audits check
+    /// (`tlb-simnet`'s conservation audit requires it to be zero).
+    #[inline]
+    pub fn monotonicity_violations(&self) -> u64 {
+        self.monotonicity_violations
+    }
+
+    /// Drain every still-pending event in arbitrary order, without
+    /// advancing the clock. End-of-run accounting (e.g. counting packets
+    /// still in flight at the horizon) wants the set, not the order.
+    pub fn drain_unordered(&mut self) -> impl Iterator<Item = (SimTime, E)> + '_ {
+        self.heap.drain().map(|e| (e.time, e.event))
     }
 }
 
@@ -228,6 +255,49 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn clean_run_has_no_monotonicity_violations() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        q.pop();
+        q.push(SimTime::from_nanos(15), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.monotonicity_violations(), 0);
+    }
+
+    #[test]
+    fn past_scheduling_is_counted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), ());
+        q.pop();
+        let counted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push(SimTime::from_nanos(99), ());
+        }));
+        if cfg!(debug_assertions) {
+            assert!(counted.is_err(), "debug builds must assert on the spot");
+        }
+        assert_eq!(q.monotonicity_violations(), 1);
+    }
+
+    #[test]
+    fn drain_unordered_empties_without_advancing_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.push(SimTime::from_nanos(30), 2);
+        q.push(SimTime::from_nanos(20), 3);
+        let mut drained: Vec<i32> = q.drain_unordered().map(|(_, e)| e).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![2, 3]);
+        assert!(q.is_empty());
+        assert_eq!(
+            q.now(),
+            SimTime::from_nanos(10),
+            "drain must not move the clock"
+        );
     }
 
     proptest! {

@@ -111,7 +111,15 @@ mod tests {
                 let mut p = OutPort::new(link, cfg);
                 for s in 0..l {
                     p.enqueue(
-                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
                         SimTime::ZERO,
                     );
                 }
@@ -121,7 +129,15 @@ mod tests {
     }
 
     fn data(flow: u32, seq: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     fn us(n: u64) -> SimTime {
@@ -159,6 +175,9 @@ mod tests {
         lb.choose_uplink(&data(1, 0), PortView::new(&ps), us(0), &mut rng);
         let ps2 = ports_with_lens(&[0, 2, 9]);
         let p = lb.choose_uplink(&data(1, 1), PortView::new(&ps2), us(10_000), &mut rng);
-        assert_eq!(p, 0, "after a flowlet gap CONGA-lite picks the new shortest");
+        assert_eq!(
+            p, 0,
+            "after a flowlet gap CONGA-lite picks the new shortest"
+        );
     }
 }

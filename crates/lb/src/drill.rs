@@ -94,7 +94,15 @@ mod tests {
                 let mut p = OutPort::new(link, cfg);
                 for s in 0..l {
                     p.enqueue(
-                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
                         SimTime::ZERO,
                     );
                 }
@@ -121,7 +129,10 @@ mod tests {
             }
         }
         // Once found (p >= 1-(3/4)^2 per trial), memory locks on.
-        assert!(hits > 150, "DRILL failed to lock onto the empty port: {hits}/200");
+        assert!(
+            hits > 150,
+            "DRILL failed to lock onto the empty port: {hits}/200"
+        );
     }
 
     #[test]

@@ -73,7 +73,15 @@ mod tests {
     }
 
     fn pkt(flow: u32, seq: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -109,7 +117,14 @@ mod tests {
         let mut lb = Ecmp::new(3);
         let mut rng = SimRng::new(0);
         let d = lb.choose_uplink(&pkt(11, 0), PortView::new(&ps), SimTime::ZERO, &mut rng);
-        let syn = Packet::control(FlowId(11), HostId(0), HostId(9), PktKind::Syn, 0, SimTime::ZERO);
+        let syn = Packet::control(
+            FlowId(11),
+            HostId(0),
+            HostId(9),
+            PktKind::Syn,
+            0,
+            SimTime::ZERO,
+        );
         assert_eq!(
             lb.choose_uplink(&syn, PortView::new(&ps), SimTime::ZERO, &mut rng),
             d

@@ -72,11 +72,13 @@ impl LoadBalancer for FlowBender {
     ) -> usize {
         let n = view.n_ports();
         let initial = rng.index(n);
-        let st = self.flows.touch_or_insert_with(pkt.flow, now, || BenderState {
-            port: initial,
-            marked: 0,
-            total: 0,
-        });
+        let st = self
+            .flows
+            .touch_or_insert_with(pkt.flow, now, || BenderState {
+                port: initial,
+                marked: 0,
+                total: 0,
+            });
         let port = st.port % n;
         st.total += 1;
         if view.qlen_pkts(port) >= self.mark_threshold_pkts {
@@ -124,7 +126,15 @@ mod tests {
                 let mut p = OutPort::new(link, cfg);
                 for s in 0..l {
                     p.enqueue(
-                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
                         SimTime::ZERO,
                     );
                 }
@@ -134,7 +144,15 @@ mod tests {
     }
 
     fn data(flow: u32, seq: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     fn us(n: u64) -> SimTime {
@@ -168,7 +186,12 @@ mod tests {
         let congested = ports_with_lens(&lens);
         let mut moved = false;
         for i in 1..100 {
-            let p = lb.choose_uplink(&data(1, i), PortView::new(&congested), us(i as u64), &mut rng);
+            let p = lb.choose_uplink(
+                &data(1, i),
+                PortView::new(&congested),
+                us(i as u64),
+                &mut rng,
+            );
             if p != p0 {
                 moved = true;
                 break;

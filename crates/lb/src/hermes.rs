@@ -71,10 +71,12 @@ impl LoadBalancer for HermesLite {
     ) -> usize {
         let n = view.n_ports();
         let initial = rng.index(n); // new flows start ECMP-like (random)
-        let st = self.flows.touch_or_insert_with(pkt.flow, now, || HermesState {
-            port: initial,
-            sent_bytes: 0,
-        });
+        let st = self
+            .flows
+            .touch_or_insert_with(pkt.flow, now, || HermesState {
+                port: initial,
+                sent_bytes: 0,
+            });
         let cur = st.port % n;
         if pkt.kind == PktKind::Data {
             st.sent_bytes += pkt.payload_bytes as u64;
@@ -128,7 +130,15 @@ mod tests {
                 let mut p = OutPort::new(link, cfg);
                 for s in 0..l {
                     p.enqueue(
-                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
                         SimTime::ZERO,
                     );
                 }
@@ -138,7 +148,15 @@ mod tests {
     }
 
     fn data(flow: u32, seq: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     fn us(n: u64) -> SimTime {
@@ -167,7 +185,12 @@ mod tests {
         for seq in 1..30 {
             // 30 * 1460 B < 100 kB: still gated.
             assert_eq!(
-                lb.choose_uplink(&data(1, seq), PortView::new(&congested), us(seq as u64), &mut rng),
+                lb.choose_uplink(
+                    &data(1, seq),
+                    PortView::new(&congested),
+                    us(seq as u64),
+                    &mut rng
+                ),
                 p0
             );
         }
@@ -195,8 +218,7 @@ mod tests {
         let mut lens = [0usize; 3];
         lens[p0] = 30;
         let clear = ports_with_lens(&lens);
-        let new_port =
-            lb.choose_uplink(&data(1, 101), PortView::new(&clear), us(2000), &mut rng);
+        let new_port = lb.choose_uplink(&data(1, 101), PortView::new(&clear), us(2000), &mut rng);
         assert_ne!(new_port, p0, "2x-better path must attract the flow");
     }
 
@@ -222,7 +244,14 @@ mod tests {
         let mut lb = HermesLite::paper_default();
         let mut rng = SimRng::new(4);
         let ps = ports_with_lens(&[0, 0]);
-        let ack = Packet::control(FlowId(2), HostId(9), HostId(0), PktKind::Ack, 0, SimTime::ZERO);
+        let ack = Packet::control(
+            FlowId(2),
+            HostId(9),
+            HostId(0),
+            PktKind::Ack,
+            0,
+            SimTime::ZERO,
+        );
         let p0 = lb.choose_uplink(&ack, PortView::new(&ps), us(0), &mut rng);
         for i in 1..200 {
             assert_eq!(

@@ -28,17 +28,17 @@ pub mod drill;
 pub mod ecmp;
 pub mod flowbender;
 pub mod hermes;
-pub mod wcmp;
 pub mod letflow;
 pub mod presto;
 pub mod rps;
+pub mod wcmp;
 
 pub use conga::CongaLite;
 pub use drill::Drill;
 pub use ecmp::Ecmp;
 pub use flowbender::FlowBender;
 pub use hermes::HermesLite;
-pub use wcmp::Wcmp;
 pub use letflow::LetFlow;
 pub use presto::Presto;
 pub use rps::Rps;
+pub use wcmp::Wcmp;

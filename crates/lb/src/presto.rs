@@ -120,7 +120,15 @@ mod tests {
     }
 
     fn data(flow: u32, seq: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

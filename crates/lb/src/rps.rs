@@ -80,8 +80,15 @@ mod tests {
         let mut rng = SimRng::new(3);
         let mut used = [false; 8];
         for seq in 0..64 {
-            let pkt =
-                Packet::data(FlowId(1), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO);
+            let pkt = Packet::data(
+                FlowId(1),
+                HostId(0),
+                HostId(9),
+                seq,
+                1460,
+                40,
+                SimTime::ZERO,
+            );
             used[lb.choose_uplink(&pkt, PortView::new(&ps), SimTime::ZERO, &mut rng)] = true;
         }
         assert!(used.iter().filter(|&&u| u).count() >= 6);

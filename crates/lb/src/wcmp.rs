@@ -100,7 +100,15 @@ mod tests {
     }
 
     fn data(flow: u32) -> Packet {
-        Packet::data(FlowId(flow), HostId(0), HostId(9), 0, 1460, 40, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(0),
+            HostId(9),
+            0,
+            1460,
+            40,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub fn chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> S
             let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
             let row = height - 1 - cy;
             let cell = &mut grid[row][cx.min(width - 1)];
-            *cell = if *cell == ' ' || *cell == glyph { glyph } else { '#' };
+            *cell = if *cell == ' ' || *cell == glyph {
+                glyph
+            } else {
+                '#'
+            };
         }
     }
 
@@ -73,7 +77,11 @@ pub fn chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> S
         .enumerate()
         .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
         .collect();
-    out.push_str(&format!("{}{}\n", " ".repeat(label_w + 1), legend.join("   ")));
+    out.push_str(&format!(
+        "{}{}\n",
+        " ".repeat(label_w + 1),
+        legend.join("   ")
+    ));
     out
 }
 

@@ -90,7 +90,10 @@ impl ModelParams {
             }
         }
         if !self.m_short.is_finite() || self.m_short < 0.0 {
-            return Err(format!("m_short must be non-negative, got {}", self.m_short));
+            return Err(format!(
+                "m_short must be non-negative, got {}",
+                self.m_short
+            ));
         }
         Ok(())
     }

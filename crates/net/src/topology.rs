@@ -148,13 +148,7 @@ impl LeafSpine {
     /// Degrade the leaf<->spine link pair: multiply bandwidth by
     /// `bw_factor` (≤ 1.0) and add `extra_delay` to propagation, in both
     /// directions. This is how Fig. 16/17's asymmetric scenarios are built.
-    pub fn degrade_link(
-        &mut self,
-        l: LeafId,
-        s: SpineId,
-        bw_factor: f64,
-        extra_delay: SimTime,
-    ) {
+    pub fn degrade_link(&mut self, l: LeafId, s: SpineId, bw_factor: f64, extra_delay: SimTime) {
         assert!(
             bw_factor > 0.0 && bw_factor <= 1.0,
             "bandwidth factor must be in (0, 1]"
@@ -208,7 +202,7 @@ impl LeafSpineBuilder {
             n_leaves,
             n_spines,
             hosts_per_leaf,
-            link_bytes_per_sec: 125_000_000, // 1 Gbit/s
+            link_bytes_per_sec: 125_000_000,            // 1 Gbit/s
             prop_per_link: SimTime::from_nanos(12_500), // 100 us RTT / 8 hops
         }
     }

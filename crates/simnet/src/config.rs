@@ -57,6 +57,20 @@ pub struct SimConfig {
     /// [`crate::RunReport::queue_series`] (the Fig. 5 queueing-process
     /// visualization).
     pub sample_queues: bool,
+    /// Run the packet-conservation audit (see [`crate::audit`]): track
+    /// every packet's lifecycle and prove conservation, per-port
+    /// accounting consistency, clock monotonicity, and transport
+    /// invariants at end of run, panicking with a labelled diff on any
+    /// violation. The preset constructors enable it in debug builds
+    /// (therefore in `cargo test` and every tier-1 run) and disable it in
+    /// release figure runs so benchmarks are unaffected.
+    pub audit: bool,
+    /// Fault injection for audit tests: silently discard the Nth arrival
+    /// event (1-based) *without* telling any accounting layer — the kind
+    /// of driver bug the audit exists to catch. `None` (always, outside
+    /// audit tests) disables it.
+    #[doc(hidden)]
+    pub fault_drop_nth: Option<u64>,
 }
 
 impl SimConfig {
@@ -86,6 +100,8 @@ impl SimConfig {
             link_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
+            audit: cfg!(debug_assertions),
+            fault_drop_nth: None,
         }
     }
 
@@ -116,6 +132,8 @@ impl SimConfig {
             link_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
+            audit: cfg!(debug_assertions),
+            fault_drop_nth: None,
         }
     }
 
@@ -144,6 +162,8 @@ impl SimConfig {
             link_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
+            audit: cfg!(debug_assertions),
+            fault_drop_nth: None,
         }
     }
 
@@ -163,9 +183,7 @@ impl SimConfig {
             if !(ev.bw_factor > 0.0 && ev.bw_factor <= 1.0) {
                 return Err(format!("link event {i}: bw_factor out of (0,1]"));
             }
-            if ev.leaf.index() >= self.topo.n_leaves()
-                || ev.spine.index() >= self.topo.n_spines()
-            {
+            if ev.leaf.index() >= self.topo.n_leaves() || ev.spine.index() >= self.topo.n_spines() {
                 return Err(format!("link event {i}: link out of range"));
             }
         }
@@ -181,7 +199,9 @@ mod tests {
     fn presets_validate() {
         SimConfig::basic_paper(Scheme::Ecmp).validate().unwrap();
         SimConfig::large_scale(Scheme::Rps, 16).validate().unwrap();
-        SimConfig::testbed(Scheme::tlb_default()).validate().unwrap();
+        SimConfig::testbed(Scheme::tlb_default())
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -24,15 +24,17 @@
 //! assert!(report.completed > 0);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod network;
 pub mod report;
 pub mod runner;
 pub mod scheme;
 
+pub use audit::{AuditReport, KindCounts};
+pub use config::LinkEvent;
 pub use config::SimConfig;
 pub use network::Simulation;
-pub use config::LinkEvent;
 pub use report::{Hop, RunReport, Summary, TraceEvent};
 pub use runner::{run_all, run_one};
 pub use scheme::Scheme;

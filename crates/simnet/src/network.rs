@@ -11,6 +11,7 @@
 //! sends to a remote rack goes through `LoadBalancer::choose_uplink`.
 //! Spine→leaf and leaf→host forwarding are single-path.
 
+use crate::audit::{AuditLedger, PortAudit};
 use crate::config::SimConfig;
 use crate::report::{ClassCounters, RunReport};
 use tlb_engine::{EventQueue, SimRng, SimTime};
@@ -110,6 +111,10 @@ struct Net {
     lb_state_peak: usize,
     lb_decisions: u64,
     events: u64,
+    /// Packet-lifecycle ledger (no-op unless [`SimConfig::audit`]).
+    audit: AuditLedger,
+    /// Arrival events seen, for [`SimConfig::fault_drop_nth`].
+    arrive_seen: u64,
 }
 
 impl Simulation {
@@ -133,7 +138,11 @@ impl Simulation {
     /// predecessor.
     pub fn new_chained(cfg: SimConfig, flows: Vec<FlowSpec>, next: Vec<Option<u32>>) -> Simulation {
         cfg.validate().expect("invalid simulation configuration");
-        assert_eq!(flows.len(), next.len(), "next pointers must cover all flows");
+        assert_eq!(
+            flows.len(),
+            next.len(),
+            "next pointers must cover all flows"
+        );
         // No flow may be the successor of two predecessors.
         let mut seen = vec![false; flows.len()];
         for &n in next.iter().flatten() {
@@ -182,7 +191,10 @@ impl Net {
             .map(|s| SpineSw {
                 down: (0..topo.n_leaves())
                     .map(|l| {
-                        OutPort::new(topo.downlink(SpineId(s as u32), LeafId(l as u32)), cfg.queue)
+                        OutPort::new(
+                            topo.downlink(SpineId(s as u32), LeafId(l as u32)),
+                            cfg.queue,
+                        )
                     })
                     .collect(),
             })
@@ -240,6 +252,8 @@ impl Net {
             lb_state_peak: 0,
             lb_decisions: 0,
             events: 0,
+            audit: AuditLedger::new(cfg.audit),
+            arrive_seen: 0,
             cfg,
             flows,
         };
@@ -260,17 +274,28 @@ impl Net {
     fn run_loop(&mut self) {
         let horizon = self.cfg.horizon;
         while self.n_completed < self.flows.len() {
-            let Some((now, ev)) = self.q.pop() else {
-                break; // nothing left to do (stalled flows hit no timer?)
-            };
-            if now > horizon {
-                break;
+            // Peek before popping: an event past the horizon must stay in
+            // the queue (end-of-run accounting counts it as in flight) and
+            // must not advance the clock past the horizon (it would inflate
+            // `sim_end` and every rate derived from it).
+            match self.q.peek_time() {
+                Some(t) if t <= horizon => {}
+                _ => break, // queue empty, or nothing left before the horizon
             }
+            let (now, ev) = self.q.pop().expect("peeked event vanished");
             self.events += 1;
             match ev {
                 Event::FlowStart(i) => self.on_flow_start(i, now),
                 Event::TxDone { port, pkt } => self.on_tx_done(port, pkt, now),
-                Event::Arrive { node, pkt } => self.on_arrive(node, pkt, now),
+                Event::Arrive { node, pkt } => {
+                    self.arrive_seen += 1;
+                    if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
+                        // Injected driver bug (audit tests only): the packet
+                        // vanishes without any accounting layer hearing of it.
+                        continue;
+                    }
+                    self.on_arrive(node, pkt, now);
+                }
                 Event::Timer { flow } => self.on_timer(flow, now),
                 Event::LbTick { leaf } => self.on_lb_tick(leaf, now),
                 Event::LinkChange(i) => self.on_link_change(i as usize),
@@ -309,7 +334,11 @@ impl Net {
         if leaf == 0 {
             if let Some(qth) = l.lb.q_threshold() {
                 // Saturate "infinite" to a plottable sentinel.
-                let v = if qth == u64::MAX { f64::INFINITY } else { qth as f64 };
+                let v = if qth == u64::MAX {
+                    f64::INFINITY
+                } else {
+                    qth as f64
+                };
                 self.qth_series.push((now.as_secs_f64(), v));
             }
         }
@@ -328,6 +357,7 @@ impl Net {
         for o in out.drain(..) {
             match o {
                 SenderOutput::Send(pkt) => {
+                    self.audit.emitted(&pkt);
                     self.enqueue(PortRef::HostNic(src.0), pkt, now);
                 }
                 SenderOutput::ArmTimer { deadline } => {
@@ -343,7 +373,11 @@ impl Net {
 
     /// Record leaf-0's uplink occupancy and re-arm the sampler.
     fn on_queue_sample(&mut self, now: SimTime) {
-        let lens: Vec<u32> = self.leaves[0].up.iter().map(|p| p.len_pkts() as u32).collect();
+        let lens: Vec<u32> = self.leaves[0]
+            .up
+            .iter()
+            .map(|p| p.len_pkts() as u32)
+            .collect();
         self.queue_series.push((now.as_secs_f64(), lens));
         let next = now + self.cfg.series_bucket;
         if next <= self.cfg.horizon {
@@ -371,9 +405,7 @@ impl Net {
         match r {
             PortRef::HostNic(h) => &mut self.host_nics[h as usize],
             PortRef::LeafUp { leaf, up } => &mut self.leaves[leaf as usize].up[up as usize],
-            PortRef::LeafDown { leaf, slot } => {
-                &mut self.leaves[leaf as usize].down[slot as usize]
-            }
+            PortRef::LeafDown { leaf, slot } => &mut self.leaves[leaf as usize].down[slot as usize],
             PortRef::SpineDown { spine, leaf } => {
                 &mut self.spines[spine as usize].down[leaf as usize]
             }
@@ -382,9 +414,7 @@ impl Net {
 
     fn next_node(&self, r: PortRef) -> NodeRef {
         match r {
-            PortRef::HostNic(h) => {
-                NodeRef::Leaf(self.cfg.topo.leaf_of(HostId(h)).index() as u16)
-            }
+            PortRef::HostNic(h) => NodeRef::Leaf(self.cfg.topo.leaf_of(HostId(h)).index() as u16),
             PortRef::LeafUp { up, .. } => NodeRef::Spine(up),
             PortRef::LeafDown { leaf, slot } => NodeRef::Host(
                 (leaf as usize * self.cfg.topo.hosts_per_leaf() + slot as usize) as u32,
@@ -397,8 +427,10 @@ impl Net {
         if self.traced[pkt.flow.index()] {
             self.trace(r, &pkt, now);
         }
+        self.audit.enqueue_attempt(&pkt);
         match self.port_mut(r).enqueue(pkt, now) {
             Enqueued::Queued { was_idle, .. } => {
+                self.audit.enqueued(&pkt);
                 if was_idle {
                     self.start_tx(r, now);
                 }
@@ -406,19 +438,17 @@ impl Net {
             Enqueued::Dropped => {
                 // Loss is recovered by the transport; counters live in the
                 // port stats.
+                self.audit.dropped(&pkt);
             }
         }
     }
 
     fn start_tx(&mut self, r: PortRef, now: SimTime) {
-        let is_short = |net: &Net, f: FlowId| {
-            net.flows[f.index()].size_bytes < net.cfg.short_threshold
-        };
+        let is_short =
+            |net: &Net, f: FlowId| net.flows[f.index()].size_bytes < net.cfg.short_threshold;
         let (pkt, tx_time, wait) = {
             let port = self.port_mut(r);
-            let pkt = port
-                .start_service()
-                .expect("start_tx on an empty port");
+            let pkt = port.start_service().expect("start_tx on an empty port");
             let t = port.tx_time(pkt.wire_bytes as u64);
             (pkt, t, now.saturating_sub(pkt.enqueued_at))
         };
@@ -433,10 +463,12 @@ impl Net {
             self.short_qdelay.push(w);
             self.short_qdelay_series.add(now, w);
         }
+        self.audit.tx_started(&pkt);
         self.q.push(now + tx_time, Event::TxDone { port: r, pkt });
     }
 
     fn on_tx_done(&mut self, r: PortRef, pkt: Packet, now: SimTime) {
+        self.audit.tx_done(&pkt);
         let (more, prop) = {
             let port = self.port_mut(r);
             (port.finish_service(&pkt), port.link().prop_delay)
@@ -449,6 +481,7 @@ impl Net {
     }
 
     fn on_arrive(&mut self, node: NodeRef, pkt: Packet, now: SimTime) {
+        self.audit.arrived(&pkt);
         match node {
             NodeRef::Spine(s) => {
                 let leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u16;
@@ -502,6 +535,7 @@ impl Net {
 
     fn deliver_to_host(&mut self, h: u32, pkt: Packet, now: SimTime) {
         debug_assert_eq!(pkt.dst.0, h, "packet delivered to the wrong host");
+        self.audit.delivered(&pkt);
         if self.traced[pkt.flow.index()] {
             self.traces.push(crate::report::TraceEvent {
                 flow: pkt.flow,
@@ -514,10 +548,10 @@ impl Net {
         let fi = pkt.flow.index();
         match pkt.kind {
             PktKind::Syn => {
-                let receiver = self.receivers[fi].get_or_insert_with(|| {
-                    TcpReceiver::new(pkt.flow, pkt.dst, pkt.src)
-                });
+                let receiver = self.receivers[fi]
+                    .get_or_insert_with(|| TcpReceiver::new(pkt.flow, pkt.dst, pkt.src));
                 let synack = receiver.on_syn(now);
+                self.audit.emitted(&synack);
                 self.enqueue(PortRef::HostNic(h), synack, now);
             }
             PktKind::Data => {
@@ -555,6 +589,7 @@ impl Net {
                         self.q.push(now, Event::FlowStart(nf));
                     }
                 }
+                self.audit.emitted(&ack);
                 self.enqueue(PortRef::HostNic(h), ack, now);
             }
             PktKind::SynAck | PktKind::Ack => {
@@ -574,9 +609,14 @@ impl Net {
 
     // ---- reporting ---------------------------------------------------
 
-    fn into_report(self, wall: std::time::Duration) -> RunReport {
-        let sim_end = self.q.now();
+    fn into_report(mut self, wall: std::time::Duration) -> RunReport {
+        // The clock can only pass the horizon through a bug (the run loop
+        // stops *before* popping any later event); clamp as a backstop so a
+        // regression can't inflate every duration-derived rate.
+        let sim_end = self.q.now().min(self.cfg.horizon);
         let dur = sim_end.as_secs_f64().max(1e-9);
+
+        let audit = self.finish_audit();
 
         let mut short = ClassCounters::default();
         let mut long = ClassCounters::default();
@@ -605,8 +645,7 @@ impl Net {
             .leaves
             .iter()
             .map(|l| {
-                l.up
-                    .iter()
+                l.up.iter()
                     .map(|p| p.stats().busy.as_secs_f64() / dur)
                     .collect()
             })
@@ -659,9 +698,78 @@ impl Net {
             queue_series: self.queue_series,
             lb_decisions: self.lb_decisions,
             events: self.events,
+            audit,
             sim_end,
             wall,
         }
+    }
+
+    /// Close the packet-conservation ledger: feed it the end-of-run
+    /// residuals (queued packets, pending serializations and propagations),
+    /// per-port accounting snapshots, the engine's clock counter, and each
+    /// live sender's invariant check, then let it verify everything (see
+    /// [`crate::audit`]). Drains the event queue; call only from
+    /// [`Net::into_report`].
+    fn finish_audit(&mut self) -> Option<crate::audit::AuditReport> {
+        let mut ledger = std::mem::replace(&mut self.audit, AuditLedger::new(false));
+        if !ledger.enabled() {
+            return None;
+        }
+
+        let mut ports: Vec<(String, &OutPort)> = Vec::new();
+        for (h, p) in self.host_nics.iter().enumerate() {
+            ports.push((format!("host{h}.nic"), p));
+        }
+        for (l, leaf) in self.leaves.iter().enumerate() {
+            for (s, p) in leaf.up.iter().enumerate() {
+                ports.push((format!("leaf{l}.up{s}"), p));
+            }
+            for (d, p) in leaf.down.iter().enumerate() {
+                ports.push((format!("leaf{l}.down{d}"), p));
+            }
+        }
+        for (s, spine) in self.spines.iter().enumerate() {
+            for (l, p) in spine.down.iter().enumerate() {
+                ports.push((format!("spine{s}.down{l}"), p));
+            }
+        }
+
+        for (_, p) in &ports {
+            for pkt in p.iter_queued() {
+                ledger.residual_queued(pkt);
+            }
+        }
+        let port_audits: Vec<PortAudit> = ports
+            .iter()
+            .map(|(label, p)| PortAudit::of(label.clone(), p))
+            .collect();
+
+        let monotonicity = self.q.monotonicity_violations();
+        for (_, ev) in self.q.drain_unordered() {
+            match ev {
+                Event::TxDone { pkt, .. } => ledger.residual_in_service(&pkt),
+                Event::Arrive { pkt, .. } => ledger.residual_propagating(&pkt),
+                _ => {}
+            }
+        }
+
+        let mut senders_checked = 0;
+        let mut sender_violations: Vec<(usize, String)> = Vec::new();
+        for (i, s) in self.senders.iter().enumerate() {
+            if let Some(s) = s {
+                senders_checked += 1;
+                if let Some(v) = s.invariant_violation() {
+                    sender_violations.push((i, v));
+                }
+            }
+        }
+
+        ledger.finish(
+            &port_audits,
+            monotonicity,
+            &sender_violations,
+            senders_checked,
+        )
     }
 }
 

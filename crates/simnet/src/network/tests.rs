@@ -210,7 +210,10 @@ fn intra_leaf_flow_bypasses_uplinks() {
     }];
     let r = run_basic(Scheme::Ecmp, flows);
     assert_eq!(r.completed, 1);
-    assert_eq!(r.lb_decisions, 0, "intra-rack traffic never consults the LB");
+    assert_eq!(
+        r.lb_decisions, 0,
+        "intra-rack traffic never consults the LB"
+    );
     assert_eq!(r.mean_uplink_utilization(), 0.0);
 }
 
@@ -379,14 +382,18 @@ fn mid_run_link_change_applies() {
         bw_factor: 0.5,
         extra_delay: SimTime::ZERO,
     });
-    let r = Simulation::new(cfg, vec![FlowSpec {
-        id: FlowId(0),
-        src: HostId(0),
-        dst: HostId(2),
-        size_bytes: 5_000_000,
-        start: SimTime::ZERO,
-        deadline: None,
-    }]).run();
+    let r = Simulation::new(
+        cfg,
+        vec![FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(2),
+            size_bytes: 5_000_000,
+            start: SimTime::ZERO,
+            deadline: None,
+        }],
+    )
+    .run();
     assert_eq!(r.completed, 1);
     let fct = r.fct.fct_of(FlowId(0)).unwrap();
     // 5 MB at 1 Gbit/s ~ 40 ms; at 0.5 Gbit/s after the first ms ~ 79 ms.
@@ -420,8 +427,14 @@ fn double_chaining_rejected() {
     let cfg = crate::SimConfig::basic_paper(Scheme::Ecmp);
     let flows = one_flow(1000);
     let mut flows3 = flows.clone();
-    flows3.push(FlowSpec { id: FlowId(1), ..flows[0] });
-    flows3.push(FlowSpec { id: FlowId(2), ..flows[0] });
+    flows3.push(FlowSpec {
+        id: FlowId(1),
+        ..flows[0]
+    });
+    flows3.push(FlowSpec {
+        id: FlowId(2),
+        ..flows[0]
+    });
     // Flows 0 and 1 both claim flow 2 as successor.
     let _ = Simulation::new_chained(cfg, flows3, vec![Some(2), Some(2), None]);
 }

@@ -186,7 +186,11 @@ pub struct RunReport {
     pub queue_series: Vec<(f64, Vec<u32>)>,
     /// Events processed by the engine.
     pub events: u64,
-    /// Simulated time at which the run ended.
+    /// Packet-conservation audit outcome — `Some` iff the run had
+    /// [`crate::SimConfig::audit`] set (a failing audit panics instead of
+    /// reporting).
+    pub audit: Option<crate::audit::AuditReport>,
+    /// Simulated time at which the run ended (never past the horizon).
     pub sim_end: SimTime,
     /// Wall-clock runtime.
     pub wall: std::time::Duration,

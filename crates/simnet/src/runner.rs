@@ -65,7 +65,10 @@ mod tests {
         let (cfg_a, flows_a) = small_job(Scheme::letflow_default(), 3);
         let serial = run_one(cfg_a, flows_a);
         let par = run_all(vec![small_job(Scheme::letflow_default(), 3)]);
-        assert_eq!(serial.events, par[0].events, "parallel run must not change results");
+        assert_eq!(
+            serial.events, par[0].events,
+            "parallel run must not change results"
+        );
         assert_eq!(serial.fct_short.afct, par[0].fct_short.afct);
     }
 }

@@ -118,9 +118,12 @@ impl Scheme {
     pub fn extended_set() -> Vec<Scheme> {
         let mut s = Scheme::paper_set();
         s.insert(4, Scheme::Drill { d: 2, m: 1 });
-        s.insert(5, Scheme::CongaLite {
-            timeout: SimTime::from_micros(500),
-        });
+        s.insert(
+            5,
+            Scheme::CongaLite {
+                timeout: SimTime::from_micros(500),
+            },
+        );
         s.insert(6, Scheme::flowbender_default());
         s.insert(7, Scheme::hermes_default());
         s.insert(8, Scheme::Wcmp);

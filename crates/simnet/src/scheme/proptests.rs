@@ -18,7 +18,15 @@ fn ports(lens: &[u8]) -> Vec<OutPort> {
             let mut p = OutPort::new(link, cfg);
             for s in 0..n {
                 p.enqueue(
-                    Packet::data(FlowId(u32::MAX), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                    Packet::data(
+                        FlowId(u32::MAX),
+                        HostId(0),
+                        HostId(1),
+                        s as u32,
+                        1460,
+                        40,
+                        SimTime::ZERO,
+                    ),
                     SimTime::ZERO,
                 );
             }

@@ -50,6 +50,11 @@ impl<'a> PortView<'a> {
     /// The uplink with the fewest queued bytes (lowest index on ties) —
     /// the "shortest queue" both TLB rules route to.
     pub fn shortest_bytes(&self) -> usize {
+        assert!(
+            !self.ports.is_empty(),
+            "PortView::shortest_bytes on a leaf with no uplink ports \
+             (build the topology with at least one spine)"
+        );
         let mut best = 0;
         let mut best_bytes = self.ports[0].len_bytes();
         for (i, p) in self.ports.iter().enumerate().skip(1) {
@@ -68,6 +73,11 @@ impl<'a> PortView<'a> {
     /// under DCTCP's shallow queues), synchronizing flows onto one uplink —
     /// the classic pitfall randomized "power of choices" schemes avoid.
     pub fn shortest_bytes_rand(&self, rng: &mut tlb_engine::SimRng) -> usize {
+        assert!(
+            !self.ports.is_empty(),
+            "PortView::shortest_bytes_rand on a leaf with no uplink ports \
+             (build the topology with at least one spine)"
+        );
         let mut best = 0;
         let mut best_bytes = self.ports[0].len_bytes();
         let mut ties = 1u64;
@@ -90,6 +100,11 @@ impl<'a> PortView<'a> {
 
     /// The uplink with the fewest queued packets (lowest index on ties).
     pub fn shortest_pkts(&self) -> usize {
+        assert!(
+            !self.ports.is_empty(),
+            "PortView::shortest_pkts on a leaf with no uplink ports \
+             (build the topology with at least one spine)"
+        );
         let mut best = 0;
         let mut best_len = self.ports[0].len_pkts();
         for (i, p) in self.ports.iter().enumerate().skip(1) {
@@ -204,6 +219,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no uplink ports")]
+    fn shortest_bytes_rejects_empty_view() {
+        PortView::new(&[]).shortest_bytes();
+    }
+
+    #[test]
+    #[should_panic(expected = "no uplink ports")]
+    fn shortest_pkts_rejects_empty_view() {
+        PortView::new(&[]).shortest_pkts();
+    }
+
+    #[test]
+    #[should_panic(expected = "no uplink ports")]
+    fn shortest_bytes_rand_rejects_empty_view() {
+        let mut rng = tlb_engine::SimRng::new(1);
+        PortView::new(&[]).shortest_bytes_rand(&mut rng);
+    }
+
+    #[test]
     fn view_reports_lengths() {
         let ps = ports(&[0, 4]);
         let v = PortView::new(&ps);
@@ -234,7 +268,15 @@ mod rand_tiebreak_tests {
                 let mut p = OutPort::new(link, cfg);
                 for s in 0..n {
                     p.enqueue(
-                        Packet::data(FlowId(0), HostId(0), HostId(1), s as u32, 1460, 40, SimTime::ZERO),
+                        Packet::data(
+                            FlowId(0),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
                         SimTime::ZERO,
                     );
                 }

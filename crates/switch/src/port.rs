@@ -134,7 +134,10 @@ impl OutPort {
         }
         let mut marked = false;
         if let Some(k) = self.cfg.ecn_threshold_pkts {
-            if pkt.ecn_capable() && self.queue.len() >= k {
+            // The instantaneous queue DCTCP marks against includes the
+            // packet being serialized: it has left `queue` but not the port.
+            let occupancy = self.queue.len() + self.serializing as usize;
+            if pkt.ecn_capable() && occupancy >= k {
                 pkt.mark_ce();
                 marked = true;
                 self.stats.marked += 1;
@@ -180,9 +183,24 @@ impl OutPort {
         &self.stats
     }
 
+    /// True while a packet is being serialized (popped from the queue but
+    /// not yet fully on the wire).
+    #[inline]
+    pub fn in_service(&self) -> bool {
+        self.serializing
+    }
+
+    /// The packets currently queued (excluding the one in service), head
+    /// first. Exposed for end-of-run conservation audits.
+    pub fn iter_queued(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+
     /// Queueing delay the head-of-line packet has accumulated so far.
     pub fn head_wait(&self, now: SimTime) -> Option<SimTime> {
-        self.queue.front().map(|p| now.saturating_sub(p.enqueued_at))
+        self.queue
+            .front()
+            .map(|p| now.saturating_sub(p.enqueued_at))
     }
 }
 
@@ -268,6 +286,48 @@ mod tests {
             p.finish_service(&pkt);
         }
         assert_eq!(ce, 2);
+    }
+
+    #[test]
+    fn ecn_counts_in_service_packet() {
+        // DCTCP's instantaneous queue is what the port still holds: queued
+        // packets plus the one being serialized. With K = 2, a packet that
+        // sees one queued and one in service must be marked.
+        let mut p = OutPort::new(link(), cfg(16, Some(2)));
+        p.enqueue(data(0), SimTime::ZERO);
+        let head = p.start_service().unwrap();
+        // Occupancy 1 (in service only): below K, unmarked.
+        assert_eq!(
+            p.enqueue(data(1), SimTime::ZERO),
+            Enqueued::Queued {
+                marked: false,
+                was_idle: false
+            }
+        );
+        // Occupancy 2 (one queued + one in service): at K, marked.
+        assert_eq!(
+            p.enqueue(data(2), SimTime::ZERO),
+            Enqueued::Queued {
+                marked: true,
+                was_idle: false
+            }
+        );
+        assert_eq!(p.stats().marked, 1);
+        p.finish_service(&head);
+    }
+
+    #[test]
+    fn audit_accessors_reflect_state() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        assert!(!p.in_service());
+        p.enqueue(data(0), SimTime::ZERO);
+        p.enqueue(data(1), SimTime::ZERO);
+        let head = p.start_service().unwrap();
+        assert!(p.in_service());
+        let queued: Vec<u32> = p.iter_queued().map(|q| q.seq).collect();
+        assert_eq!(queued, vec![1], "in-service packet is not in the queue");
+        p.finish_service(&head);
+        assert!(!p.in_service());
     }
 
     #[test]

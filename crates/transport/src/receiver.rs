@@ -117,7 +117,14 @@ impl TcpReceiver {
         if !advanced {
             self.stats.dup_acks_sent += 1;
         }
-        let mut ack = Packet::control(self.flow, self.host, self.peer, PktKind::Ack, self.rcv_nxt, now);
+        let mut ack = Packet::control(
+            self.flow,
+            self.host,
+            self.peer,
+            PktKind::Ack,
+            self.rcv_nxt,
+            now,
+        );
         if pkt.ce() {
             ack.flags.set(PktFlags::ECE, true);
         }
@@ -135,7 +142,15 @@ mod tests {
     }
 
     fn seg(seq: u32, ce: bool) -> Packet {
-        let mut p = Packet::data(FlowId(1), HostId(0), HostId(9), seq, 1460, 40, SimTime::ZERO);
+        let mut p = Packet::data(
+            FlowId(1),
+            HostId(0),
+            HostId(9),
+            seq,
+            1460,
+            40,
+            SimTime::ZERO,
+        );
         if ce {
             p.mark_ce();
         }

@@ -73,6 +73,9 @@ pub struct TcpSender {
     // Retransmission timer (lazy re-arm: at most one pending event).
     timer_pending: bool,
     deadline: SimTime,
+    /// When the pending timer event was armed; `deadline` may only move
+    /// forward from here while `timer_pending` (audit invariant).
+    armed_at: SimTime,
     rto: SimTime,
     srtt: Option<f64>,
     rttvar: f64,
@@ -92,7 +95,13 @@ pub struct TcpSender {
 
 impl TcpSender {
     /// Create a sender for `size_bytes` of payload from `host` to `peer`.
-    pub fn new(cfg: TcpConfig, flow: FlowId, host: HostId, peer: HostId, size_bytes: u64) -> TcpSender {
+    pub fn new(
+        cfg: TcpConfig,
+        flow: FlowId,
+        host: HostId,
+        peer: HostId,
+        size_bytes: u64,
+    ) -> TcpSender {
         cfg.validate().expect("invalid TCP configuration");
         assert!(size_bytes > 0, "zero-length flow");
         let mss = cfg.mss as u64;
@@ -116,6 +125,7 @@ impl TcpSender {
             recover: 0,
             timer_pending: false,
             deadline: SimTime::ZERO,
+            armed_at: SimTime::ZERO,
             srtt: None,
             rttvar: 0.0,
             rtt_sample: None,
@@ -168,6 +178,55 @@ impl TcpSender {
         self.in_recovery
     }
 
+    /// Oldest unacknowledged segment (alias of [`TcpSender::acked_segs`]
+    /// under its RFC name, for invariant checks).
+    pub fn snd_una(&self) -> u32 {
+        self.snd_una
+    }
+
+    /// Next segment to be sent for the first time.
+    pub fn snd_nxt(&self) -> u32 {
+        self.snd_nxt
+    }
+
+    /// Smoothed RTT estimate in seconds, once a valid sample exists.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    /// True while a retransmission-timer event is outstanding.
+    pub fn timer_pending(&self) -> bool {
+        self.timer_pending
+    }
+
+    /// The pending timer's deadline (meaningful while
+    /// [`TcpSender::timer_pending`]).
+    pub fn timer_deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// Check the sender's structural invariants; returns a description of
+    /// the first violated one. The simulator's conservation audit calls
+    /// this for every live sender at end of run.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if self.snd_una > self.snd_nxt {
+            return Some(format!(
+                "snd_una {} > snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            ));
+        }
+        if self.cwnd < 1.0 {
+            return Some(format!("cwnd {} < 1 segment", self.cwnd));
+        }
+        if self.timer_pending && self.deadline < self.armed_at {
+            return Some(format!(
+                "pending timer deadline {} precedes its arming time {}",
+                self.deadline, self.armed_at
+            ));
+        }
+        None
+    }
+
     /// Begin the connection: emit the SYN and arm the handshake timer.
     pub fn start(&mut self, now: SimTime, out: &mut Vec<SenderOutput>) {
         debug_assert_eq!(self.phase, Phase::Handshake);
@@ -210,6 +269,7 @@ impl TcpSender {
                 deadline: self.deadline,
             });
             self.timer_pending = true;
+            self.armed_at = now;
             return;
         }
         self.stats.timeouts += 1;
@@ -217,7 +277,12 @@ impl TcpSender {
         match self.phase {
             Phase::Handshake => {
                 let syn = Packet::control(self.flow, self.host, self.peer, PktKind::Syn, 0, now);
-                self.syn_sent_at = Some(now);
+                // Karn's rule applies to the handshake too: once the SYN is
+                // retransmitted, a SYN-ACK can't be attributed to either
+                // copy, so no RTT sample may be taken from it. (Re-stamping
+                // `syn_sent_at = Some(now)` here would credit a SYN-ACK
+                // elicited by the *original* SYN with a falsely small RTT.)
+                self.syn_sent_at = None;
                 out.push(SenderOutput::Send(syn));
             }
             Phase::Established => {
@@ -398,7 +463,14 @@ impl TcpSender {
 
     fn finish(&mut self, now: SimTime, out: &mut Vec<SenderOutput>) {
         self.phase = Phase::Closed;
-        let fin = Packet::control(self.flow, self.host, self.peer, PktKind::Fin, self.total_segs, now);
+        let fin = Packet::control(
+            self.flow,
+            self.host,
+            self.peer,
+            PktKind::Fin,
+            self.total_segs,
+            now,
+        );
         out.push(SenderOutput::Send(fin));
         out.push(SenderOutput::Finished);
     }
@@ -429,6 +501,7 @@ impl TcpSender {
                 deadline: self.deadline,
             });
             self.timer_pending = true;
+            self.armed_at = now;
         }
     }
 }

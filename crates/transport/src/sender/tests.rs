@@ -106,7 +106,11 @@ fn receive_window_caps_flight() {
     let mut total_sent = sent_data(&out).len() as u32;
     for a in 1..=400u32 {
         out.clear();
-        s.on_packet(&ack(a, false, us(100 + a as u64)), us(100 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, false, us(100 + a as u64)),
+            us(100 + a as u64),
+            &mut out,
+        );
         total_sent += sent_data(&out).len() as u32;
         let flight = total_sent - a;
         assert!(flight <= 44, "flight {flight} exceeds rwnd at ack {a}");
@@ -124,7 +128,11 @@ fn three_dup_acks_trigger_fast_retransmit() {
     // Grow the window a bit: ack 1..=8.
     for a in 1..=8 {
         out.clear();
-        s.on_packet(&ack(a, false, us(200 + a as u64)), us(200 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, false, us(200 + a as u64)),
+            us(200 + a as u64),
+            &mut out,
+        );
     }
     assert!(!s.in_recovery());
     // Segment 8 lost: three dup ACKs for 8.
@@ -154,7 +162,11 @@ fn full_ack_exits_recovery_at_ssthresh() {
     s.on_packet(&synack(us(100)), us(100), &mut out);
     for a in 1..=8 {
         out.clear();
-        s.on_packet(&ack(a, false, us(200 + a as u64)), us(200 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, false, us(200 + a as u64)),
+            us(200 + a as u64),
+            &mut out,
+        );
     }
     let cwnd_before = s.cwnd();
     for i in 0..3 {
@@ -184,7 +196,11 @@ fn partial_ack_retransmits_next_hole() {
     s.on_packet(&synack(us(100)), us(100), &mut out);
     for a in 1..=8 {
         out.clear();
-        s.on_packet(&ack(a, false, us(200 + a as u64)), us(200 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, false, us(200 + a as u64)),
+            us(200 + a as u64),
+            &mut out,
+        );
     }
     for i in 0..3 {
         out.clear();
@@ -196,7 +212,10 @@ fn partial_ack_retransmits_next_hole() {
     s.on_packet(&ack(10, false, us(400)), us(400), &mut out);
     assert!(s.in_recovery(), "partial ACK stays in recovery");
     let rtx = sent_data(&out);
-    assert!(rtx.iter().any(|p| p.seq == 10), "retransmit next hole: {rtx:?}");
+    assert!(
+        rtx.iter().any(|p| p.seq == 10),
+        "retransmit next hole: {rtx:?}"
+    );
     assert!(s.stats().retransmits >= 2);
 }
 
@@ -294,7 +313,11 @@ fn dctcp_no_marks_no_cuts() {
     s.on_packet(&synack(us(100)), us(100), &mut out);
     for a in 1..=100u32 {
         out.clear();
-        s.on_packet(&ack(a, false, us(200 + a as u64)), us(200 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, false, us(200 + a as u64)),
+            us(200 + a as u64),
+            &mut out,
+        );
     }
     assert_eq!(s.alpha(), 0.0);
     assert_eq!(s.stats().dctcp_cuts, 0);
@@ -315,7 +338,11 @@ fn newreno_config_ignores_ece() {
     s.on_packet(&synack(us(100)), us(100), &mut out);
     for a in 1..=50u32 {
         out.clear();
-        s.on_packet(&ack(a, true, us(200 + a as u64)), us(200 + a as u64), &mut out);
+        s.on_packet(
+            &ack(a, true, us(200 + a as u64)),
+            us(200 + a as u64),
+            &mut out,
+        );
     }
     assert_eq!(s.stats().ece_acks, 0);
     assert_eq!(s.stats().dctcp_cuts, 0);
@@ -370,6 +397,67 @@ fn rtt_estimator_tracks_handshake_sample() {
     // Handshake RTT = 100 us; RTO clamps to min_rto (10 ms).
     s.on_packet(&synack(us(100)), us(100), &mut out);
     assert_eq!(s.rto(), cfg().min_rto);
+}
+
+#[test]
+fn retransmitted_syn_takes_no_rtt_sample() {
+    // Karn's rule on the handshake: after a SYN retransmission, a SYN-ACK
+    // may have been elicited by the original SYN, so its RTT is ambiguous
+    // and must not feed the estimator. Here the initial RTO is 10 ms, the
+    // SYN is retransmitted at 11 ms, and a SYN-ACK (responding to the
+    // first SYN) lands 1 ms later: the "sample" it would yield, 1 ms,
+    // is an order of magnitude below the true 12 ms path RTT.
+    let cfg = cfg();
+    let mut s = sender(100 * 1460);
+    let mut out = Vec::new();
+    s.start(us(0), &mut out);
+    out.clear();
+    s.on_timer(cfg.initial_rto + us(1_000), &mut out);
+    assert_eq!(s.stats().timeouts, 1);
+    let backed_off = s.rto();
+    assert_eq!(backed_off, cfg.initial_rto * 2, "timeout doubles the RTO");
+    out.clear();
+    let at = cfg.initial_rto + us(2_000);
+    s.on_packet(&synack(at), at, &mut out);
+    assert!(!sent_data(&out).is_empty(), "connection is established");
+    assert_eq!(s.srtt(), None, "ambiguous handshake sample must be dropped");
+    assert_eq!(
+        s.rto(),
+        backed_off,
+        "RTO keeps its backoff, not a bogus 1 ms sample"
+    );
+}
+
+#[test]
+fn clean_handshake_still_seeds_rtt() {
+    // The Karn fix must not suppress the legitimate first sample.
+    let mut s = sender(100 * 1460);
+    let mut out = Vec::new();
+    s.start(us(0), &mut out);
+    out.clear();
+    s.on_packet(&synack(us(100)), us(100), &mut out);
+    assert_eq!(s.srtt(), Some(100e-6));
+}
+
+#[test]
+fn invariants_hold_through_transfer_and_timeout() {
+    let cfg = cfg();
+    let mut s = sender(10 * 1460);
+    let mut out = Vec::new();
+    s.start(us(0), &mut out);
+    assert_eq!(s.invariant_violation(), None);
+    out.clear();
+    s.on_packet(&synack(us(100)), us(100), &mut out);
+    assert!(s.timer_pending());
+    assert!(s.timer_deadline() >= us(100));
+    out.clear();
+    s.on_packet(&ack(2, false, us(200)), us(200), &mut out);
+    assert_eq!(s.snd_una(), 2);
+    assert!(s.snd_nxt() >= s.snd_una());
+    assert_eq!(s.invariant_violation(), None);
+    out.clear();
+    s.on_timer(us(200) + cfg.max_rto, &mut out);
+    assert_eq!(s.invariant_violation(), None);
 }
 
 #[test]
@@ -479,8 +567,15 @@ fn loopback_lossless_transfer_completes() {
 fn loopback_survives_5pct_loss() {
     let segs = 400u64;
     let (s, r) = run_lossy_transfer(segs * 1460, 5, 7);
-    assert_eq!(r.delivered_segs() as u64, segs, "all data delivered despite loss");
-    assert!(s.stats().retransmits > 0, "losses must have caused retransmits");
+    assert_eq!(
+        r.delivered_segs() as u64,
+        segs,
+        "all data delivered despite loss"
+    );
+    assert!(
+        s.stats().retransmits > 0,
+        "losses must have caused retransmits"
+    );
 }
 
 #[test]

@@ -88,9 +88,9 @@ pub fn basic_mix(topo: &LeafSpine, cfg: &BasicMixConfig, rng: &mut SimRng) -> Ve
     let mut t = 0.0;
     for i in 0..cfg.n_short {
         t += rng.exp(mean_gap);
-        let deadline_ns = rng.gen_range(
-            cfg.deadline_hi.as_nanos() - cfg.deadline_lo.as_nanos() + 1,
-        ) + cfg.deadline_lo.as_nanos();
+        let deadline_ns = rng
+            .gen_range(cfg.deadline_hi.as_nanos() - cfg.deadline_lo.as_nanos() + 1)
+            + cfg.deadline_lo.as_nanos();
         specs.push(FlowSpec {
             id: FlowId(0),
             src: senders[(cfg.n_long + i) % senders.len()],

@@ -136,9 +136,8 @@ mod tests {
         let w = workload(&d, 0.5);
         let specs = w.generate(&t, &mut rng);
         let bytes: u64 = specs.iter().map(|s| s.size_bytes).sum();
-        let capacity = t.host_link().bytes_per_sec as f64
-            * t.n_hosts() as f64
-            * w.duration.as_secs_f64();
+        let capacity =
+            t.host_link().bytes_per_sec as f64 * t.n_hosts() as f64 * w.duration.as_secs_f64();
         let achieved = bytes as f64 / capacity;
         // Heavy-tailed sizes make this noisy; just require the right scale.
         assert!(

@@ -247,10 +247,7 @@ mod tests {
         let d = web_search();
         let mut rng = SimRng::new(42);
         let n = 200_000;
-        let big = (0..n)
-            .filter(|_| d.sample(&mut rng) > 1_000_000)
-            .count() as f64
-            / n as f64;
+        let big = (0..n).filter(|_| d.sample(&mut rng) > 1_000_000).count() as f64 / n as f64;
         let expected = d.frac_larger_than(1_000_000.0);
         assert!(
             (big - expected).abs() < 0.01,
@@ -283,7 +280,10 @@ mod tests {
 
     #[test]
     fn uniform_bounds_and_mean() {
-        let d = UniformBytes { lo: 40_000, hi: 100_000 };
+        let d = UniformBytes {
+            lo: 40_000,
+            hi: 100_000,
+        };
         assert_eq!(d.mean(), 70_000.0);
         let mut rng = SimRng::new(1);
         for _ in 0..10_000 {

@@ -14,7 +14,10 @@ fn main() {
     mix.n_short = 60; // trimmed from 100 to keep the example snappy
     mix.n_long = 3;
 
-    println!("TLB quickstart — {} short + {} long flows, 15 equal-cost paths\n", mix.n_short, mix.n_long);
+    println!(
+        "TLB quickstart — {} short + {} long flows, 15 equal-cost paths\n",
+        mix.n_short, mix.n_long
+    );
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>14} {:>10}",
         "scheme", "AFCT(ms)", "p99(ms)", "miss(%)", "long(Mbit/s)", "reord(%)"

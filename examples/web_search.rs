@@ -21,7 +21,10 @@ fn main() {
     let hosts_per_leaf = 16;
     let duration = SimTime::from_millis(50);
 
-    println!("web-search workload, load {load}, {}ms of traffic\n", duration.as_millis_f64());
+    println!(
+        "web-search workload, load {load}, {}ms of traffic\n",
+        duration.as_millis_f64()
+    );
     println!(
         "{:<10} {:>9} {:>12} {:>12} {:>10} {:>14}",
         "scheme", "flows", "AFCT(ms)", "p99(ms)", "miss(%)", "long(Mbit/s)"

@@ -99,7 +99,11 @@ fn ecmp_never_reorders() {
     assert_eq!(r.short.out_of_order, 0);
     assert_eq!(r.long.out_of_order, 0);
     assert_eq!(r.drops, 0, "symmetric light load should not drop");
-    assert_eq!(r.short.dup_acks + r.long.dup_acks, 0, "no drops, no dupacks");
+    assert_eq!(
+        r.short.dup_acks + r.long.dup_acks,
+        0,
+        "no drops, no dupacks"
+    );
 }
 
 #[test]
@@ -145,8 +149,14 @@ fn deadline_misses_grow_with_tighter_deadlines() {
     let flows = basic_mix(&c.topo, &loose, &mut SimRng::new(17));
     let r_loose = Simulation::new(c, flows).run();
 
-    assert!(r_tight.fct_short.deadline_miss > 0.9, "sub-ms deadlines must mostly miss");
-    assert_eq!(r_loose.fct_short.deadline_miss, 0.0, "2s deadlines must all be met");
+    assert!(
+        r_tight.fct_short.deadline_miss > 0.9,
+        "sub-ms deadlines must mostly miss"
+    );
+    assert_eq!(
+        r_loose.fct_short.deadline_miss, 0.0,
+        "2s deadlines must all be met"
+    );
 }
 
 #[test]
@@ -172,7 +182,10 @@ fn chained_flows_run_sequentially() {
     // Sequential 100 kB transfers have similar FCTs — none is inflated by
     // waiting (its clock starts at launch, not at t=0).
     for (i, f) in [f0, f1, f2].iter().enumerate() {
-        assert!(*f < 0.01, "flow {i} fct {f} implausible for sequential runs");
+        assert!(
+            *f < 0.01,
+            "flow {i} fct {f} implausible for sequential runs"
+        );
     }
 }
 

@@ -11,7 +11,10 @@ fn sim_afct(m_s: usize, seed: u64) -> f64 {
     mix.n_short = m_s;
     mix.n_long = 3;
     let (flows, next) = sustained_mix(&cfg.topo, &mix, 8, &mut SimRng::new(seed));
-    Simulation::new_chained(cfg, flows, next).run().fct_short.afct
+    Simulation::new_chained(cfg, flows, next)
+        .run()
+        .fct_short
+        .afct
 }
 
 #[test]
@@ -23,7 +26,10 @@ fn fct_grows_with_short_load_in_both_worlds() {
         p.m_short = m;
         mean_fct_short(&p, 13.0).expect("stable")
     };
-    let sim_at: Vec<f64> = [40usize, 100, 160].iter().map(|&m| sim_afct(m, 5)).collect();
+    let sim_at: Vec<f64> = [40usize, 100, 160]
+        .iter()
+        .map(|&m| sim_afct(m, 5))
+        .collect();
     let model: Vec<f64> = [40.0, 100.0, 160.0].iter().map(|&m| model_at(m)).collect();
     for w in model.windows(2) {
         assert!(w[1] > w[0], "model not monotone: {model:?}");

@@ -1,0 +1,179 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the bench-definition surface it uses (`Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched_ref`,
+//! `Throughput`, `BatchSize`, `criterion_group!`/`criterion_main!`).
+//! Instead of statistical sampling, every routine runs a small fixed
+//! number of iterations and reports a coarse mean — enough to smoke-test
+//! the benches and get an order-of-magnitude number, not a rigorous
+//! measurement. See `vendor/README.md` for the replacement policy.
+
+use std::time::Instant;
+
+/// Iterations per routine: enough to amortize clock overhead, small
+/// enough that `cargo test` stays fast.
+const ITERS: u32 = 3;
+
+/// Throughput unit attached to a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint (ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        f(&mut b);
+        report(&name, b.elapsed_ns, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; the stub always runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher { elapsed_ns: 0.0 };
+        f(&mut b);
+        report(&label, b.elapsed_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark routine.
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = 0.0;
+        for _ in 0..ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed().as_nanos() as f64;
+        }
+        self.elapsed_ns = total / ITERS as f64;
+    }
+}
+
+fn report(label: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 * 1e9 / mean_ns)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("  {:.0} B/s", n as f64 * 1e9 / mean_ns)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label}: {:.1} us/iter{rate}", mean_ns / 1e3);
+}
+
+/// Collect bench functions under a group name (stub: a plain fn list).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running all groups once.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("iter", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of the rayon API it actually uses
+//! (`par_iter` / `into_par_iter` followed by standard iterator adapters)
+//! and executes it sequentially. Determinism tests already require that
+//! parallel and serial execution produce identical results, so swapping
+//! the execution strategy is observationally equivalent — only wall-clock
+//! time differs. See `vendor/README.md` for the replacement policy.
+
+/// The rayon prelude: parallel-iterator conversion traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Types convertible into a "parallel" iterator (sequential here).
+pub trait IntoParallelIterator {
+    /// Element type of the iterator.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Consume `self` and iterate over its elements.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl<T, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    type Iter = std::array::IntoIter<T, N>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate over borrowed elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_maps_and_collects() {
+        let v: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let xs = vec!["a", "b", "c"];
+        let out: Vec<&&str> = xs.par_iter().collect();
+        assert_eq!(out, vec![&"a", &"b", &"c"]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the thin slice of serde it uses: derive-able
+//! `Serialize`/`Deserialize` for flat structs, rendered to and parsed from
+//! JSON by the sibling `serde_json` stub. The trait shapes are simplified
+//! (JSON-only, no serializer abstraction); swap back to real serde by
+//! restoring the crates-io entries in the workspace manifest. See
+//! `vendor/README.md` for the replacement policy.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A value renderable as JSON.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A value parseable from JSON.
+pub trait Deserialize: Sized {
+    /// Build `Self` from a parsed JSON value.
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+macro_rules! impl_num {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+                match v {
+                    json::Value::Num(s) => s
+                        .parse::<$ty>()
+                        .map_err(|e| json::Error::new(format!("bad number {s:?}: {e}"))),
+                    other => Err(json::Error::new(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` is Rust's shortest round-trip float rendering.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            // JSON has no Inf/NaN; null is the conventional degradation.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Num(s) => s
+                .parse::<f64>()
+                .map_err(|e| json::Error::new(format!("bad float {s:?}: {e}"))),
+            json::Value::Null => Ok(f64::NAN),
+            other => Err(json::Error::new(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(json::Error::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::push_escaped(out, self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::push_escaped(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (*self).serialize_json(out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Str(s) => Ok(s.clone()),
+            other => Err(json::Error::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(json::Error::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stub `serde::Serialize` / `serde::Deserialize` traits for
+//! plain (non-generic) structs with named fields — the only shape this
+//! workspace derives on. Implemented without `syn`/`quote` (unavailable
+//! offline): the struct name and field names are recovered by scanning the
+//! raw token stream, and the impls are emitted as source text and re-parsed.
+//! See `vendor/README.md` for the replacement policy.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name + named-field list scraped from the derive input.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Scan the derive input for `struct <Name> { <fields> }`.
+///
+/// Skips outer attributes and visibility; rejects enums, tuple structs, and
+/// generics with a compile error (this stub does not need them).
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => return Err(format!("expected `struct`, found {other:?}")),
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("derive stub does not support generics on `{name}`"))
+        }
+        other => {
+            return Err(format!(
+                "derive stub supports only structs with named fields; `{name}` has {other:?}"
+            ))
+        }
+    };
+
+    // Field names: idents directly followed by `:` at angle-bracket depth 0,
+    // with attributes skipped. Commas inside `<...>` must not split fields,
+    // so depth tracking guards the scan.
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut at_field_start = true;
+    let mut body_tokens = body.into_iter().peekable();
+    while let Some(tok) = body_tokens.next() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                body_tokens.next(); // skip attribute group
+            }
+            TokenTree::Ident(id) if at_field_start && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = body_tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        body_tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                if matches!(body_tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    fields.push(id.to_string());
+                    at_field_start = false;
+                }
+            }
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => at_field_start = true,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (i, f) in shape.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::serialize_json(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::deserialize_json(v.field(\"{f}\")?)?,\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn deserialize_json(v: &::serde::json::Value)\n\
+                 -> Result<Self, ::serde::json::Error> {{\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}

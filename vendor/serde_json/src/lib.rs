@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides exactly the entry points this workspace calls — `to_string`,
+//! `to_string_pretty`, `from_str` — implemented over the vendored `serde`
+//! stub's JSON-only traits. See `vendor/README.md` for the replacement
+//! policy.
+
+pub use serde::json::{Error, Value};
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let parsed = serde::json::parse(&compact)?;
+    let mut out = String::new();
+    render_pretty(&parsed, 0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::json::parse(s)?;
+    T::deserialize_json(&v)
+}
+
+fn render_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(n),
+        Value::Str(s) => serde::json::push_escaped(out, s),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                render_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                serde::json::push_escaped(out, k);
+                out.push_str(": ");
+                render_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weight: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        count: u64,
+        flag: bool,
+        items: Vec<Inner>,
+        note: Option<String>,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            count: u64::MAX,
+            flag: true,
+            items: vec![
+                Inner {
+                    label: "a\"b".into(),
+                    weight: 0.1,
+                },
+                Inner {
+                    label: "c".into(),
+                    weight: 2.0,
+                },
+            ],
+            note: None,
+        }
+    }
+
+    #[test]
+    fn derive_round_trips() {
+        let s = super::to_string(&sample()).unwrap();
+        let back: Outer = super::from_str(&s).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let s = super::to_string_pretty(&sample()).unwrap();
+        assert!(s.contains('\n'));
+        let back: Outer = super::from_str(&s).unwrap();
+        assert_eq!(back, sample());
+    }
+}
