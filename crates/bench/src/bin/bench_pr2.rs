@@ -1,0 +1,57 @@
+//! `BENCH_PR2.json` emitter: time the §6.2 figure sweeps serial vs
+//! parallel and record the harness's perf trajectory.
+//!
+//! ```sh
+//! cargo run --release -p tlb-bench --bin bench_pr2             # quick
+//! TLB_THREADS=8 cargo run --release -p tlb-bench --bin bench_pr2
+//! ```
+//!
+//! Each sweep is the exact (scheme × load) batch the corresponding figure
+//! binary hands to `run_all`, timed once pinned to one thread and once on
+//! the pool, with the two runs cross-checked for bit-identical results.
+//! Output: `results/BENCH_PR2.json` (schema `tlb-bench-pr2/v1`).
+
+use tlb_bench::{large_scale_jobs, load_sweep, PerfReport, Scale};
+use tlb_simnet::Scheme;
+use tlb_workload::SizeDist;
+
+fn sweep_jobs(
+    dist: &impl SizeDist,
+    scale: Scale,
+) -> Vec<(tlb_simnet::SimConfig, Vec<tlb_workload::FlowSpec>)> {
+    let schemes = Scheme::paper_set();
+    let mut jobs = Vec::new();
+    for &load in &load_sweep(scale) {
+        jobs.extend(large_scale_jobs(&schemes, dist, load, scale));
+    }
+    jobs
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report = PerfReport::new();
+    println!(
+        "bench_pr2: {} scale, {} pool thread(s), {} host core(s)",
+        report.scale, report.threads, report.host_cores
+    );
+
+    let web = tlb_workload::web_search();
+    let mining = tlb_workload::data_mining();
+    for (name, dist) in [("fig10_web_search", &web), ("fig11_data_mining", &mining)] {
+        report.time_sweep(name, || sweep_jobs(dist, scale));
+        let e = report.entries.last().unwrap();
+        println!(
+            "  {:<20} {:>3} jobs  serial {:>8.0} ms  parallel {:>8.0} ms  speedup {:.2}x",
+            e.sweep, e.jobs, e.serial_ms, e.parallel_ms, e.speedup
+        );
+    }
+
+    println!(
+        "overall: serial {:.0} ms, parallel {:.0} ms, speedup {:.2}x",
+        report.total_serial_ms, report.total_parallel_ms, report.overall_speedup
+    );
+    if report.host_cores == 1 {
+        println!("note: single-core host — speedup ≈ 1.0 is expected here");
+    }
+    report.save();
+}

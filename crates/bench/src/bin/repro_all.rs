@@ -4,6 +4,12 @@
 //! cargo run --release -p tlb-bench --bin repro_all            # quick
 //! TLB_SCALE=full cargo run --release -p tlb-bench --bin repro_all
 //! ```
+//!
+//! Figures run one after another (their outputs interleave badly
+//! otherwise), but each binary fans its own (scheme × load × seed) batch
+//! out over the thread pool — `TLB_THREADS` (default: all cores) controls
+//! the width, and `bench_pr2` at the end records the serial-vs-parallel
+//! wall-clock trajectory to `results/BENCH_PR2.json`.
 
 use std::process::Command;
 
@@ -25,9 +31,15 @@ fn main() {
         "fig17",
         "ablation",
         "extensions",
+        "bench_pr2",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
+    println!(
+        "repro_all: {} pool thread(s) per figure ({} host core(s); set TLB_THREADS to override)",
+        rayon::current_num_threads(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     let t0 = std::time::Instant::now();
     let mut failed = Vec::new();
     for fig in figures {

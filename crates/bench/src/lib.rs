@@ -11,8 +11,10 @@
 
 pub mod harness;
 pub mod out;
+pub mod perf;
 pub mod scale;
 
 pub use harness::*;
 pub use out::Out;
+pub use perf::{PerfEntry, PerfReport};
 pub use scale::Scale;

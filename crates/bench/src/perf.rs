@@ -1,0 +1,196 @@
+//! `BENCH_PR2.json` — the harness's perf trajectory, tracked from PR 2 on.
+//!
+//! Each record times one figure-shaped sweep twice through
+//! [`tlb_simnet::run_all`]: pinned to a single thread (the serial
+//! baseline) and on the full pool. Reports carry the thread count and the
+//! host's core count so a 1-core CI runner's speedup ≈ 1.0 is
+//! distinguishable from a regression on a multi-core box. The emitter also
+//! cross-checks that serial and parallel runs produced identical results —
+//! a free end-to-end determinism audit on every perf run.
+
+use tlb_simnet::RunReport;
+
+/// Timing of one named sweep, serial vs parallel.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PerfEntry {
+    /// Which figure-shaped sweep (e.g. `fig10_web_search`).
+    pub sweep: String,
+    /// Number of independent simulation jobs in the batch.
+    pub jobs: usize,
+    /// Wall-clock of the single-threaded run (milliseconds).
+    pub serial_ms: f64,
+    /// Wall-clock of the pooled run (milliseconds).
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The whole `BENCH_PR2.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PerfReport {
+    /// Format tag for downstream tooling.
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the timed sweeps.
+    pub seed: u64,
+    /// Pool threads the parallel runs used.
+    pub threads: usize,
+    /// `available_parallelism()` of the host.
+    pub host_cores: usize,
+    /// Per-sweep timings.
+    pub entries: Vec<PerfEntry>,
+    /// Sum of serial wall-clocks (milliseconds).
+    pub total_serial_ms: f64,
+    /// Sum of parallel wall-clocks (milliseconds).
+    pub total_parallel_ms: f64,
+    /// `total_serial_ms / total_parallel_ms`.
+    pub overall_speedup: f64,
+}
+
+impl PerfReport {
+    /// An empty report stamped with this process's scale/seed/thread setup.
+    pub fn new() -> PerfReport {
+        PerfReport {
+            schema: "tlb-bench-pr2/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            threads: rayon::current_num_threads(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            entries: Vec::new(),
+            total_serial_ms: 0.0,
+            total_parallel_ms: 0.0,
+            overall_speedup: 1.0,
+        }
+    }
+
+    /// Time `build_jobs()`'s batch serially and on the pool, verify the two
+    /// runs agree, and append the timing entry. Returns the parallel run's
+    /// reports for optional further inspection.
+    pub fn time_sweep(
+        &mut self,
+        sweep: &str,
+        build_jobs: impl Fn() -> Vec<(tlb_simnet::SimConfig, Vec<tlb_workload::FlowSpec>)>,
+    ) -> Vec<RunReport> {
+        let jobs = build_jobs().len();
+
+        let t0 = std::time::Instant::now();
+        let serial = rayon::with_threads(1, || tlb_simnet::run_all(build_jobs()));
+        let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = std::time::Instant::now();
+        let parallel = rayon::with_threads(self.threads, || tlb_simnet::run_all(build_jobs()));
+        let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                (a.events, a.drops, a.marks, a.completed),
+                (b.events, b.drops, b.marks, b.completed),
+                "{sweep}: parallel run diverged from serial — determinism bug"
+            );
+            assert_eq!(a.fct_short.afct.to_bits(), b.fct_short.afct.to_bits());
+        }
+
+        self.entries.push(PerfEntry {
+            sweep: sweep.to_string(),
+            jobs,
+            serial_ms,
+            parallel_ms,
+            speedup: if parallel_ms > 0.0 {
+                serial_ms / parallel_ms
+            } else {
+                1.0
+            },
+        });
+        self.total_serial_ms += serial_ms;
+        self.total_parallel_ms += parallel_ms;
+        if self.total_parallel_ms > 0.0 {
+            self.overall_speedup = self.total_serial_ms / self.total_parallel_ms;
+        }
+        parallel
+    }
+
+    /// Write the report to `results/BENCH_PR2.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR2.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for PerfReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlb_engine::SimRng;
+    use tlb_simnet::{Scheme, SimConfig};
+    use tlb_workload::{basic_mix, BasicMixConfig};
+
+    fn tiny_jobs() -> Vec<(SimConfig, Vec<tlb_workload::FlowSpec>)> {
+        (0..4u64)
+            .map(|seed| {
+                let mut cfg = SimConfig::basic_paper(Scheme::Ecmp);
+                cfg.seed = seed;
+                let mut mix = BasicMixConfig::paper_default();
+                mix.n_short = 5;
+                mix.n_long = 0;
+                let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(seed));
+                (cfg, flows)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn time_sweep_records_and_verifies() {
+        let mut report = PerfReport::new();
+        let out = report.time_sweep("selftest", tiny_jobs);
+        assert_eq!(out.len(), 4);
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.jobs, 4);
+        assert!(e.serial_ms > 0.0 && e.parallel_ms > 0.0);
+        assert!(report.total_serial_ms >= e.serial_ms);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = PerfReport::new();
+        report.entries.push(PerfEntry {
+            sweep: "fig10_web_search".into(),
+            jobs: 20,
+            serial_ms: 1000.0,
+            parallel_ms: 250.0,
+            speedup: 4.0,
+        });
+        report.total_serial_ms = 1000.0;
+        report.total_parallel_ms = 250.0;
+        report.overall_speedup = 4.0;
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr2/v1");
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].sweep, "fig10_web_search");
+        assert_eq!(back.entries[0].speedup, 4.0);
+        assert_eq!(back.host_cores, report.host_cores);
+    }
+}

@@ -196,8 +196,19 @@ mod tests {
         let mut lb = LetFlow::paper_default();
         let mut rng = SimRng::new(5);
         lb.choose_uplink(&data(1, 0), PortView::new(&ps), us(0), &mut rng);
-        assert!(lb.state_bytes() > 0);
+        let resident = lb.state_bytes();
+        assert!(resident > 0);
         lb.on_tick(PortView::new(&ps), SimTime::from_secs(1));
-        assert_eq!(lb.state_bytes(), 0);
+        // state_bytes is capacity-accounted, so the purge frees the records
+        // without shrinking resident memory — it must not grow, and new
+        // flows must reuse the retained buckets rather than allocate more.
+        assert_eq!(lb.state_bytes(), resident);
+        lb.choose_uplink(
+            &data(2, 0),
+            PortView::new(&ps),
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        assert_eq!(lb.state_bytes(), resident);
     }
 }

@@ -98,7 +98,7 @@ impl KindCounts {
 /// plus what was checked. Present only when the run had
 /// [`crate::SimConfig::audit`] set — and then only if every invariant
 /// held, since violations panic instead.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditReport {
     /// Lifecycle counters per packet class, indexed like [`PktKind`].
     pub kinds: [KindCounts; KINDS],

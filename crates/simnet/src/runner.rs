@@ -1,9 +1,22 @@
 //! Parallel experiment execution.
 //!
 //! The figure harnesses sweep (scheme × load × seed) grids; each cell is an
-//! independent, deterministic simulation, so they fan out across cores with
-//! rayon's work-stealing pool (the canonical hpc-parallel idiom for
-//! embarrassingly parallel sweeps).
+//! independent, deterministic simulation, so [`run_all`] fans the batch out
+//! over the vendored rayon shim's scoped-thread pool: `min(TLB_THREADS,
+//! batch size)` OS threads (default: available cores) claim chunks of the
+//! job vector off a shared cursor and write each [`RunReport`] into the
+//! slot of its input index.
+//!
+//! **Determinism policy.** Parallel execution must be bit-identical to
+//! serial execution. That holds by construction — every simulation owns its
+//! RNG (seeded from its [`SimConfig`]), its event queue, and its entire
+//! fabric state; jobs share nothing and results are keyed by input
+//! position, so neither thread count nor scheduling order can leak into any
+//! result. The tests below keep this load-bearing: a ≥8-job batch is
+//! checked to really execute on multiple distinct OS threads *and* to
+//! produce reports (events, FCT stats, audit counters) identical to the
+//! single-threaded run. `TLB_THREADS=1` collapses [`run_all`] to in-line
+//! serial execution.
 
 use crate::config::SimConfig;
 use crate::network::Simulation;
@@ -17,7 +30,9 @@ pub fn run_one(cfg: SimConfig, flows: Vec<FlowSpec>) -> RunReport {
 }
 
 /// Run a batch of independent simulations in parallel, preserving input
-/// order in the output.
+/// order in the output. Thread count: `TLB_THREADS` env var (or a
+/// `rayon::with_threads` override), else available cores, clamped to the
+/// batch size.
 pub fn run_all(jobs: Vec<(SimConfig, Vec<FlowSpec>)>) -> Vec<RunReport> {
     jobs.into_par_iter()
         .map(|(cfg, flows)| run_one(cfg, flows))
@@ -43,6 +58,57 @@ mod tests {
         (cfg, flows)
     }
 
+    /// An 8-job batch over distinct schemes and seeds — big enough that the
+    /// pool must spread it over several workers.
+    fn batch() -> Vec<(SimConfig, Vec<FlowSpec>)> {
+        let schemes = [
+            Scheme::Ecmp,
+            Scheme::Rps,
+            Scheme::letflow_default(),
+            Scheme::tlb_default(),
+        ];
+        (0..8)
+            .map(|i| {
+                small_job(
+                    schemes[i % schemes.len()].clone(),
+                    1 + (i / schemes.len()) as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Everything a run reports that determinism must pin: engine events,
+    /// both FCT summaries (exact bits via `to_bits`), transport counters,
+    /// drop/mark/decision totals, and the full audit ledger.
+    fn digest(r: &RunReport) -> String {
+        let fct = |s: &tlb_metrics::FctSummary| {
+            format!(
+                "{}/{}/{:x}/{:x}/{:x}/{:x}/{:x}",
+                s.completed,
+                s.unfinished,
+                s.afct.to_bits(),
+                s.p99.to_bits(),
+                s.p50.to_bits(),
+                s.deadline_miss.to_bits(),
+                s.mean_goodput.to_bits()
+            )
+        };
+        format!(
+            "{} ev={} short={} long={} drops={} marks={} dec={} done={}/{} end={:?} audit={:?}",
+            r.scheme,
+            r.events,
+            fct(&r.fct_short),
+            fct(&r.fct_long),
+            r.drops,
+            r.marks,
+            r.lb_decisions,
+            r.completed,
+            r.total_flows,
+            r.sim_end,
+            r.audit,
+        )
+    }
+
     #[test]
     fn parallel_batch_preserves_order() {
         let jobs = vec![
@@ -50,7 +116,7 @@ mod tests {
             small_job(Scheme::Rps, 1),
             small_job(Scheme::tlb_default(), 1),
         ];
-        let reports = run_all(jobs);
+        let reports = rayon::with_threads(3, || run_all(jobs));
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].scheme, "ECMP");
         assert_eq!(reports[1].scheme, "RPS");
@@ -62,13 +128,41 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial() {
-        let (cfg_a, flows_a) = small_job(Scheme::letflow_default(), 3);
-        let serial = run_one(cfg_a, flows_a);
-        let par = run_all(vec![small_job(Scheme::letflow_default(), 3)]);
-        assert_eq!(
-            serial.events, par[0].events,
-            "parallel run must not change results"
+        // Serial baseline two ways: run_one in a loop, and run_all pinned
+        // to one thread (which must collapse to in-line execution).
+        let by_one: Vec<RunReport> = batch()
+            .into_iter()
+            .map(|(cfg, flows)| run_one(cfg, flows))
+            .collect();
+        let pinned = rayon::with_threads(1, || run_all(batch()));
+        // The multi-threaded run, with a probe proving the batch really
+        // spread over >1 OS thread (workers register only when they
+        // execute at least one job).
+        let before = rayon::workers_observed();
+        let parallel = rayon::with_threads(4, || run_all(batch()));
+        let workers = rayon::workers_observed() - before;
+        assert!(
+            workers >= 2,
+            "8-job batch must execute on >1 OS thread, used {workers}"
         );
-        assert_eq!(serial.fct_short.afct, par[0].fct_short.afct);
+
+        assert_eq!(by_one.len(), parallel.len());
+        for ((a, b), c) in by_one.iter().zip(&parallel).zip(&pinned) {
+            assert_eq!(digest(a), digest(b), "parallel diverged from serial");
+            assert_eq!(digest(a), digest(c), "pinned-serial diverged");
+            assert!(b.audit.is_some(), "test builds must carry the audit");
+        }
+    }
+
+    #[test]
+    fn single_thread_spawns_no_workers() {
+        let before = rayon::workers_observed();
+        let reports = rayon::with_threads(1, || run_all(batch()));
+        assert_eq!(reports.len(), 8);
+        assert_eq!(
+            rayon::workers_observed(),
+            before,
+            "TLB_THREADS=1 must not spawn pool workers"
+        );
     }
 }

@@ -58,6 +58,10 @@ struct Slot<T> {
 #[derive(Debug)]
 pub struct FlowMap<T> {
     map: HashMap<u32, Slot<T>, FastBuild>,
+    /// High-water mark of `map.capacity()`: the bucket array never shrinks,
+    /// but `capacity()` itself dips when removals leave tombstones, so the
+    /// resident-memory accounting tracks the peak explicitly.
+    cap_peak: std::cell::Cell<usize>,
 }
 
 impl<T> Default for FlowMap<T> {
@@ -71,6 +75,7 @@ impl<T> FlowMap<T> {
     pub fn new() -> FlowMap<T> {
         FlowMap {
             map: HashMap::default(),
+            cap_peak: std::cell::Cell::new(0),
         }
     }
 
@@ -125,6 +130,10 @@ impl<T> FlowMap<T> {
     /// The paper's sampling rule: drop every record idle since before
     /// `now - idle_timeout`. Returns how many were removed.
     pub fn purge_idle(&mut self, now: SimTime, idle_timeout: SimTime) -> usize {
+        // Snapshot the allocation high-water mark before removals leave
+        // tombstones that make `capacity()` under-report it.
+        self.cap_peak
+            .set(self.cap_peak.get().max(self.map.capacity()));
         let cutoff = now.saturating_sub(idle_timeout);
         let before = self.map.len();
         self.map.retain(|_, slot| slot.last_seen >= cutoff);
@@ -137,10 +146,20 @@ impl<T> FlowMap<T> {
     }
 
     /// Approximate resident size of the table in bytes (Fig. 15 memory
-    /// accounting): hash-map slots plus per-entry payload.
+    /// accounting).
+    ///
+    /// Charged on **capacity**, not `len()`: the std `HashMap` (hashbrown)
+    /// allocates a bucket array sized for ~8/7 of the usable capacity, each
+    /// bucket holding one `(key, slot)` payload plus one control byte, and
+    /// purging entries does not return that memory. Accounting on `len()`
+    /// (the previous behaviour) understated resident bytes by the whole
+    /// empty-bucket overhead right after a purge.
     pub fn state_bytes(&self) -> usize {
-        let per_entry = std::mem::size_of::<(u32, Slot<T>)>() + std::mem::size_of::<u64>();
-        self.map.len() * per_entry
+        self.cap_peak
+            .set(self.cap_peak.get().max(self.map.capacity()));
+        let per_bucket = std::mem::size_of::<(u32, Slot<T>)>() + 1;
+        let buckets = self.cap_peak.get() * 8 / 7;
+        buckets * per_bucket
     }
 }
 
@@ -207,6 +226,37 @@ mod tests {
             m.touch_or_insert_with(FlowId(i), t(0), || 0);
         }
         assert!(m.state_bytes() >= 100 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn state_bytes_pins_the_capacity_bound() {
+        let mut m: FlowMap<u64> = FlowMap::new();
+        for i in 0..100 {
+            m.touch_or_insert_with(FlowId(i), t(0), || 0);
+        }
+        // Lower bound: at least one (key, slot) payload + control byte per
+        // usable capacity slot — strictly more than the old len-based
+        // charge whenever the table has headroom.
+        let per_entry = std::mem::size_of::<(u32, Slot<u64>)>() + 1;
+        assert!(m.map.capacity() >= 100);
+        assert!(
+            m.state_bytes() >= m.map.capacity() * per_entry,
+            "{} < {}",
+            m.state_bytes(),
+            m.map.capacity() * per_entry
+        );
+
+        // Resident memory does not shrink when entries are purged: the
+        // bucket array is retained, so the charge must be too.
+        let full = m.state_bytes();
+        let removed = m.purge_idle(t(1_000_000), SimTime::from_micros(1));
+        assert_eq!(removed, 100);
+        assert!(m.is_empty());
+        assert_eq!(
+            m.state_bytes(),
+            full,
+            "purge must not change capacity-based accounting"
+        );
     }
 
     #[test]

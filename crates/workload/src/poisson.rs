@@ -30,11 +30,17 @@ pub struct PoissonWorkload<'a, D: SizeDist> {
 }
 
 impl<'a, D: SizeDist> PoissonWorkload<'a, D> {
+    /// Flow arrival rate (flows/second) for this load on `topo`:
+    /// `λ = load · C_host · n_hosts / E[size]`. Single source of truth for
+    /// both [`Self::expected_flows`] and [`Self::generate`].
+    fn arrival_rate(&self, topo: &LeafSpine) -> f64 {
+        let c_host = topo.host_link().bytes_per_sec as f64;
+        self.load * c_host * topo.n_hosts() as f64 / self.dist.mean()
+    }
+
     /// The expected number of flows this configuration generates.
     pub fn expected_flows(&self, topo: &LeafSpine) -> f64 {
-        let c_host = topo.host_link().bytes_per_sec as f64;
-        let rate = self.load * c_host * topo.n_hosts() as f64 / self.dist.mean();
-        rate * self.duration.as_secs_f64()
+        self.arrival_rate(topo) * self.duration.as_secs_f64()
     }
 
     /// Generate the flow set.
@@ -44,8 +50,16 @@ impl<'a, D: SizeDist> PoissonWorkload<'a, D> {
             !self.inter_leaf_only || topo.n_leaves() >= 2,
             "inter-leaf traffic needs at least 2 leaves"
         );
-        let c_host = topo.host_link().bytes_per_sec as f64;
-        let rate = self.load * c_host * topo.n_hosts() as f64 / self.dist.mean();
+        // Guard the deadline window up front: sampled as
+        // `lo + U[0, hi-lo]` in nanoseconds, so an inverted window would
+        // otherwise surface as a baffling u64 subtraction overflow below.
+        assert!(
+            self.deadline_hi >= self.deadline_lo,
+            "PoissonWorkload: deadline_hi ({:?}) must be >= deadline_lo ({:?})",
+            self.deadline_hi,
+            self.deadline_lo
+        );
+        let rate = self.arrival_rate(topo);
         let mean_gap = 1.0 / rate;
         let horizon = self.duration.as_secs_f64();
         let n_hosts = topo.n_hosts();
@@ -179,6 +193,38 @@ mod tests {
         let specs = workload(&d, 0.5).generate(&topo(), &mut rng);
         for s in &specs {
             assert_eq!(s.deadline.is_some(), s.size_bytes < 100_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline_hi")]
+    fn inverted_deadline_window_panics_clearly() {
+        let d = web_search();
+        let mut w = workload(&d, 0.5);
+        w.deadline_lo = SimTime::from_millis(25);
+        w.deadline_hi = SimTime::from_millis(5);
+        w.generate(&topo(), &mut SimRng::new(7));
+    }
+
+    #[test]
+    fn expected_flows_uses_the_same_rate_as_generate() {
+        // Degenerate window (hi == lo) is valid and must not panic; and the
+        // generated count must track expected_flows (shared rate formula).
+        let d = FixedBytes(50_000); // below short_threshold: all get deadlines
+        let mut w = workload(&d, 0.6);
+        w.deadline_lo = SimTime::from_millis(10);
+        w.deadline_hi = SimTime::from_millis(10);
+        let t = topo();
+        let specs = w.generate(&t, &mut SimRng::new(8));
+        let expected = w.expected_flows(&t);
+        assert!(expected > 0.0);
+        assert!(
+            (specs.len() as f64 - expected).abs() / expected < 0.3,
+            "count {} vs expected {expected}",
+            specs.len()
+        );
+        for s in specs.iter().filter(|s| s.deadline.is_some()) {
+            assert_eq!(s.deadline, Some(SimTime::from_millis(10)));
         }
     }
 

@@ -56,7 +56,10 @@ fn all_schemes_are_bit_deterministic() {
 
 #[test]
 fn parallel_execution_matches_serial() {
-    // rayon fan-out must not perturb per-run results.
+    // The pool fan-out must not perturb per-run results: run the same
+    // 8-job batch serially (run_one) and on a 4-thread pool, and require
+    // bit-identical digests. The thread probe keeps the test load-bearing —
+    // it fails if the "parallel" path silently degrades to sequential.
     let mk_job = |seed| {
         let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
         cfg.seed = seed;
@@ -68,11 +71,20 @@ fn parallel_execution_matches_serial() {
         let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(seed));
         (cfg, flows)
     };
-    let serial: Vec<_> = (0..4).map(|s| run_one(mk_job(s).0, mk_job(s).1)).collect();
-    let parallel = run_all((0..4).map(mk_job).collect());
+    let serial: Vec<_> = (0..8).map(|s| run_one(mk_job(s).0, mk_job(s).1)).collect();
+    let before = rayon::workers_observed();
+    let parallel = rayon::with_threads(4, || run_all((0..8).map(mk_job).collect()));
+    assert!(
+        rayon::workers_observed() - before >= 2,
+        "batch must actually fan out over >1 OS thread"
+    );
     for (a, b) in serial.iter().zip(&parallel) {
-        assert_eq!(a.events, b.events);
-        assert_eq!(a.fct_short.afct, b.fct_short.afct);
+        assert_eq!(digest(a), digest(b), "{}: parallel != serial", a.scheme);
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across thread counts",
+            a.scheme
+        );
     }
 }
 

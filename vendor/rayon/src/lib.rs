@@ -1,73 +1,153 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — with a real thread pool.
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the *subset* of the rayon API it actually uses
-//! (`par_iter` / `into_par_iter` followed by standard iterator adapters)
-//! and executes it sequentially. Determinism tests already require that
-//! parallel and serial execution produce identical results, so swapping
-//! the execution strategy is observationally equivalent — only wall-clock
-//! time differs. See `vendor/README.md` for the replacement policy.
+//! (`par_iter` / `into_par_iter` + `map` + `collect`). Unlike the original
+//! sequential stub, this version genuinely fans work out across OS threads:
+//! `collect` drives a scoped-thread pool with a chunked shared work queue
+//! (see [`pool`]), preserving input order in the output and re-raising the
+//! first job panic on the caller. Determinism is unchanged by construction —
+//! each job runs the same pure closure on the same item, and results are
+//! written to per-index slots — which the workspace's
+//! `parallel_equals_serial` tests verify end to end.
+//!
+//! Thread count: `TLB_THREADS` env var, else available cores; tests and
+//! benchmarks pin it per call-site with [`with_threads`]. See
+//! `vendor/README.md` for the replacement policy and the two shim-only
+//! entry points ([`with_threads`], [`workers_observed`]) a switch back to
+//! real rayon would have to replace.
+
+mod pool;
+
+pub use pool::{current_num_threads, with_threads, workers_observed};
 
 /// The rayon prelude: parallel-iterator conversion traits.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Types convertible into a "parallel" iterator (sequential here).
-pub trait IntoParallelIterator {
-    /// Element type of the iterator.
-    type Item;
-    /// Concrete iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+/// A lazily-built parallel computation: adapters stack up (only [`map`]
+/// exists in this shim), and [`collect`] executes on the thread pool.
+///
+/// [`map`]: ParallelIterator::map
+/// [`collect`]: ParallelIterator::collect
+pub trait ParallelIterator: Sized + Send {
+    /// Element type produced by this stage.
+    type Item: Send;
 
-    /// Consume `self` and iterate over its elements.
-    fn into_par_iter(self) -> Self::Iter;
-}
+    /// Execute the pipeline, returning all items in input order. The
+    /// outermost `map` stage is what actually fans out on the pool.
+    fn drive(self) -> Vec<Self::Item>;
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
+    /// Map each element through `f` in parallel at execution time.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
 
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    /// Execute and collect into any `FromIterator` container.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
     }
 }
 
-impl<T, const N: usize> IntoParallelIterator for [T; N] {
+/// The source stage: a materialized vector of items.
+pub struct IterPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterPar<T> {
     type Item = T;
-    type Iter = std::array::IntoIter<T, N>;
+
+    fn drive(self) -> Vec<T> {
+        // No per-item work at the source stage; nothing to parallelize.
+        self.items
+    }
+}
+
+/// A `map` stage over a previous stage.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        pool::run(self.base.drive(), self.f)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type of the iterator.
+    type Item: Send;
+    /// Concrete parallel-iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consume `self` and fan its elements out.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterPar<T>;
 
     fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+        IterPar { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    type Iter = IterPar<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IterPar {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
 /// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
     /// Element type (a reference).
-    type Item: 'a;
-    /// Concrete iterator type.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    /// Concrete parallel-iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
-    /// Iterate over borrowed elements.
+    /// Fan out over borrowed elements.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = IterPar<&'a T>;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        IterPar {
+            items: self.iter().collect(),
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
+    type Iter = IterPar<&'a T>;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.iter()
+        IterPar {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -86,5 +166,29 @@ mod tests {
         let xs = vec!["a", "b", "c"];
         let out: Vec<&&str> = xs.par_iter().collect();
         assert_eq!(out, vec![&"a", &"b", &"c"]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<i32> = (0..64)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..64).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn array_source_works() {
+        let out: Vec<i32> = [5, 6, 7].into_par_iter().map(|x| x - 5).collect();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn slice_par_iter_works() {
+        let xs = [1u64, 2, 3, 4];
+        let out: Vec<u64> = xs[..].par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16]);
     }
 }

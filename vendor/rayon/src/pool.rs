@@ -1,0 +1,238 @@
+//! The execution engine behind the shim's parallel iterators: a
+//! scoped-thread pool with a chunked shared work queue.
+//!
+//! Each `collect` spawns `min(current_num_threads(), jobs)` scoped OS
+//! threads; workers claim chunks of the job vector off an atomic cursor
+//! (work-stealing-lite: no per-thread deques, but idle workers always find
+//! the next unclaimed chunk). Results land in per-index slots, so output
+//! order always equals input order regardless of which worker ran which
+//! job. A panic in any job is captured and re-raised with its original
+//! payload on the calling thread after all workers stop.
+//!
+//! Thread-count policy (first match wins):
+//! 1. an active [`with_threads`] override on the calling thread,
+//! 2. the `TLB_THREADS` environment variable (positive integer),
+//! 3. [`std::thread::available_parallelism`].
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Per-thread thread-count override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Cumulative count of pool worker threads (across all pool invocations in
+/// this process) that executed at least one job. Serial in-line execution
+/// does not count. See [`workers_observed`].
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads the next parallel `collect` on this thread will
+/// use (before clamping to the job count). Mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n;
+    }
+    if let Ok(s) = std::env::var("TLB_THREADS") {
+        match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("warning: ignoring invalid TLB_THREADS={s:?} (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `op` with the pool pinned to `n` threads on this thread (shim-only
+/// stand-in for `ThreadPoolBuilder::num_threads(n).build().install(op)`).
+/// `with_threads(1, ..)` collapses every parallel iterator inside `op` to
+/// plain in-line serial execution — the serial baseline used by the
+/// determinism tests and the `BENCH_PR2.json` emitter. Restores the
+/// previous override even if `op` panics.
+pub fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+    op()
+}
+
+/// How many distinct pool worker threads have executed at least one job
+/// since process start. Workers are spawned fresh per `collect`, so a
+/// single batch that fans out over k threads advances this by k. The
+/// determinism tests use the delta across a batch to prove multi-threaded
+/// execution actually happened (shim-only diagnostic; not part of rayon).
+pub fn workers_observed() -> usize {
+    WORKERS.load(Ordering::SeqCst)
+}
+
+/// Map `f` over `items` on the pool, preserving input order in the output.
+pub(crate) fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One slot per job: workers take the input by value and fill the
+    // result for the same index, which is what keeps output order equal
+    // to input order no matter how chunks interleave.
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    // Small chunks keep the queue balanced under uneven job durations
+    // while bounding cursor contention for large batches.
+    let chunk = (n / (threads * 4)).max(1);
+    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut counted = false;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        return;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        if panicked.lock().unwrap().is_some() {
+                            return; // a sibling failed; stop picking up work
+                        }
+                        let item = jobs[i].lock().unwrap().take().expect("job claimed twice");
+                        if !counted {
+                            counted = true;
+                            WORKERS.fetch_add(1, Ordering::SeqCst);
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => *results[i].lock().unwrap() = Some(r),
+                            Err(payload) => {
+                                *panicked.lock().unwrap() = Some(payload);
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panicked.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job produced no result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    #[test]
+    fn multiple_distinct_threads_execute_jobs() {
+        // Jobs sleep long enough that every spawned worker claims one
+        // before the first finishes — even on a single hardware core,
+        // where the OS time-slices the workers.
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let before = workers_observed();
+        let out: Vec<usize> = with_threads(8, || {
+            run((0..8).collect(), |i: usize| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(Duration::from_millis(20));
+                i
+            })
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        let distinct = seen.lock().unwrap().len();
+        assert!(distinct > 1, "expected >1 worker thread, saw {distinct}");
+        assert!(
+            workers_observed() - before >= 2,
+            "worker counter must track multi-threaded execution"
+        );
+    }
+
+    #[test]
+    fn order_preserved_under_unequal_durations() {
+        // Early jobs are the slowest, so later indices finish first; the
+        // output must still come back in input order.
+        let out: Vec<u64> = with_threads(4, || {
+            run((0u64..16).collect(), |i| {
+                std::thread::sleep(Duration::from_millis((16 - i) * 2));
+                i * 10
+            })
+        });
+        assert_eq!(out, (0u64..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_in_one_job_propagates_payload() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                run((0..8).collect(), |i: i32| {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    i
+                })
+            })
+        }));
+        let payload = result.expect_err("collect must re-raise the job panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job 5 exploded"), "payload lost: {msg:?}");
+    }
+
+    #[test]
+    fn one_thread_collapses_to_serial() {
+        let main_id = std::thread::current().id();
+        let before = workers_observed();
+        let ids: Vec<ThreadId> = with_threads(1, || {
+            run((0..8).collect(), |_: usize| std::thread::current().id())
+        });
+        assert!(
+            ids.iter().all(|&id| id == main_id),
+            "serial must run in-line"
+        );
+        assert_eq!(workers_observed(), before, "serial must spawn no workers");
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        let outside = current_num_threads();
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(2, || assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let empty: Vec<i32> = with_threads(4, || run(Vec::new(), |x: i32| x));
+        assert!(empty.is_empty());
+        let one: Vec<i32> = with_threads(4, || run(vec![7], |x: i32| x + 1));
+        assert_eq!(one, vec![8]);
+    }
+}
