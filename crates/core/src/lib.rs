@@ -77,6 +77,12 @@ pub struct Tlb {
     updates: u64,
     /// Number of long-flow reroutes performed (diagnostics / Fig. 9).
     long_reroutes: u64,
+    /// Seeded bug for the fuzzer's mutation self-check: when set, the
+    /// granularity update with this index skips its threshold recompute
+    /// (a stale-`q_th` interval). Only exists under `fault-inject`; never
+    /// armed unless a test calls [`Tlb::fault_skip_recompute_at`].
+    #[cfg(feature = "fault-inject")]
+    fault_skip_recompute_at: Option<u64>,
 }
 
 impl Tlb {
@@ -98,7 +104,19 @@ impl Tlb {
             q_th_bytes: q0,
             updates: 0,
             long_reroutes: 0,
+            #[cfg(feature = "fault-inject")]
+            fault_skip_recompute_at: None,
         }
+    }
+
+    /// Arm the seeded bug: the granularity update with index `update_idx`
+    /// (0-based, compare [`Tlb::updates`]) skips its threshold recompute,
+    /// leaving `q_th` stale for one interval. The scenario fuzzer's
+    /// conformance oracle must flag the divergence — this is the mutation
+    /// self-check proving the oracles have teeth.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_skip_recompute_at(&mut self, update_idx: u64) {
+        self.fault_skip_recompute_at = Some(update_idx);
     }
 
     /// A TLB instance with the paper's default parameters.
@@ -327,7 +345,11 @@ impl LoadBalancer for Tlb {
         // re-estimate the load strength, update q_th.
         self.flows.purge_idle(now, self.cfg.idle_timeout);
         self.recount();
-        if matches!(self.cfg.threshold_mode, ThresholdMode::Adaptive) {
+        #[cfg(feature = "fault-inject")]
+        let fault_skips = self.fault_skip_recompute_at == Some(self.updates);
+        #[cfg(not(feature = "fault-inject"))]
+        let fault_skips = false;
+        if !fault_skips && matches!(self.cfg.threshold_mode, ThresholdMode::Adaptive) {
             self.recompute_threshold(view);
         }
         self.updates += 1;
@@ -343,6 +365,10 @@ impl LoadBalancer for Tlb {
 
     fn q_threshold(&self) -> Option<u64> {
         Some(self.q_th_bytes)
+    }
+
+    fn long_reroutes(&self) -> Option<u64> {
+        Some(self.long_reroutes)
     }
 }
 

@@ -114,6 +114,67 @@ fn classification_flips_at_100kb() {
 }
 
 #[test]
+fn boundary_99kb_stays_short() {
+    let ps = ports_with_lens(&[0, 0]);
+    let mut tlb = Tlb::paper_default();
+    let mut rng = SimRng::new(0);
+    tlb.choose_uplink(&syn(1), PortView::new(&ps), us(0), &mut rng);
+    tlb.choose_uplink(&data(1, 0, 99_000), PortView::new(&ps), us(1), &mut rng);
+    assert_eq!(tlb.counts(), (1, 0), "99 KB sent: still a short flow");
+}
+
+#[test]
+fn boundary_exactly_100kb_stays_short() {
+    // The rule is strictly-greater: `bytes_seen > threshold`. A flow that
+    // has sent exactly 100 KB has not *exceeded* 100 KB yet.
+    let ps = ports_with_lens(&[0, 0]);
+    let mut tlb = Tlb::paper_default();
+    let mut rng = SimRng::new(0);
+    tlb.choose_uplink(&syn(1), PortView::new(&ps), us(0), &mut rng);
+    tlb.choose_uplink(&data(1, 0, 100_000), PortView::new(&ps), us(1), &mut rng);
+    assert_eq!(tlb.counts(), (1, 0), "exactly 100 KB: not yet long");
+}
+
+#[test]
+fn boundary_one_mss_past_100kb_is_long() {
+    let ps = ports_with_lens(&[0, 0]);
+    let mut tlb = Tlb::paper_default();
+    let mut rng = SimRng::new(0);
+    tlb.choose_uplink(&syn(1), PortView::new(&ps), us(0), &mut rng);
+    tlb.choose_uplink(&data(1, 0, 100_000), PortView::new(&ps), us(1), &mut rng);
+    tlb.choose_uplink(&data(1, 1, 1460), PortView::new(&ps), us(2), &mut rng);
+    assert_eq!(tlb.counts(), (0, 1), "100 KB + 1 MSS: reclassified long");
+}
+
+#[test]
+fn boundary_midlife_crossing_switches_forwarding_rule() {
+    // A flow that crosses 100 KB mid-life must change forwarding rule on
+    // the crossing packet: per-packet spraying before, sticky after.
+    let mut cfg = TlbConfig::paper_default();
+    cfg.threshold_mode = ThresholdMode::Fixed(u64::MAX); // pin long flows
+    let mut tlb = Tlb::new(cfg);
+    let mut rng = SimRng::new(0);
+    let ps = ports_with_lens(&[4, 0, 2]);
+    tlb.choose_uplink(&syn(1), PortView::new(&ps), us(0), &mut rng);
+    // Still short (exactly 100 KB): the packet takes the shortest queue.
+    assert_eq!(
+        tlb.choose_uplink(&data(1, 0, 100_000), PortView::new(&ps), us(1), &mut rng),
+        1,
+        "short rule: shortest queue"
+    );
+    // The next packet crosses the boundary, so it is routed as long:
+    // stick to port 1 even though port 0 is now strictly shorter.
+    let ps2 = ports_with_lens(&[0, 4, 2]);
+    assert_eq!(
+        tlb.choose_uplink(&data(1, 1, 1460), PortView::new(&ps2), us(2), &mut rng),
+        1,
+        "long rule from the crossing packet onwards: sticky"
+    );
+    assert_eq!(tlb.counts(), (0, 1));
+    assert_eq!(tlb.long_reroutes(), 0, "pinned long flow never reroutes");
+}
+
+#[test]
 fn short_flows_take_shortest_queue_per_packet() {
     let mut tlb = Tlb::paper_default();
     let mut rng = SimRng::new(0);

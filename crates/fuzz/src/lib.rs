@@ -1,0 +1,132 @@
+//! # tlb-fuzz — scenario fuzzing with invariant oracles
+//!
+//! A deterministic scenario fuzzer for the whole simulator stack:
+//! random-but-valid leaf-spine topologies (switch/host counts, link
+//! speeds, asymmetric degradation — static or mid-run), random workloads
+//! (Poisson-spaced short/long mixes with sizes straddling the 100 KB
+//! classification boundary, plus incast bursts), and random
+//! load-balancer configs (TLB adaptive, TLB pinned, ECMP, RPS, Presto,
+//! LetFlow). Every sampled scenario runs through `tlb-simnet` with the
+//! packet-conservation audit forced on and is then checked against the
+//! oracle catalog in [`oracles`]:
+//!
+//! * **Conservation** — [`tlb_simnet::SimConfig::audit`] panics inside
+//!   the run on any lifecycle imbalance, port mismatch, clock regression,
+//!   or sender/receiver transport-invariant violation.
+//! * **FCT lower bound** — no completed flow finishes faster than its
+//!   ideal serialization + propagation time
+//!   ([`tlb_model::fct_lower_bound`] over the *undegraded* fabric).
+//! * **Teardown ordering** — traced flows never deliver *first-time* data
+//!   to the receiver after the FIN's delivery (the FIN follows full
+//!   acknowledgment, so anything later must be a duplicate straggler).
+//! * **Reroute discipline** — a TLB pinned at `q_th = ∞` reports zero
+//!   long-flow reroutes; non-TLB schemes report none at all.
+//! * **Completion** — with a generous horizon every flow completes
+//!   (catches stalls and routing black holes).
+//!
+//! [`conformance`] adds a unit-level differential oracle: a reference
+//! re-derivation of TLB's control law (threshold from the public
+//! Eq. 9 API, flow counting, long-flow stickiness) driven in lock-step
+//! with the real [`tlb_core::Tlb`]. Its mutation self-check (feature
+//! `fault-inject`) arms a seeded bug — one skipped threshold recompute —
+//! and asserts the oracle catches it *and* that the failure shrinks to a
+//! replayable `fuzz/regressions/` entry.
+//!
+//! Reproducibility: scenarios are pure functions of their sampled
+//! parameters; the proptest driver honors `TLB_PROPTEST_SEED` /
+//! `TLB_PROPTEST_CASES` and replays `fuzz/regressions/*.txt` first.
+
+pub mod conformance;
+pub mod oracles;
+pub mod scenario;
+
+pub use conformance::{expected_q_th, run_conformance};
+pub use oracles::check_report;
+pub use scenario::{scenario_strategy, BuiltScenario, RawScenario, Scenario};
+
+/// Build, run, and oracle-check one scenario; `Err` carries every
+/// violated oracle. This is the closure body of both the crate's smoke
+/// property and the top-level `tests/fuzz_scenarios.rs` entry point.
+pub fn run_scenario_checked(raw: RawScenario) -> Result<tlb_simnet::RunReport, String> {
+    let built = Scenario::from_raw(raw).build();
+    let report = tlb_simnet::run_one(built.cfg.clone(), built.flows.clone());
+    check_report(&built, &report)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scenarios_are_deterministic_functions_of_raw_params() {
+        let raw = ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false));
+        let a = Scenario::from_raw(raw).build();
+        let b = Scenario::from_raw(raw).build();
+        assert_eq!(a.flows.len(), b.flows.len());
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.dst, y.dst);
+            assert_eq!(x.size_bytes, y.size_bytes);
+            assert_eq!(x.start, y.start);
+        }
+        assert_eq!(a.cfg.scheme.name(), b.cfg.scheme.name());
+        assert_eq!(a.cfg.seed, b.cfg.seed);
+    }
+
+    #[test]
+    fn built_scenarios_validate_and_force_the_audit() {
+        for raw in [
+            ((2, 2, 2, 5), (0, 1, 0, 0), (0, false, 99, 50, true)),
+            ((4, 6, 4, 20), (5, 24, 3, 6), (7, true, 10, 0, true)),
+            ((3, 4, 3, 12), (3, 12, 2, 3), (9, true, 40, 25, false)),
+        ] {
+            let b = Scenario::from_raw(raw).build();
+            b.cfg
+                .validate()
+                .expect("scenario produced an invalid config");
+            assert!(b.cfg.audit, "fuzz scenarios must force the audit on");
+            assert!(!b.flows.is_empty());
+            for (i, f) in b.flows.iter().enumerate() {
+                assert_eq!(f.id.index(), i, "dense ids");
+                assert_ne!(f.src, f.dst);
+                assert!(f.size_bytes > 0);
+                if i > 0 {
+                    assert!(b.flows[i - 1].start <= f.start, "sorted starts");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_space_covers_the_paper_baselines_and_both_tlbs() {
+        let names: Vec<&str> = (0..6u8)
+            .map(|i| {
+                let raw = ((2, 2, 2, 10), (i, 2, 1, 0), (1, false, 50, 0, false));
+                Scenario::from_raw(raw).scheme().name()
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["ECMP", "RPS", "Presto", "LetFlow", "TLB", "TLB"]
+        );
+        // Index 5 is the pinned variant the reroute oracle keys on.
+        assert!(
+            Scenario::from_raw(((2, 2, 2, 10), (5, 2, 1, 0), (1, false, 50, 0, false)))
+                .is_pinned_tlb()
+        );
+    }
+
+    proptest! {
+        /// Smoke: a handful of full scenario runs per test invocation (the
+        /// 256-case pinned-seed sweep lives in `tests/fuzz_scenarios.rs`).
+        #[test]
+        fn prop_scenario_smoke(raw in scenario_strategy()) {
+            if let Err(v) = run_scenario_checked(raw) {
+                return Err(proptest::TestCaseError::fail(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Invariant oracles over a completed run.
+//!
+//! The heaviest oracle — packet conservation, per-port accounting, clock
+//! monotonicity, and sender/receiver transport invariants — runs *inside*
+//! the simulation ([`tlb_simnet::audit`], forced on by the scenario
+//! builder) and panics mid-run on violation. The checks here are the
+//! report-level complement: properties that need the scenario's ground
+//! truth (the undegraded fabric, the flow specs, which scheme ran) and
+//! the finished [`RunReport`].
+
+use crate::scenario::BuiltScenario;
+use tlb_model::fct_lower_bound;
+use tlb_net::PktKind;
+use tlb_simnet::{Hop, RunReport};
+
+/// Relative slack on the FCT lower bound, absorbing f64 rounding in the
+/// bound itself (the simulator's own timestamps are integer nanoseconds).
+const FCT_REL_TOL: f64 = 1e-9;
+
+/// Check every report-level oracle; `Err` lists all violations at once so
+/// a shrunk failure prints the full picture.
+pub fn check_report(built: &BuiltScenario, r: &RunReport) -> Result<(), String> {
+    let mut violations: Vec<String> = Vec::new();
+
+    // Oracle 1: the audit must have actually run (the in-run checks are
+    // only as good as their wiring).
+    if r.audit.is_none() {
+        violations.push("audit was configured on but produced no report".into());
+    }
+
+    // Oracle 2: completion. The horizon (5 s) dwarfs the worst-case
+    // serialized transfer time of the workload, so an incomplete flow
+    // means a stall or routing black hole, not a tight deadline.
+    if r.completed != r.total_flows {
+        violations.push(format!(
+            "only {}/{} flows completed by the horizon",
+            r.completed, r.total_flows
+        ));
+    }
+    if r.total_flows != built.flows.len() {
+        violations.push(format!(
+            "report covers {} flows but the scenario launched {}",
+            r.total_flows,
+            built.flows.len()
+        ));
+    }
+
+    // Oracle 3: no completed flow beats ideal serialization + propagation
+    // on the *undegraded* fabric (degradation only slows links, so the
+    // pristine bound remains a valid lower bound).
+    let capacity = built.pristine.host_link().bytes_per_sec as f64;
+    for f in &built.flows {
+        if let Some(fct) = r.fct.fct_of(f.id) {
+            let prop = built.pristine.min_one_way_delay(f.src, f.dst).as_secs_f64();
+            let bound = fct_lower_bound(f.size_bytes as f64, capacity, prop);
+            if fct < bound * (1.0 - FCT_REL_TOL) {
+                violations.push(format!(
+                    "flow {} ({} B, {} -> {}) finished in {:.9}s, below the \
+                     serialization+propagation bound {:.9}s",
+                    f.id, f.size_bytes, f.src, f.dst, fct, bound
+                ));
+            }
+        }
+    }
+
+    // Oracle 4: teardown ordering on traced flows. The sender emits its
+    // FIN only once every segment is acked, and an ack implies the segment
+    // was already delivered — so by the time the FIN reaches the
+    // destination, every sequence number has been delivered there at
+    // least once. Stragglers (multipath reordering, spurious retransmits)
+    // may still trickle in after the FIN, but they must be duplicates: a
+    // *first-time* delivery after FIN teardown is a real protocol bug.
+    for &flow in &built.cfg.trace_flows {
+        let dst = built.flows[flow.index()].dst.0;
+        let fin_at = r.traces.iter().find_map(|e| match e.hop {
+            Hop::Delivered { host } if e.flow == flow && host == dst && e.kind == PktKind::Fin => {
+                Some(e.at)
+            }
+            _ => None,
+        });
+        if let Some(fin_at) = fin_at {
+            let mut delivered_before = std::collections::BTreeSet::new();
+            for e in &r.traces {
+                if e.flow == flow
+                    && e.kind == PktKind::Data
+                    && matches!(e.hop, Hop::Delivered { host } if host == dst)
+                {
+                    if e.at <= fin_at {
+                        delivered_before.insert(e.seq);
+                    } else if !delivered_before.contains(&e.seq) {
+                        violations.push(format!(
+                            "flow {flow}: first delivery of data seq {} at {} is after \
+                             FIN delivery at {fin_at} — teardown preceded the data",
+                            e.seq, e.at
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Oracle 5: reroute discipline. TLB pinned at q_th = u64::MAX can
+    // never observe a queue >= threshold, so it must report zero
+    // long-flow reroutes; adaptive TLB must at least report the counter;
+    // non-TLB schemes must not report one at all.
+    match (built.scenario.is_pinned_tlb(), &r.tlb_long_reroutes) {
+        (true, Some(0)) => {}
+        (true, other) => violations.push(format!(
+            "pinned TLB (q_th = MAX) must report Some(0) long reroutes, got {other:?}"
+        )),
+        (false, Some(_)) if built.scenario.scheme_idx == 4 => {}
+        (false, None) if built.scenario.scheme_idx < 4 => {}
+        (false, other) => violations.push(format!(
+            "scheme {} reported unexpected long-reroute counter {other:?}",
+            r.scheme
+        )),
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "scenario {:?} violated {} oracle(s):\n  - {}",
+            built.scenario,
+            violations.len(),
+            violations.join("\n  - ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn run(raw: crate::RawScenario) -> (BuiltScenario, RunReport) {
+        let b = Scenario::from_raw(raw).build();
+        let r = tlb_simnet::run_one(b.cfg.clone(), b.flows.clone());
+        (b, r)
+    }
+
+    #[test]
+    fn clean_run_passes_all_oracles() {
+        let (b, r) = run(((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)));
+        check_report(&b, &r).unwrap();
+    }
+
+    #[test]
+    fn fct_oracle_catches_a_faster_than_light_flow() {
+        let (b, r) = run(((2, 2, 2, 10), (0, 3, 0, 0), (5, false, 50, 0, false)));
+        check_report(&b, &r).unwrap();
+        // Forge an impossible bound by claiming the fabric is ~10000x
+        // slower than the one that actually ran: the serialization term
+        // balloons past every real FCT, so the oracle must fire.
+        let mut forged = b.clone();
+        forged.pristine = tlb_net::LeafSpineBuilder::new(2, 2, 2)
+            .link_gbps(0.0001)
+            .target_rtt(tlb_engine::SimTime::from_micros(100))
+            .build();
+        let err = check_report(&forged, &r).unwrap_err();
+        assert!(
+            err.contains("below the serialization+propagation bound"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn completion_oracle_catches_missing_flows() {
+        let (b, mut r) = run(((2, 2, 2, 10), (1, 4, 0, 0), (8, false, 50, 0, false)));
+        r.completed -= 1;
+        let err = check_report(&b, &r).unwrap_err();
+        assert!(err.contains("flows completed by the horizon"), "{err}");
+    }
+
+    #[test]
+    fn reroute_oracle_catches_a_pinned_tlb_that_reroutes() {
+        let (b, mut r) = run(((2, 2, 2, 10), (5, 4, 2, 0), (9, false, 50, 0, false)));
+        assert_eq!(r.tlb_long_reroutes, Some(0), "precondition");
+        r.tlb_long_reroutes = Some(3);
+        let err = check_report(&b, &r).unwrap_err();
+        assert!(err.contains("pinned TLB"), "{err}");
+    }
+
+    #[test]
+    fn reroute_oracle_catches_a_non_tlb_scheme_reporting_reroutes() {
+        let (b, mut r) = run(((2, 2, 2, 10), (0, 4, 0, 0), (9, false, 50, 0, false)));
+        assert_eq!(r.tlb_long_reroutes, None, "precondition");
+        r.tlb_long_reroutes = Some(1);
+        let err = check_report(&b, &r).unwrap_err();
+        assert!(err.contains("unexpected long-reroute counter"), "{err}");
+    }
+
+    #[test]
+    fn audit_oracle_catches_a_silently_skipped_audit() {
+        let (b, mut r) = run(((2, 2, 2, 10), (2, 3, 0, 0), (4, false, 50, 0, false)));
+        r.audit = None;
+        let err = check_report(&b, &r).unwrap_err();
+        assert!(err.contains("no report"), "{err}");
+    }
+}

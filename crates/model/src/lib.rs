@@ -105,6 +105,18 @@ impl ModelParams {
     }
 }
 
+/// Hard physical lower bound on any flow's completion time: the payload's
+/// serialization time at the access-link capacity plus the minimum one-way
+/// propagation delay its last byte must cross. No queueing, handshake,
+/// slow-start, loss-recovery, or per-packet header term is included, so
+/// every correctly-simulated FCT must weakly exceed it — the fuzzer's FCT
+/// oracle rejects a run otherwise (a violated bound means time travel or
+/// lost accounting, not an aggressive transport).
+pub fn fct_lower_bound(size_bytes: f64, capacity_bps: f64, one_way_prop_s: f64) -> f64 {
+    debug_assert!(size_bytes > 0.0 && capacity_bps > 0.0 && one_way_prop_s >= 0.0);
+    size_bytes / capacity_bps + one_way_prop_s
+}
+
 /// Eq. 3 — the number of RTT rounds a short flow of `x_bytes` needs in slow
 /// start with an initial window of 2 segments (2, 4, 8, … doubling).
 ///
@@ -509,6 +521,27 @@ mod tests {
             let r2 = slow_start_rounds(x * scale, 1460.0);
             prop_assert!(r1 >= 1.0);
             prop_assert!(r2 >= r1);
+        }
+
+        /// The FCT lower bound is positive, monotone in size, and always
+        /// below the Eq. 8 model FCT at the same capacity (the model adds
+        /// queueing and multi-round serialization on top of the physics).
+        #[test]
+        fn prop_fct_lower_bound_is_a_lower_bound(
+            size in 100.0f64..1e7,
+            prop_us in 1.0f64..500.0,
+            m_s in 1.0f64..200.0,
+        ) {
+            let params = ModelParams { m_short: m_s, ..p() };
+            let prop_s = prop_us * 1e-6;
+            let lb = fct_lower_bound(size, params.capacity, prop_s);
+            prop_assert!(lb > 0.0);
+            prop_assert!(fct_lower_bound(size * 2.0, params.capacity, prop_s) > lb);
+            if let Some(model) = mean_fct_short(&params, 13.0) {
+                let model_lb = fct_lower_bound(params.mean_short, params.capacity, 0.0);
+                prop_assert!(model >= model_lb - 1e-12,
+                    "model FCT {model} below physics {model_lb}");
+            }
         }
     }
 }

@@ -145,6 +145,29 @@ impl LeafSpine {
             .expect("topology has no spines")
     }
 
+    /// Minimum one-way base propagation delay from `src` to `dst`: over all
+    /// spines for inter-rack pairs, or the two host links for intra-rack
+    /// ones. Lower-bounds any packet's traversal time (excludes
+    /// serialization and queueing), which makes it the propagation term of
+    /// the fuzzer's FCT lower-bound oracle.
+    pub fn min_one_way_delay(&self, src: HostId, dst: HostId) -> SimTime {
+        let sl = self.leaf_of(src);
+        let dl = self.leaf_of(dst);
+        if sl == dl {
+            return self.host_link.prop_delay + self.host_link.prop_delay;
+        }
+        (0..self.n_spines)
+            .map(|s| {
+                let spine = SpineId(s as u32);
+                self.host_link.prop_delay
+                    + self.uplink(sl, spine).prop_delay
+                    + self.downlink(spine, dl).prop_delay
+                    + self.host_link.prop_delay
+            })
+            .min()
+            .expect("topology has no spines")
+    }
+
     /// Degrade the leaf<->spine link pair: multiply bandwidth by
     /// `bw_factor` (≤ 1.0) and add `extra_delay` to propagation, in both
     /// directions. This is how Fig. 16/17's asymmetric scenarios are built.
@@ -371,5 +394,28 @@ mod tests {
                 prop_assert_eq!(t.rtt_via(HostId(0), SpineId(s as u32), HostId(2)), r0);
             }
         }
+
+        /// The one-way bound is at most half the min RTT on symmetric
+        /// fabrics and never grows smaller under link degradation.
+        #[test]
+        fn prop_one_way_lower_bounds_rtt(
+            leaves in 2usize..6,
+            spines in 1usize..12,
+            extra_us in 0u64..300,
+        ) {
+            let mut t = LeafSpineBuilder::new(leaves, spines, 2).build();
+            let (a, b) = (HostId(0), HostId(2)); // different leaves (hpl=2)
+            let one_way = t.min_one_way_delay(a, b);
+            prop_assert!(one_way + one_way <= t.min_rtt(a, b));
+            t.degrade_link(LeafId(0), SpineId(0), 0.5, SimTime::from_micros(extra_us));
+            prop_assert!(t.min_one_way_delay(a, b) >= one_way);
+        }
+    }
+
+    #[test]
+    fn intra_leaf_one_way_is_two_host_links() {
+        let t = basic();
+        let d = t.min_one_way_delay(HostId(0), HostId(1));
+        assert_eq!(d, t.host_link().prop_delay + t.host_link().prop_delay);
     }
 }

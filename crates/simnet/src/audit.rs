@@ -106,6 +106,8 @@ pub struct AuditReport {
     pub ports_checked: usize,
     /// Live senders whose transport invariants were verified.
     pub senders_checked: usize,
+    /// Live receivers whose delivery invariants were verified.
+    pub receivers_checked: usize,
     /// The engine's clock-violation counter (zero, or the audit panicked).
     pub monotonicity_violations: u64,
 }
@@ -249,8 +251,9 @@ impl AuditLedger {
     /// The caller supplies the fabric-wide facts the ledger cannot see:
     /// per-port `(enqueued, pkts_tx, queued_now, in_service, byte
     /// mismatch)` tuples via `ports`, the engine's monotonicity counter,
-    /// and per-sender invariant findings. Residual hooks must already
-    /// have been fed every still-queued and still-pending packet.
+    /// and per-sender / per-receiver invariant findings. Residual hooks
+    /// must already have been fed every still-queued and still-pending
+    /// packet.
     ///
     /// # Panics
     ///
@@ -261,6 +264,8 @@ impl AuditLedger {
         monotonicity_violations: u64,
         sender_violations: &[(usize, String)],
         senders_checked: usize,
+        receiver_violations: &[(usize, String)],
+        receivers_checked: usize,
     ) -> Option<AuditReport> {
         if !self.enabled {
             return None;
@@ -348,6 +353,9 @@ impl AuditLedger {
         for (flow, v) in sender_violations {
             violations.push(format!("[sender flow {flow}] {v}"));
         }
+        for (flow, v) in receiver_violations {
+            violations.push(format!("[receiver flow {flow}] {v}"));
+        }
 
         assert!(
             violations.is_empty(),
@@ -360,6 +368,7 @@ impl AuditLedger {
             kinds: self.kinds,
             ports_checked: ports.len(),
             senders_checked,
+            receivers_checked,
             monotonicity_violations,
         })
     }
@@ -435,11 +444,12 @@ mod tests {
         let mut l = AuditLedger::new(true);
         clean_single_hop(&mut l, PktKind::Syn);
         clean_single_hop(&mut l, PktKind::Data);
-        let report = l.finish(&[], 0, &[], 3).unwrap();
+        let report = l.finish(&[], 0, &[], 3, &[], 3).unwrap();
         assert_eq!(report.total_emitted(), 2);
         assert_eq!(report.total_delivered(), 2);
         assert_eq!(report.total_dropped(), 0);
         assert_eq!(report.senders_checked, 3);
+        assert_eq!(report.receivers_checked, 3);
     }
 
     #[test]
@@ -457,7 +467,7 @@ mod tests {
         }
         // First arrival forwards (re-enqueues); second delivers.
         l.delivered(&p);
-        l.finish(&[], 0, &[], 0).unwrap();
+        l.finish(&[], 0, &[], 0, &[], 0).unwrap();
     }
 
     #[test]
@@ -495,6 +505,8 @@ mod tests {
                 0,
                 &[],
                 1,
+                &[],
+                1,
             )
             .unwrap();
         assert_eq!(r.kinds[kind_idx(PktKind::Data)].in_flight_at_end(), 2);
@@ -512,7 +524,7 @@ mod tests {
         l.tx_done(&p);
         // The packet vanishes between tx_done and arrive — no residual
         // accounts for it.
-        l.finish(&[], 0, &[], 0);
+        l.finish(&[], 0, &[], 0, &[], 0);
     }
 
     #[test]
@@ -533,19 +545,34 @@ mod tests {
             0,
             &[],
             0,
+            &[],
+            0,
         );
     }
 
     #[test]
     #[should_panic(expected = "clock ran backwards")]
     fn monotonicity_violation_is_caught() {
-        AuditLedger::new(true).finish(&[], 3, &[], 0);
+        AuditLedger::new(true).finish(&[], 3, &[], 0, &[], 0);
     }
 
     #[test]
     #[should_panic(expected = "sender flow 7")]
     fn sender_violation_is_caught() {
-        AuditLedger::new(true).finish(&[], 0, &[(7, "cwnd 0.5 < 1 segment".into())], 1);
+        AuditLedger::new(true).finish(&[], 0, &[(7, "cwnd 0.5 < 1 segment".into())], 1, &[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver flow 4")]
+    fn receiver_violation_is_caught() {
+        AuditLedger::new(true).finish(
+            &[],
+            0,
+            &[],
+            0,
+            &[(4, "rcv_nxt moved backwards: 2 after watermark 5".into())],
+            1,
+        );
     }
 
     #[test]
@@ -553,6 +580,6 @@ mod tests {
         let mut l = AuditLedger::new(false);
         let p = pkt(PktKind::Data);
         l.emitted(&p); // would violate conservation if counted
-        assert!(l.finish(&[], 99, &[], 0).is_none());
+        assert!(l.finish(&[], 99, &[], 0, &[], 0).is_none());
     }
 }

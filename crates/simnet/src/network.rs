@@ -673,6 +673,14 @@ impl Net {
             .max()
             .unwrap_or(0);
 
+        // Long-flow reroute total: present iff the scheme reports one
+        // (TLB); `None` keeps non-TLB reports unambiguous.
+        let tlb_long_reroutes = self
+            .leaves
+            .iter()
+            .filter_map(|l| l.lb.long_reroutes())
+            .fold(None, |acc: Option<u64>, n| Some(acc.unwrap_or(0) + n));
+
         RunReport {
             scheme: self.cfg.scheme.name().to_string(),
             total_flows: self.flows.len(),
@@ -697,6 +705,7 @@ impl Net {
             traces: self.traces,
             queue_series: self.queue_series,
             lb_decisions: self.lb_decisions,
+            tlb_long_reroutes,
             events: self.events,
             audit,
             sim_end,
@@ -763,12 +772,24 @@ impl Net {
                 }
             }
         }
+        let mut receivers_checked = 0;
+        let mut receiver_violations: Vec<(usize, String)> = Vec::new();
+        for (i, r) in self.receivers.iter().enumerate() {
+            if let Some(r) = r {
+                receivers_checked += 1;
+                if let Some(v) = r.invariant_violation() {
+                    receiver_violations.push((i, v));
+                }
+            }
+        }
 
         ledger.finish(
             &port_audits,
             monotonicity,
             &sender_violations,
             senders_checked,
+            &receiver_violations,
+            receivers_checked,
         )
     }
 }

@@ -179,6 +179,11 @@ pub struct RunReport {
     pub qth_series: Vec<(f64, f64)>,
     /// Per-packet LB decisions taken (≈ upstream packets).
     pub lb_decisions: u64,
+    /// Long-flow reroutes summed over leaves, for schemes that report them
+    /// ([`tlb_switch::LoadBalancer::long_reroutes`]); `None` otherwise.
+    /// The fuzzer's reroute oracle reads this: a TLB pinned at
+    /// `q_th = u64::MAX` must report zero.
+    pub tlb_long_reroutes: Option<u64>,
     /// Path traces for [`crate::SimConfig::trace_flows`] (in time order).
     pub traces: Vec<TraceEvent>,
     /// With [`crate::SimConfig::sample_queues`]: `(time_s, qlen_pkts per

@@ -260,6 +260,49 @@ mod tests {
     }
 
     #[test]
+    fn midlife_boundary_crossing_state_survives_purge() {
+        // The classification state TLB keeps in this table flips mid-life
+        // when a flow's byte count crosses the 100 KB boundary. The table
+        // must carry that mutated state across touches and across purges
+        // that remove *other* flows.
+        const THRESHOLD: u64 = 100_000;
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Cls {
+            bytes: u64,
+            long: bool,
+        }
+        let mut m: FlowMap<Cls> = FlowMap::new();
+        let f = FlowId(1);
+        m.touch_or_insert_with(f, t(0), || Cls {
+            bytes: 99_000,
+            long: false,
+        });
+        // 99 KB + 1 KB = exactly 100 KB: strictly-greater rule says short.
+        // One more MSS crosses it.
+        for (add, expect_long) in [(1_000u64, false), (1_460, true)] {
+            let st = m.touch(f, t(1)).unwrap();
+            st.bytes += add;
+            st.long = st.bytes > THRESHOLD;
+            assert_eq!(st.long, expect_long, "at {} bytes", st.bytes);
+        }
+        // An idle purge reclaiming another flow leaves the record intact.
+        m.touch_or_insert_with(FlowId(2), t(0), || Cls {
+            bytes: 0,
+            long: false,
+        });
+        m.touch(f, t(2_000));
+        m.purge_idle(t(2_000), SimTime::from_micros(500));
+        assert_eq!(
+            m.get(f),
+            Some(&Cls {
+                bytes: 101_460,
+                long: true
+            })
+        );
+        assert!(m.get(FlowId(2)).is_none());
+    }
+
+    #[test]
     fn iter_covers_all() {
         let mut m: FlowMap<u32> = FlowMap::new();
         for i in 0..5 {

@@ -167,6 +167,14 @@ pub trait LoadBalancer: Send {
     fn q_threshold(&self) -> Option<u64> {
         None
     }
+
+    /// How many times the scheme rerouted an established long flow, for
+    /// schemes that distinguish the case (TLB: long flows move only when
+    /// their current uplink's queue crosses `q_th`). `None` for schemes
+    /// without the notion. The scenario fuzzer's reroute oracle reads this.
+    fn long_reroutes(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

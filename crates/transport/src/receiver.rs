@@ -38,6 +38,12 @@ pub struct TcpReceiver {
     rcv_nxt: u32,
     /// Buffered out-of-order segments (bounded by the sender's window).
     ooo: BTreeSet<u32>,
+    /// High-water mark of `rcv_nxt`, kept separately so the monotone
+    /// in-order-delivery invariant is checked against recorded history
+    /// rather than re-derived from the value it guards.
+    delivered_watermark: u32,
+    /// First recorded violation of the delivery invariants (sticky).
+    violation: Option<String>,
     stats: ReceiverStats,
 }
 
@@ -51,6 +57,8 @@ impl TcpReceiver {
             peer,
             rcv_nxt: 0,
             ooo: BTreeSet::new(),
+            delivered_watermark: 0,
+            violation: None,
             stats: ReceiverStats::default(),
         }
     }
@@ -71,6 +79,44 @@ impl TcpReceiver {
     #[inline]
     pub fn stats(&self) -> &ReceiverStats {
         &self.stats
+    }
+
+    /// End-of-run receiver invariant check, mirroring
+    /// `TcpSender::invariant_violation` — `None` when healthy.
+    ///
+    /// Checked: monotone in-order delivery (`rcv_nxt` never moved
+    /// backwards, recorded against a separate high-water mark on every
+    /// segment), the out-of-order buffer only holds segments beyond
+    /// `rcv_nxt`, delivery never outruns distinct received segments, and
+    /// the disposition counters partition `total_data`. The conservation
+    /// audit and the scenario fuzzer both consume this.
+    pub fn invariant_violation(&self) -> Option<String> {
+        if let Some(v) = &self.violation {
+            return Some(v.clone());
+        }
+        if let Some(&lo) = self.ooo.iter().next() {
+            if lo <= self.rcv_nxt {
+                return Some(format!(
+                    "ooo buffer holds already-delivered segment {lo} (rcv_nxt {})",
+                    self.rcv_nxt
+                ));
+            }
+        }
+        let distinct = self.stats.in_order + self.stats.out_of_order;
+        if u64::from(self.rcv_nxt) > distinct {
+            return Some(format!(
+                "delivered {} segments but only {distinct} distinct ones arrived",
+                self.rcv_nxt
+            ));
+        }
+        let parts = distinct + self.stats.duplicates;
+        if self.stats.total_data != parts {
+            return Some(format!(
+                "disposition counters {parts} do not partition total_data {}",
+                self.stats.total_data
+            ));
+        }
+        None
     }
 
     /// Respond to a SYN with a SYN-ACK (idempotent — handles retransmitted
@@ -117,6 +163,16 @@ impl TcpReceiver {
         if !advanced {
             self.stats.dup_acks_sent += 1;
         }
+        // Monotone-delivery bookkeeping: the cumulative point must never
+        // regress. Record (rather than assert) so release runs surface it
+        // through the audit instead of aborting mid-flight.
+        if self.rcv_nxt < self.delivered_watermark && self.violation.is_none() {
+            self.violation = Some(format!(
+                "rcv_nxt moved backwards: {} after watermark {}",
+                self.rcv_nxt, self.delivered_watermark
+            ));
+        }
+        self.delivered_watermark = self.delivered_watermark.max(self.rcv_nxt);
         let mut ack = Packet::control(
             self.flow,
             self.host,
@@ -263,6 +319,23 @@ mod tests {
                 expect += 1;
             }
             prop_assert_eq!(r.delivered_segs(), expect);
+        }
+
+        /// The receiver invariants hold after any arrival pattern,
+        /// including duplicates and gaps that never heal.
+        #[test]
+        fn prop_receiver_invariants_always_hold(
+            arrivals in proptest::collection::vec(0u32..40, 1..300)
+        ) {
+            let mut r = rx();
+            for &s in &arrivals {
+                r.on_data(&seg(s, false), SimTime::ZERO);
+            }
+            prop_assert!(
+                r.invariant_violation().is_none(),
+                "{:?}",
+                r.invariant_violation()
+            );
         }
     }
 }

@@ -89,6 +89,53 @@ fn parallel_execution_matches_serial() {
 }
 
 #[test]
+fn fuzz_scenarios_are_digest_stable_across_thread_counts() {
+    // The fuzzer's scenarios must be as deterministic as the hand-built
+    // ones, including under an odd worker count (`TLB_THREADS=3`
+    // equivalent, pinned here via the explicit pool so the test does not
+    // race on the environment). Fixed raw tuples span schemes, incast,
+    // and static + mid-run degradation.
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
+        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
+        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
+        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+    ];
+    // Fan each tuple out over four workload seeds: 16 jobs gives the
+    // 3-thread pool enough queue depth that the worker probe below is not
+    // racing a single fast worker draining the whole batch.
+    let jobs: Vec<_> = raws
+        .iter()
+        .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
+            (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
+        })
+        .map(|raw| {
+            let b = tlb_fuzz::Scenario::from_raw(raw).build();
+            (b.cfg, b.flows)
+        })
+        .collect();
+    let serial: Vec<_> = jobs
+        .iter()
+        .cloned()
+        .map(|(cfg, flows)| run_one(cfg, flows))
+        .collect();
+    let before = rayon::workers_observed();
+    let threaded = rayon::with_threads(3, || run_all(jobs));
+    assert!(
+        rayon::workers_observed() - before >= 2,
+        "3-thread batch must actually fan out over >1 OS thread"
+    );
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(digest(a), digest(b), "{}: 3-thread != serial", a.scheme);
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across thread counts",
+            a.scheme
+        );
+    }
+}
+
+#[test]
 fn workload_generators_are_seed_stable() {
     let topo = LeafSpineBuilder::new(4, 4, 8).build();
     // Regression pin: the first web-search Poisson flow for seed 1. If this

@@ -1,0 +1,33 @@
+//! Scenario fuzzing entry point: randomized topologies, workloads, and
+//! load-balancer configs through the full simulator, each run audited and
+//! oracle-checked (see `crates/fuzz`).
+//!
+//! Case count: 256 by default (CI pins this via `TLB_PROPTEST_CASES`,
+//! which can only lower it). Seed: derived from the property name and
+//! `TLB_PROPTEST_SEED`. Failures shrink to a minimal scenario tuple and
+//! persist to `fuzz/regressions/fuzz_scenarios.txt`, which replays first
+//! on every future run.
+
+use tlb_fuzz::{run_scenario_checked, scenario_strategy};
+
+#[test]
+fn fuzz_scenarios() {
+    proptest::run_cases_n("fuzz_scenarios", 256, scenario_strategy(), |raw| {
+        run_scenario_checked(raw)
+            .map(|_| ())
+            .map_err(proptest::TestCaseError::fail)
+    });
+}
+
+/// The corpus pins in `fuzz/regressions/` are not just for the property
+/// that wrote them — keep a direct named replay of each interesting
+/// scenario shape so a regression is attributable even if the fuzz
+/// property is renamed. This one is the shrunk scenario the fuzzer found
+/// while the teardown oracle was being built: adaptive TLB on a degraded
+/// 2x2 fabric where a duplicate data straggler arrives after the FIN
+/// (legitimate multipath reordering — must stay green).
+#[test]
+fn regression_duplicate_straggler_after_fin() {
+    let raw = ((2, 2, 2, 5), (4, 4, 3, 2), (549_721, true, 52, 46, false));
+    run_scenario_checked(raw).unwrap();
+}

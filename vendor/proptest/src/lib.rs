@@ -4,16 +4,41 @@
 //! workspace vendors the slice of the proptest API it uses: the
 //! `proptest! {}` test macro, `prop_assert!`/`prop_assert_eq!`, numeric
 //! range and tuple strategies, `collection::vec`, and `any::<bool>()`.
-//! Differences from real proptest: a fixed deterministic seed per test
-//! run, a fixed case count ([`CASES`]), and **no shrinking** — a failure
-//! reports the raw generated input. See `vendor/README.md` for the
-//! replacement policy.
+//!
+//! Beyond the original minimal stub this now carries the workspace's
+//! fuzzing layer (PR 3):
+//!
+//! * **Shrinking** — a failing input is greedily minimized before the
+//!   panic: numeric strategies try the range start, the midpoint toward
+//!   it, and a decrement; `collection::vec` removes chunks and single
+//!   elements, then shrinks surviving elements; tuples shrink
+//!   component-wise, recursively. The panic reports both the original and
+//!   the minimized input.
+//! * **Per-test seed derivation** — each property's stream is
+//!   `splitmix64(fnv1a(test name) + base seed)`, so two properties in one
+//!   binary never see correlated streams, and changing the base seed
+//!   re-seeds every property at once.
+//! * **Env overrides** — `TLB_PROPTEST_CASES` sets the per-property case
+//!   count; `TLB_PROPTEST_SEED` sets the base seed (decimal or `0x` hex).
+//! * **Failure persistence** — a failing case's seed is appended to
+//!   `fuzz/regressions/<property>.txt` (located by walking up from
+//!   `CARGO_MANIFEST_DIR`, or forced via `TLB_PROPTEST_REGRESSIONS`);
+//!   every seed in that file replays *first* on the next run, so
+//!   regressions stay fixed. Lines starting with `#` are comments.
+//!
+//! See `vendor/README.md` for the replacement policy.
 
 use std::fmt::Debug;
 use std::ops::Range;
+use std::path::PathBuf;
 
-/// Number of random cases each property runs.
+/// Default number of random cases each property runs
+/// (override: `TLB_PROPTEST_CASES`).
 pub const CASES: u32 = 128;
+
+/// Hard cap on greedy shrink steps, so a pathological strategy cannot
+/// spin forever while minimizing.
+const MAX_SHRINK_STEPS: u32 = 4096;
 
 /// Failure raised by `prop_assert!` / `prop_assert_eq!`.
 #[derive(Debug)]
@@ -41,10 +66,7 @@ impl TestRng {
 
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        splitmix_mix(self.state)
     }
 
     /// Uniform-ish f64 in [0, 1).
@@ -53,11 +75,42 @@ impl TestRng {
     }
 }
 
+/// The splitmix64 output function: one full avalanche over `z`.
+#[inline]
+fn splitmix_mix(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a test name.
+fn fnv1a(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Per-test seed: splitmix of the test-name hash plus the base seed.
+/// Distinct names land in distinct, decorrelated streams even when the
+/// base seed is shared; changing the base seed moves every stream.
+pub fn derive_seed(name: &str, base_seed: u64) -> u64 {
+    splitmix_mix(fnv1a(name).wrapping_add(base_seed))
+}
+
 /// A generator of test-case values.
 pub trait Strategy {
     type Value: Clone + Debug;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simplification candidates for a failing `value`, most aggressive
+    /// first. The shrink driver greedily re-tests candidates and recurses
+    /// on the first that still fails. Default: no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_int_range {
@@ -70,6 +123,25 @@ macro_rules! impl_int_range {
                 let span = (self.end as u128) - (self.start as u128);
                 let off = (rng.next_u64() as u128) % span;
                 (self.start as u128 + off) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let (v, lo) = (*value as u128, self.start as u128);
+                let mut out = Vec::new();
+                if v > lo {
+                    // Most aggressive first: the minimum, then halving the
+                    // distance toward it, then a plain decrement.
+                    out.push(self.start);
+                    let mid = (lo + (v - lo) / 2) as $ty;
+                    if mid as u128 != lo && mid as u128 != v {
+                        out.push(mid);
+                    }
+                    let dec = (v - 1) as $ty;
+                    if dec as u128 != lo && !out.contains(&dec) {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -88,6 +160,26 @@ macro_rules! impl_sint_range {
                 let off = (rng.next_u64() as u128) % span;
                 (self.start as i128 + off as i128) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                // Shrink toward zero when the range allows it, else toward
+                // the range start — "smaller" should mean smaller magnitude.
+                let (v, lo) = (*value as i128, self.start as i128);
+                let target = if lo <= 0 && 0 < self.end as i128 { 0 } else { lo };
+                let mut out = Vec::new();
+                if v != target {
+                    out.push(target as $ty);
+                    let mid = target + (v - target) / 2;
+                    if mid != target && mid != v {
+                        out.push(mid as $ty);
+                    }
+                    let step = if v > target { v - 1 } else { v + 1 };
+                    if step != target && !out.contains(&(step as $ty)) {
+                        out.push(step as $ty);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -101,10 +193,28 @@ impl Strategy for Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.next_f64()
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        // Shrink toward zero if in range, else toward the start; stop once
+        // the step is negligible relative to the span.
+        let target = if self.start <= 0.0 && 0.0 < self.end {
+            0.0
+        } else {
+            self.start
+        };
+        let dist = value - target;
+        let span = self.end - self.start;
+        let mut out = Vec::new();
+        if dist.abs() > span * 1e-9 {
+            out.push(target);
+            out.push(target + dist / 2.0);
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
+    ($($name:ident => $idx:tt),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
 
@@ -113,16 +223,34 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise, recursively: every candidate replaces one
+                // slot, the rest stay fixed.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A => 0);
+impl_tuple_strategy!(A => 0, B => 1);
+impl_tuple_strategy!(A => 0, B => 1, C => 2);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8);
+impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Clone + Debug {
@@ -140,6 +268,14 @@ impl Strategy for AnyOf<bool> {
 
     fn sample(&self, rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -179,31 +315,310 @@ pub mod collection {
             let n = self.len.sample(rng);
             (0..n).map(|_| self.elem.sample(rng)).collect()
         }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.len.start;
+            let n = value.len();
+            let mut out: Vec<Self::Value> = Vec::new();
+            // Element removal, most aggressive first: drop the back half,
+            // then the front half, then single elements (bounded so huge
+            // vectors do not explode the candidate set).
+            if n > min {
+                let half = min.max(n / 2);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                    out.push(value[n - half..].to_vec());
+                }
+                let singles = n.min(24);
+                for i in 0..singles {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    if next.len() >= min {
+                        out.push(next);
+                    }
+                }
+            }
+            // Then shrink surviving elements in place (bounded likewise).
+            for i in 0..n.min(24) {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
-/// Drive a property over [`CASES`] sampled inputs; panic on the first
-/// failure, printing the generated input (no shrinking).
-pub fn run_cases<S, F>(name: &str, strat: S, mut f: F)
+/// Resolved runtime configuration for one property run.
+struct RunConfig {
+    cases: u32,
+    base_seed: u64,
+    persist_dir: Option<PathBuf>,
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl RunConfig {
+    /// Read `TLB_PROPTEST_CASES` / `TLB_PROPTEST_SEED` and locate the
+    /// regression directory.
+    fn from_env() -> RunConfig {
+        let cases = std::env::var("TLB_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(CASES);
+        let base_seed = std::env::var("TLB_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| parse_u64(&v))
+            .unwrap_or(0);
+        RunConfig {
+            cases,
+            base_seed,
+            persist_dir: regressions_dir(),
+        }
+    }
+}
+
+/// Locate the checked-in `fuzz/regressions/` directory: an explicit
+/// `TLB_PROPTEST_REGRESSIONS` wins; otherwise walk up from the crate's
+/// manifest directory (cargo sets it for `cargo test` at runtime) to the
+/// workspace root that carries the directory. `None` disables persistence.
+fn regressions_dir() -> Option<PathBuf> {
+    if let Ok(dir) = std::env::var("TLB_PROPTEST_REGRESSIONS") {
+        return Some(PathBuf::from(dir));
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let mut dir = PathBuf::from(start);
+    loop {
+        let cand = dir.join("fuzz").join("regressions");
+        if cand.is_dir() {
+            return Some(cand);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Parse `cc <seed>` lines out of a persistence file.
+fn parse_regression_seeds(content: &str) -> Vec<u64> {
+    content
+        .lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("cc ")?;
+            let token = rest.split(|c: char| c.is_whitespace() || c == '#').next()?;
+            parse_u64(token)
+        })
+        .collect()
+}
+
+/// Greedily minimize a failing input: retry shrink candidates (most
+/// aggressive first) and recurse on the first that still fails.
+fn shrink_failure<S, F>(
+    strat: &S,
+    mut input: S::Value,
+    mut err: TestCaseError,
+    f: &mut F,
+) -> (S::Value, TestCaseError, u32)
 where
     S: Strategy,
     F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
-    // Seed derived from the test name so distinct properties explore
-    // distinct sequences but every run is reproducible.
-    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-    });
-    let mut rng = TestRng::new(seed);
-    for case in 0..CASES {
-        let input = strat.sample(&mut rng);
-        if let Err(e) = f(input.clone()) {
-            panic!(
-                "property {name} failed at case {case}/{CASES}: {}\ninput: {input:?}",
-                e.message()
-            );
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&input) {
+            steps += 1;
+            if let Err(e) = f(cand.clone()) {
+                input = cand;
+                err = e;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+    (input, err, steps)
+}
+
+/// Append a failing case seed to the property's persistence file.
+fn persist_failure(dir: &std::path::Path, name: &str, seed: u64, minimized: &str) {
+    use std::io::Write;
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.txt"));
+    let new_file = !path.exists();
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    if new_file {
+        let _ = writeln!(
+            file,
+            "# Failure-persistence file for property `{name}` (vendor/proptest).\n\
+             # Each `cc <seed>` line replays first on every future run of the\n\
+             # property. Keep lines whose failures were fixed as regression\n\
+             # pins; delete the file only if the property itself is removed."
+        );
+    }
+    let one_line = minimized.replace('\n', " ");
+    let short = if one_line.len() > 200 {
+        let mut cut = 200;
+        while !one_line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &one_line[..cut])
+    } else {
+        one_line
+    };
+    let _ = writeln!(file, "cc {seed:#018x} # shrunk input: {short}");
+}
+
+/// Run one case: sample from `case_seed`, on failure shrink + persist +
+/// panic with both the raw and minimized input.
+fn run_one_case<S, F>(
+    name: &str,
+    strat: &S,
+    f: &mut F,
+    case_seed: u64,
+    case_label: &str,
+    persist_dir: Option<&std::path::Path>,
+) where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(case_seed);
+    let input = strat.sample(&mut rng);
+    if let Err(e) = f(input.clone()) {
+        let (minimized, min_err, steps) = shrink_failure(strat, input.clone(), e, f);
+        let minimized_str = format!("{minimized:?}");
+        let persisted = match persist_dir {
+            Some(dir) => {
+                persist_failure(dir, name, case_seed, &minimized_str);
+                format!("{}", dir.join(format!("{name}.txt")).display())
+            }
+            None => "<none: no fuzz/regressions dir found>".to_string(),
+        };
+        panic!(
+            "property {name} failed at {case_label} (case seed {case_seed:#x}): {}\n\
+             original input: {input:?}\n\
+             minimized input ({steps} shrink steps): {minimized_str}\n\
+             persisted to: {persisted}\n\
+             replay: the seed was appended to the persistence file and replays first on\n\
+             the next run; or set TLB_PROPTEST_SEED / TLB_PROPTEST_CASES to re-explore.",
+            min_err.message()
+        );
+    }
+}
+
+/// Core property driver: replay persisted regressions first, then run
+/// `cases` fresh sampled inputs; shrink and persist on failure.
+fn run_cases_impl<S, F>(name: &str, strat: S, mut f: F, cfg: RunConfig)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    // Replay checked-in regressions before exploring.
+    if let Some(dir) = cfg.persist_dir.as_deref() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Ok(content) = std::fs::read_to_string(&path) {
+            for (i, seed) in parse_regression_seeds(&content).into_iter().enumerate() {
+                run_one_case(
+                    name,
+                    &strat,
+                    &mut f,
+                    seed,
+                    &format!("regression replay {i} ({})", path.display()),
+                    None, // already persisted
+                );
+            }
         }
     }
+
+    let test_seed = derive_seed(name, cfg.base_seed);
+    let mut seq = TestRng::new(test_seed);
+    for case in 0..cfg.cases {
+        let case_seed = seq.next_u64();
+        run_one_case(
+            name,
+            &strat,
+            &mut f,
+            case_seed,
+            &format!("case {case}/{}", cfg.cases),
+            cfg.persist_dir.as_deref(),
+        );
+    }
+}
+
+/// Drive a property over sampled inputs (count: `TLB_PROPTEST_CASES`, else
+/// [`CASES`]); replay persisted regressions first; on failure, shrink to a
+/// minimized input, persist the case seed, and panic with both inputs.
+pub fn run_cases<S, F>(name: &str, strat: S, f: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    run_cases_impl(name, strat, f, RunConfig::from_env());
+}
+
+/// [`run_cases`] with an explicit case count (still scaled down — never
+/// up — by `TLB_PROPTEST_CASES`, so CI can globally cheapen expensive
+/// properties). For properties whose single case is costly, e.g. whole
+/// simulation runs.
+pub fn run_cases_n<S, F>(name: &str, n: u32, strat: S, f: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut cfg = RunConfig::from_env();
+    cfg.cases = if std::env::var("TLB_PROPTEST_CASES").is_ok() {
+        cfg.cases.min(n)
+    } else {
+        n
+    };
+    run_cases_impl(name, strat, f, cfg);
+}
+
+/// [`run_cases`] with every knob injected instead of read from the
+/// environment: explicit case count, base seed, and persistence directory
+/// (`None` disables both replay and persistence). For harnesses that must
+/// not race on env vars — notably the fuzzer's mutation self-check, which
+/// points `persist_dir` at a temp directory and asserts a regression file
+/// appears there.
+pub fn run_cases_with<S, F>(
+    name: &str,
+    cases: u32,
+    base_seed: u64,
+    persist_dir: Option<std::path::PathBuf>,
+    strat: S,
+    f: F,
+) where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    run_cases_impl(
+        name,
+        strat,
+        f,
+        RunConfig {
+            cases,
+            base_seed,
+            persist_dir,
+        },
+    );
 }
 
 /// Define property tests. Each `fn name(arg in strategy, ...) { body }`
@@ -275,6 +690,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     proptest! {
         /// Range strategies stay in range; tuples and vecs compose.
@@ -295,11 +711,234 @@ mod tests {
         }
     }
 
+    /// Run a property with persistence disabled and a fixed config, so
+    /// tests control the environment without touching env vars.
+    fn run_plain<S, F>(name: &str, cases: u32, strat: S, f: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        run_cases_impl(
+            name,
+            strat,
+            f,
+            RunConfig {
+                cases,
+                base_seed: 0,
+                persist_dir: None,
+            },
+        );
+    }
+
+    fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should have failed");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
     #[test]
-    #[should_panic(expected = "property")]
     fn failures_panic_with_input() {
-        crate::run_cases("always_fails", (0u8..2,), |(v,)| {
-            Err(crate::TestCaseError::fail(format!("saw {v}")))
+        let msg = catch(|| {
+            run_plain("always_fails", 8, (0u8..2,), |(v,)| {
+                Err(TestCaseError::fail(format!("saw {v}")))
+            })
         });
+        assert!(msg.contains("property always_fails failed"), "{msg}");
+        assert!(msg.contains("original input"), "{msg}");
+        assert!(msg.contains("minimized input"), "{msg}");
+    }
+
+    #[test]
+    fn shrink_minimizes_scalar_to_boundary() {
+        // Fails iff x >= 25: the minimal failing input is exactly 25.
+        let msg = catch(|| {
+            run_plain("shrink_scalar", 64, (0u64..1000,), |(x,)| {
+                if x >= 25 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        assert!(msg.contains("minimized input"), "{msg}");
+        assert!(msg.contains("(25,)"), "should shrink to exactly 25: {msg}");
+    }
+
+    #[test]
+    fn shrink_removes_vec_elements() {
+        // Fails iff the vec contains any element >= 50; minimal failing
+        // input is a single-element vec [50].
+        let msg = catch(|| {
+            run_plain(
+                "shrink_vec",
+                64,
+                (collection::vec(0u32..100, 1..30),),
+                |(xs,)| {
+                    if xs.iter().any(|&x| x >= 50) {
+                        Err(TestCaseError::fail("has big element"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        assert!(msg.contains("minimized input"), "{msg}");
+        assert!(msg.contains("([50],)"), "should shrink to [50]: {msg}");
+    }
+
+    #[test]
+    fn shrink_recurses_through_tuples() {
+        // Fails iff a + b >= 30; shrinking must reduce both components.
+        let msg = catch(|| {
+            run_plain("shrink_tuple", 64, ((0u32..100, 0u32..100),), |((a, b),)| {
+                if a + b >= 30 {
+                    Err(TestCaseError::fail("sum too big"))
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        // The minimum is some (a, b) on the a + b == 30 line with the other
+        // component at 0 after greedy minimization.
+        assert!(
+            msg.contains("((30, 0),)") || msg.contains("((0, 30),)"),
+            "should shrink to the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn signed_and_float_shrink_toward_zero() {
+        let s = -50i32..50;
+        assert_eq!(s.shrink(&40)[0], 0);
+        assert_eq!(s.shrink(&-40)[0], 0);
+        assert!(s.shrink(&0).is_empty());
+        let f = -1.5f64..2.5;
+        assert_eq!(f.shrink(&2.0)[0], 0.0);
+        assert!(f.shrink(&0.0).is_empty());
+        assert!(AnyOf::<bool>(std::marker::PhantomData).shrink(&true) == vec![false]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let s = collection::vec(0u32..10, 2..8);
+        let v = vec![5u32, 5, 5];
+        for cand in s.shrink(&v) {
+            assert!(cand.len() >= 2, "candidate {cand:?} below min length");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_per_test_and_base_dependent() {
+        let a = derive_seed("prop_a", 0);
+        let b = derive_seed("prop_b", 0);
+        assert_ne!(a, b, "two properties must not share a stream");
+        assert_ne!(a, derive_seed("prop_a", 1), "base seed must move streams");
+        assert_eq!(a, derive_seed("prop_a", 0), "derivation is deterministic");
+    }
+
+    #[test]
+    fn determinism_same_config_same_cases() {
+        let collect = || {
+            let mut seen = Vec::new();
+            run_plain("determinism_probe", 16, (0u64..1_000_000,), |(x,)| {
+                seen.push(x);
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn persistence_roundtrip_and_replay() {
+        // A unique temp dir per process; no env vars touched.
+        let dir = std::env::temp_dir().join(format!("tlb-proptest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // 1. A failing property persists its case seed.
+        let dir2 = dir.clone();
+        let msg = catch(move || {
+            run_cases_impl(
+                "persist_me",
+                (0u64..100,),
+                |(x,)| {
+                    if x >= 10 {
+                        Err(TestCaseError::fail("big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+                RunConfig {
+                    cases: 32,
+                    base_seed: 0,
+                    persist_dir: Some(dir2),
+                },
+            )
+        });
+        assert!(msg.contains("persisted to"), "{msg}");
+        let path = dir.join("persist_me.txt");
+        let content = std::fs::read_to_string(&path).expect("persistence file written");
+        let seeds = parse_regression_seeds(&content);
+        assert_eq!(seeds.len(), 1, "one failure, one seed: {content}");
+
+        // 2. The persisted seed replays first and still fails (labelled as
+        //    a regression replay), even with zero fresh cases configured.
+        let dir3 = dir.clone();
+        let msg = catch(move || {
+            run_cases_impl(
+                "persist_me",
+                (0u64..100,),
+                |(x,)| {
+                    if x >= 10 {
+                        Err(TestCaseError::fail("big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+                RunConfig {
+                    cases: 1,
+                    base_seed: 999, // different exploration stream
+                    persist_dir: Some(dir3),
+                },
+            )
+        });
+        assert!(msg.contains("regression replay 0"), "{msg}");
+
+        // 3. Once the "bug" is fixed, the replay passes and fresh cases run.
+        run_cases_impl(
+            "persist_me",
+            (0u64..100,),
+            |(_,)| Ok(()),
+            RunConfig {
+                cases: 4,
+                base_seed: 0,
+                persist_dir: Some(dir.clone()),
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_seeds_accepts_hex_decimal_and_comments() {
+        let content =
+            "# header\ncc 0x00000000000000ff # shrunk input: (255,)\n\ncc 42\nnot a seed\n";
+        assert_eq!(parse_regression_seeds(content), vec![255, 42]);
+        assert_eq!(parse_u64("0xFF"), Some(255));
+        assert_eq!(parse_u64(" 17 "), Some(17));
+        assert_eq!(parse_u64("zzz"), None);
+    }
+
+    #[test]
+    fn env_cases_parser_rules() {
+        // RunConfig::from_env reads live env; exercise only the pure parts.
+        assert_eq!(parse_u64("0x10"), Some(16));
+        let cfg = RunConfig {
+            cases: CASES,
+            base_seed: 0,
+            persist_dir: None,
+        };
+        assert_eq!(cfg.cases, 128);
     }
 }
