@@ -1,23 +1,57 @@
-//! Simulation-core micro-benchmarks: event-queue throughput and RNG speed
-//! (the engine bounds the whole simulator's event rate).
+//! Simulation-core micro-benchmarks: event-queue throughput (both FEL
+//! backends) and RNG speed (the engine bounds the whole simulator's event
+//! rate).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use tlb_engine::{EventQueue, SimRng, SimTime};
+use tlb_engine::{EventQueue, FelKind, SimRng, SimTime};
+
+const BACKENDS: [(FelKind, &str); 2] = [(FelKind::Calendar, "calendar"), (FelKind::Heap, "heap")];
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
-    for &n in &[1_000usize, 100_000] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_function(format!("push_pop_{n}"), |b| {
+    for (kind, name) in BACKENDS {
+        for &n in &[1_000usize, 100_000] {
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_function(format!("{name}/push_pop_{n}"), |b| {
+                b.iter_batched_ref(
+                    || {
+                        (
+                            EventQueue::<u64>::with_capacity_and_kind(n, kind),
+                            SimRng::new(1),
+                        )
+                    },
+                    |(q, rng)| {
+                        for i in 0..n {
+                            q.push(SimTime::from_nanos(rng.gen_range(1_000_000)), i as u64);
+                        }
+                        let mut acc = 0u64;
+                        while let Some((_, e)) = q.pop() {
+                            acc ^= e;
+                        }
+                        acc
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        // The simulator's steady-state pattern: the queue stays
+        // ~constant-size while events are pushed and popped in alternation.
+        group.bench_function(format!("{name}/steady_state_churn"), |b| {
             b.iter_batched_ref(
-                || (EventQueue::<u64>::with_capacity(n), SimRng::new(1)),
-                |(q, rng)| {
-                    for i in 0..n {
-                        q.push(SimTime::from_nanos(rng.gen_range(1_000_000)), i as u64);
+                || {
+                    let mut q = EventQueue::<u32>::with_capacity_and_kind(4096, kind);
+                    let mut rng = SimRng::new(2);
+                    for i in 0..2048 {
+                        q.push(SimTime::from_nanos(rng.gen_range(1_000_000)), i);
                     }
-                    let mut acc = 0u64;
-                    while let Some((_, e)) = q.pop() {
+                    (q, rng)
+                },
+                |(q, rng)| {
+                    let mut acc = 0u32;
+                    for _ in 0..4096 {
+                        let (t, e) = q.pop().expect("non-empty");
                         acc ^= e;
+                        q.push(t + SimTime::from_nanos(1 + rng.gen_range(10_000)), e);
                     }
                     acc
                 },
@@ -25,30 +59,6 @@ fn bench_event_queue(c: &mut Criterion) {
             )
         });
     }
-    // The simulator's steady-state pattern: the queue stays ~constant-size
-    // while events are pushed and popped in alternation.
-    group.bench_function("steady_state_churn", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut q = EventQueue::<u32>::with_capacity(4096);
-                let mut rng = SimRng::new(2);
-                for i in 0..2048 {
-                    q.push(SimTime::from_nanos(rng.gen_range(1_000_000)), i);
-                }
-                (q, rng)
-            },
-            |(q, rng)| {
-                let mut acc = 0u32;
-                for _ in 0..4096 {
-                    let (t, e) = q.pop().expect("non-empty");
-                    acc ^= e;
-                    q.push(t + SimTime::from_nanos(1 + rng.gen_range(10_000)), e);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
-    });
     group.finish();
 }
 

@@ -1,0 +1,128 @@
+//! `BENCH_PR4.json` emitter: future-event-list backend comparison
+//! (calendar queue vs the reference binary heap), micro and macro.
+//!
+//! ```sh
+//! cargo run --release -p tlb-bench --bin bench_pr4              # quick
+//! TLB_BENCH_ASSERT=1 cargo run --release -p tlb-bench --bin bench_pr4
+//! ```
+//!
+//! The micro section holds an [`tlb_engine::EventQueue`] at fixed depths
+//! (1e2 … 1e6) and measures pop+push pairs/second per backend, with the
+//! popped streams checksummed and cross-checked. The macro section runs the
+//! fig10-style quick sweep end-to-end per backend (same traffic, same
+//! thread count, same process) and compares events/second; per-job report
+//! digests must match bit-for-bit. Output: `results/BENCH_PR4.json`
+//! (schema `tlb-bench-pr4/v1`).
+
+use tlb_bench::perf4::{self, Pr4Report, MICRO_DEPTHS};
+use tlb_engine::FelKind;
+
+fn main() {
+    let mut report = Pr4Report::new();
+    println!(
+        "bench_pr4: {} scale, {} pool thread(s), {} host core(s)",
+        report.scale, report.threads, report.host_cores
+    );
+
+    // --- micro: hold pattern per backend per depth -----------------------
+    println!("micro: hold pattern, pop+push pairs/sec by held depth");
+    for &depth in &MICRO_DEPTHS {
+        // Fewer pairs at the big depths: the prefill dominates runtime there
+        // and the per-pair cost is what we measure, not the fill.
+        let pairs: u64 = match depth {
+            d if d >= 1_000_000 => 200_000,
+            d if d >= 100_000 => 500_000,
+            _ => 1_000_000,
+        };
+        let cal = perf4::micro_hold(FelKind::Calendar, depth, pairs, report.seed);
+        let heap = perf4::micro_hold(FelKind::Heap, depth, pairs, report.seed);
+        assert_eq!(
+            cal.checksum, heap.checksum,
+            "FEL backends popped different streams at depth {depth} — determinism bug"
+        );
+        println!(
+            "  depth {:>9}: calendar {:>12.0} pairs/s   heap {:>12.0} pairs/s   ({:.2}x)",
+            depth,
+            cal.pairs_per_sec,
+            heap.pairs_per_sec,
+            cal.pairs_per_sec / heap.pairs_per_sec.max(1.0)
+        );
+        report.micro.push(cal);
+        report.micro.push(heap);
+    }
+
+    // --- macro: fig10-style sweep per backend ----------------------------
+    // Untimed warmup so neither timed leg pays first-touch costs (page
+    // faults, lazy allocator arenas) alone.
+    println!("macro: fig10-style quick sweep per backend (same traffic, same threads)");
+    {
+        let mut warm = perf4::macro_jobs(FelKind::Calendar);
+        warm.truncate(1);
+        let _ = rayon::with_threads(report.threads, || tlb_simnet::run_all(warm));
+    }
+
+    // Alternate the legs and keep each backend's best of `reps`
+    // (TLB_BENCH_REPS, default 3): each leg is ~10 s of identical
+    // deterministic work, so the minimum wall-clock is the least-noise
+    // estimate and alternation cancels drift (thermal, noisy neighbors)
+    // that would otherwise bias whichever backend ran last.
+    let reps: usize = std::env::var("TLB_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3);
+    let mut heap_entry = None;
+    let mut cal_entry = None;
+    for rep in 0..reps {
+        let (h, heap_digests) = perf4::macro_sweep(FelKind::Heap, report.threads);
+        let (c, cal_digests) = perf4::macro_sweep(FelKind::Calendar, report.threads);
+        assert_eq!(
+            cal_digests, heap_digests,
+            "FEL backends produced different simulation results — determinism bug"
+        );
+        println!(
+            "  rep {}/{reps}: heap {:>8.0} ms, calendar {:>8.0} ms",
+            rep + 1,
+            h.wall_ms,
+            c.wall_ms
+        );
+        if heap_entry
+            .as_ref()
+            .is_none_or(|b: &tlb_bench::MacroEntry| h.wall_ms < b.wall_ms)
+        {
+            heap_entry = Some(h);
+        }
+        if cal_entry
+            .as_ref()
+            .is_none_or(|b: &tlb_bench::MacroEntry| c.wall_ms < b.wall_ms)
+        {
+            cal_entry = Some(c);
+        }
+    }
+    let (heap_entry, cal_entry) = (heap_entry.unwrap(), cal_entry.unwrap());
+    for e in [&heap_entry, &cal_entry] {
+        println!(
+            "  {:<8} {:>3} jobs  {:>10} events  {:>8.0} ms  {:>10.0} events/s  depth p50={:.0} p99={:.0}",
+            e.backend, e.jobs, e.events, e.wall_ms, e.events_per_sec, e.depth_p50, e.depth_p99
+        );
+    }
+    report.macro_speedup = cal_entry.events_per_sec / heap_entry.events_per_sec.max(1.0);
+    println!(
+        "macro speedup (calendar/heap): {:.2}x",
+        report.macro_speedup
+    );
+    report.macro_runs.push(heap_entry);
+    report.macro_runs.push(cal_entry);
+
+    if std::env::var("TLB_BENCH_ASSERT").as_deref() == Ok("1") {
+        assert!(
+            report.macro_speedup >= 1.0,
+            "perf regression: calendar FEL slower than the heap it replaced \
+             ({:.2}x) — see results/BENCH_PR4.json",
+            report.macro_speedup
+        );
+        println!("TLB_BENCH_ASSERT: calendar >= heap holds");
+    }
+
+    report.save();
+}

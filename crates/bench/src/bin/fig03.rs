@@ -45,14 +45,10 @@ fn main() {
         for r in rs {
             merged.merge(&r.short_qlen);
         }
+        let q = merged.quantiles(&[0.25, 0.50, 0.75, 0.95, 0.99]);
         out.line(&format!(
             "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
-            label,
-            merged.quantile(0.25),
-            merged.quantile(0.50),
-            merged.quantile(0.75),
-            merged.quantile(0.95),
-            merged.quantile(0.99),
+            label, q[0], q[1], q[2], q[3], q[4],
         ));
     }
     out.blank();

@@ -41,12 +41,13 @@ fn main() {
         "scheme", "mean", "p95", "p99"
     ));
     for r in &reports {
+        let q = r.short_qdelay.quantiles(&[0.95, 0.99]);
         out.line(&format!(
             "{:<10} {:>8.1} {:>8.1} {:>8.1}",
             r.scheme,
             r.short_qdelay.mean() * 1e6,
-            r.short_qdelay.quantile(0.95) * 1e6,
-            r.short_qdelay.quantile(0.99) * 1e6,
+            q[0] * 1e6,
+            q[1] * 1e6,
         ));
     }
     out.blank();

@@ -32,6 +32,7 @@ fn main() {
         "ablation",
         "extensions",
         "bench_pr2",
+        "bench_pr4",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

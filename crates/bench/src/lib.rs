@@ -12,9 +12,11 @@
 pub mod harness;
 pub mod out;
 pub mod perf;
+pub mod perf4;
 pub mod scale;
 
 pub use harness::*;
 pub use out::Out;
 pub use perf::{PerfEntry, PerfReport};
+pub use perf4::{MacroEntry, MicroEntry, Pr4Report};
 pub use scale::Scale;

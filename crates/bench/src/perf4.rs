@@ -1,0 +1,319 @@
+//! `BENCH_PR4.json` — future-event-list backend comparison, tracked from
+//! PR 4 on.
+//!
+//! Two views of the same question (is the calendar queue actually faster
+//! than the binary heap it replaced?):
+//!
+//! * **micro** — a classic hold pattern straight on [`EventQueue`]: prefill
+//!   to a fixed depth, then pop-one/push-one at that depth with a
+//!   simulation-shaped offset mix (mostly sub-60 µs packet events, ~5%
+//!   10 ms timer events). Reported per backend per depth, with a checksum
+//!   over the popped stream cross-checked between backends — the backends
+//!   must disagree on *nothing* but wall-clock.
+//! * **macro** — the fig10-style quick sweep (schemes × loads through
+//!   [`tlb_simnet::run_all`]) with every job's [`SimConfig::fel`] pinned to
+//!   one backend, then the other. Events/second is the headline number;
+//!   per-job report digests are asserted identical, and the queue-depth
+//!   histogram (p50/p99 of [`RunReport::fel_depth`]) shows what depths the
+//!   real simulator actually holds.
+//!
+//! `TLB_BENCH_ASSERT=1` turns the calendar-no-slower-than-heap expectation
+//! into a hard assertion (the CI perf-smoke step sets it).
+
+use tlb_engine::{EventQueue, FelKind, SimRng, SimTime};
+use tlb_simnet::{RunReport, Scheme, SimConfig};
+use tlb_workload::FlowSpec;
+
+/// One micro hold-pattern measurement.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MicroEntry {
+    /// `calendar` or `heap`.
+    pub backend: String,
+    /// Held queue depth (events resident during the timed loop).
+    pub depth: usize,
+    /// Pop+push pairs executed.
+    pub pairs: u64,
+    /// Wall-clock of the timed loop (milliseconds).
+    pub wall_ms: f64,
+    /// Pop+push pairs per second.
+    pub pairs_per_sec: f64,
+    /// Order-sensitive fold of the popped `(time, payload)` stream; equal
+    /// across backends by the determinism contract.
+    pub checksum: u64,
+}
+
+/// One macro sweep measurement.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MacroEntry {
+    /// `calendar` or `heap`.
+    pub backend: String,
+    /// Jobs in the sweep batch.
+    pub jobs: usize,
+    /// Engine events processed, summed over the batch.
+    pub events: u64,
+    /// Wall-clock of the batch (milliseconds).
+    pub wall_ms: f64,
+    /// `events / wall` — the headline throughput.
+    pub events_per_sec: f64,
+    /// Median pending-event count across the batch's FEL depth samples.
+    pub depth_p50: f64,
+    /// 99th-percentile pending-event count.
+    pub depth_p99: f64,
+}
+
+/// The whole `BENCH_PR4.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pr4Report {
+    /// Format tag for downstream tooling (`tlb-bench-pr4/v1`).
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the timed runs.
+    pub seed: u64,
+    /// Pool threads the macro sweeps used.
+    pub threads: usize,
+    /// `available_parallelism()` of the host.
+    pub host_cores: usize,
+    /// Hold-pattern results, one entry per backend per depth.
+    pub micro: Vec<MicroEntry>,
+    /// Sweep results, one entry per backend. (`macro` is a Rust keyword,
+    /// hence the field name.)
+    pub macro_runs: Vec<MacroEntry>,
+    /// Calendar events/sec ÷ heap events/sec on the macro sweep.
+    pub macro_speedup: f64,
+}
+
+/// The depths the micro hold pattern visits.
+pub const MICRO_DEPTHS: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+fn backend_name(kind: FelKind) -> &'static str {
+    match kind {
+        FelKind::Calendar => "calendar",
+        FelKind::Heap => "heap",
+    }
+}
+
+/// A simulation-shaped scheduling offset: mostly sub-60 µs packet-scale
+/// events with a ~5% tail of 10 ms RTO-scale timers (which is what pushes
+/// the calendar's overflow tier in real runs).
+#[inline]
+fn offset(rng: &mut SimRng) -> SimTime {
+    if rng.gen_range(20) == 0 {
+        SimTime::from_nanos(10_000_000 + rng.gen_range(1_000_000))
+    } else {
+        SimTime::from_nanos(1 + rng.gen_range(60_000))
+    }
+}
+
+/// Run the hold pattern on one backend at one depth: prefill `depth`
+/// events, then `pairs` pop-one/push-one cycles. Returns the timed entry;
+/// the prefill is untimed.
+pub fn micro_hold(kind: FelKind, depth: usize, pairs: u64, seed: u64) -> MicroEntry {
+    let mut rng = SimRng::new(seed ^ depth as u64);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity_and_kind(depth, kind);
+    for i in 0..depth {
+        let d = offset(&mut rng);
+        q.push(q.now() + d, i as u64);
+    }
+
+    let mut checksum = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..pairs {
+        let (t, ev) = q.pop().expect("hold pattern never empties");
+        checksum = checksum
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t.as_nanos() ^ ev);
+        let d = offset(&mut rng);
+        q.push(t + d, ev);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(q.len(), depth, "hold pattern must keep depth constant");
+    assert_eq!(q.monotonicity_violations(), 0);
+
+    MicroEntry {
+        backend: backend_name(kind).to_string(),
+        depth,
+        pairs,
+        wall_ms,
+        pairs_per_sec: if wall_ms > 0.0 {
+            pairs as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        checksum,
+    }
+}
+
+/// The macro batch: the fig10 quick sweep (paper scheme set × quick load
+/// axis on the web-search distribution) with every job's FEL pinned to
+/// `kind`. Identical traffic regardless of `kind` — only the queue
+/// implementation differs.
+pub fn macro_jobs(kind: FelKind) -> Vec<(SimConfig, Vec<FlowSpec>)> {
+    let web = tlb_workload::web_search();
+    let schemes = Scheme::paper_set();
+    let mut jobs = Vec::new();
+    for &load in &crate::load_sweep(crate::Scale::Quick) {
+        jobs.extend(crate::large_scale_jobs(
+            &schemes,
+            &web,
+            load,
+            crate::Scale::Quick,
+        ));
+    }
+    for (cfg, _) in &mut jobs {
+        cfg.fel = kind;
+    }
+    jobs
+}
+
+/// The per-job report fields the two backends must agree on bit-for-bit:
+/// `(events, drops, marks, completed, afct bits, long-goodput bits)`.
+pub type JobDigest = (u64, u64, u64, usize, u64, u64);
+
+/// The fields of a report that the two backends must agree on bit-for-bit.
+fn digest(r: &RunReport) -> JobDigest {
+    (
+        r.events,
+        r.drops,
+        r.marks,
+        r.completed,
+        r.fct_short.afct.to_bits(),
+        r.fct_long.mean_goodput.to_bits(),
+    )
+}
+
+/// Time the macro sweep on one backend (on `threads` pool threads) and
+/// return the entry plus the per-job digests for cross-checking.
+pub fn macro_sweep(kind: FelKind, threads: usize) -> (MacroEntry, Vec<JobDigest>) {
+    let jobs = macro_jobs(kind);
+    let n_jobs = jobs.len();
+    let t0 = std::time::Instant::now();
+    let reports = rayon::with_threads(threads, || tlb_simnet::run_all(jobs));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let events: u64 = reports.iter().map(|r| r.events).sum();
+    let mut depth = tlb_metrics::SampleSet::new();
+    for r in &reports {
+        depth.merge(&r.fel_depth);
+    }
+    let q = depth.quantiles(&[0.50, 0.99]);
+    let digests = reports.iter().map(digest).collect();
+
+    (
+        MacroEntry {
+            backend: backend_name(kind).to_string(),
+            jobs: n_jobs,
+            events,
+            wall_ms,
+            events_per_sec: if wall_ms > 0.0 {
+                events as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            depth_p50: q[0],
+            depth_p99: q[1],
+        },
+        digests,
+    )
+}
+
+impl Pr4Report {
+    /// An empty report stamped with this process's scale/seed/thread setup.
+    pub fn new() -> Pr4Report {
+        Pr4Report {
+            schema: "tlb-bench-pr4/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            threads: rayon::current_num_threads(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            micro: Vec::new(),
+            macro_runs: Vec::new(),
+            macro_speedup: 1.0,
+        }
+    }
+
+    /// Write the report to `results/BENCH_PR4.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR4.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for Pr4Report {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_hold_checksums_agree_across_backends() {
+        for depth in [100usize, 1_000] {
+            let cal = micro_hold(FelKind::Calendar, depth, 5_000, 42);
+            let heap = micro_hold(FelKind::Heap, depth, 5_000, 42);
+            assert_eq!(
+                cal.checksum, heap.checksum,
+                "backends diverged at depth {depth}"
+            );
+            assert_eq!(cal.pairs, heap.pairs);
+            assert!(cal.pairs_per_sec > 0.0 && heap.pairs_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn macro_jobs_pin_the_backend() {
+        for kind in [FelKind::Calendar, FelKind::Heap] {
+            let jobs = macro_jobs(kind);
+            assert!(!jobs.is_empty());
+            assert!(jobs.iter().all(|(cfg, _)| cfg.fel == kind));
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Pr4Report::new();
+        r.micro.push(MicroEntry {
+            backend: "calendar".into(),
+            depth: 100,
+            pairs: 1000,
+            wall_ms: 1.0,
+            pairs_per_sec: 1e6,
+            checksum: 7,
+        });
+        r.macro_runs.push(MacroEntry {
+            backend: "calendar".into(),
+            jobs: 20,
+            events: 1_000_000,
+            wall_ms: 500.0,
+            events_per_sec: 2e6,
+            depth_p50: 120.0,
+            depth_p99: 400.0,
+        });
+        r.macro_speedup = 1.3;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Pr4Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr4/v1");
+        assert_eq!(back.micro.len(), 1);
+        assert_eq!(back.macro_runs[0].backend, "calendar");
+        assert_eq!(back.macro_speedup, 1.3);
+    }
+}

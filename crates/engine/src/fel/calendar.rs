@@ -1,0 +1,298 @@
+//! Two-tier calendar-queue FEL: a timing wheel over the near future plus a
+//! binary-heap overflow tier for far-future entries.
+//!
+//! # Layout
+//!
+//! Time is divided into fixed-width buckets of `2^shift` nanoseconds; an
+//! entry's *slot* is `time_ns >> shift` (violating entries are clamped to
+//! `now` for bucketing only — their sort key is untouched). The wheel holds
+//! the next `nb` slots as `nb` physical buckets (`slot & (nb-1)`); anything
+//! at or past `slot(now) + nb` waits in the overflow heap and is promoted
+//! into the wheel as the clock advances. With the default geometry
+//! (512 ns × 4096 ≈ 2.1 ms) the wheel window comfortably covers
+//! link-serialization, propagation and LB-tick horizons, while RTO timers
+//! (≥ 10 ms) and not-yet-started flows ride the overflow tier — senders
+//! keep at most one pending timer each, so overflow traffic is rare and its
+//! `O(log n)` cost immaterial.
+//!
+//! The minimum bucket is held *activated*: its entries live in `active`,
+//! sorted **descending** by `(time, seq)` so `Vec::pop` yields the minimum
+//! without shifting. Non-active buckets are plain unsorted append vectors —
+//! a push into them is O(1) — and get one `sort_unstable` when activated.
+//! An occupancy bitmap (one bit per physical bucket) makes
+//! next-non-empty-bucket a word scan.
+//!
+//! # Invariants
+//!
+//! 1. **Window purity.** Every wheel entry's slot lies in
+//!    `[slot(now), slot(now) + nb)`: pushes outside go to overflow, and
+//!    promotion (which only runs while popping, i.e. right after `now`
+//!    advances) admits only slots below `slot(now) + nb`. Hence no physical
+//!    bucket ever mixes two wheel rotations, and a bucket can be sorted
+//!    without comparing rotation counts.
+//! 2. **Tier order.** After every promotion pass, each overflow entry's
+//!    slot is `>= slot(now) + nb`, strictly above every wheel entry's slot
+//!    (by 1). So the wheel holds a *prefix* of the schedule and
+//!    [`FelBackend::min_time`] is `active.last()` when the wheel is
+//!    non-empty, else the overflow top — O(1).
+//! 3. **Active minimality.** `active` is the occupied bucket with the
+//!    lowest slot; a push below `active_slot` lands in a provably empty
+//!    bucket (all entries at slots `< active_slot` would contradict 3, all
+//!    entries at `active_slot` live in `active`) which becomes the new
+//!    active bucket; the old remainder retires to its—also empty—home
+//!    bucket. `wheel_len > 0` implies `active` is non-empty.
+//!
+//! Together with the unique `(time, seq)` key these give the same pop
+//! sequence as any correct min-queue; see the module docs of [`super`].
+
+use super::{Entry, FelBackend};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Default bucket width: `2^9` = 512 ns.
+pub const DEFAULT_SHIFT: u32 = 9;
+/// Default wheel size (buckets); with [`DEFAULT_SHIFT`] the wheel spans
+/// ~2.1 ms.
+pub const DEFAULT_BUCKETS: usize = 4096;
+
+/// A two-tier calendar-queue FEL. See the module docs for the design.
+pub struct CalendarFel<E> {
+    /// log2 of the bucket width in nanoseconds.
+    shift: u32,
+    /// Physical bucket count (power of two).
+    nb: usize,
+    /// `nb - 1`, as a slot mask.
+    mask: u64,
+    /// Unsorted append buckets, indexed by `slot & mask`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Occupancy bitmap over `buckets` (the active bucket's bit is clear).
+    occ: Vec<u64>,
+    /// The activated minimum bucket, sorted descending by `(time, seq)`.
+    active: Vec<Entry<E>>,
+    /// Absolute slot of the active bucket (meaningful iff `wheel_len > 0`).
+    active_slot: u64,
+    /// Entries in the wheel, including the active bucket.
+    wheel_len: usize,
+    /// Far-future tier (`Entry`'s reversed `Ord` makes this a min-queue).
+    overflow: BinaryHeap<Entry<E>>,
+}
+
+impl<E> CalendarFel<E> {
+    /// An empty queue with the default geometry.
+    pub fn new() -> CalendarFel<E> {
+        Self::with_geometry(DEFAULT_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// An empty queue with room reserved in the overflow tier — build-time
+    /// bulk pushes (all flow-start events of a run) land there.
+    pub fn with_capacity(cap: usize) -> CalendarFel<E> {
+        let mut q = Self::new();
+        q.overflow.reserve(cap);
+        q
+    }
+
+    /// An empty queue with `2^shift`-ns buckets and an `nb`-bucket wheel
+    /// (`nb` a power of two, ≥ 64). Small wheels force heavy
+    /// overflow/promotion churn and exist for stress tests; prefer
+    /// [`CalendarFel::new`].
+    pub fn with_geometry(shift: u32, nb: usize) -> CalendarFel<E> {
+        assert!(
+            nb.is_power_of_two() && nb >= 64,
+            "wheel size {nb}: want a power of two >= 64"
+        );
+        assert!(shift < 32, "bucket shift {shift} unreasonably large");
+        CalendarFel {
+            shift,
+            nb,
+            mask: (nb - 1) as u64,
+            buckets: (0..nb).map(|_| Vec::new()).collect(),
+            occ: vec![0u64; nb / 64],
+            active: Vec::new(),
+            active_slot: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() >> self.shift
+    }
+
+    #[inline]
+    fn set_bit(&mut self, p: usize) {
+        self.occ[p / 64] |= 1u64 << (p % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, p: usize) {
+        self.occ[p / 64] &= !(1u64 << (p % 64));
+    }
+
+    /// First occupied physical bucket at or (cyclically) after `start`.
+    fn next_occupied_from(&self, start: usize) -> Option<usize> {
+        let words = self.occ.len();
+        let (w0, b0) = (start / 64, start % 64);
+        let masked = self.occ[w0] & (!0u64 << b0);
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        // On full wrap (`k == words`) the low bits of word `w0` are the
+        // farthest-future slots; its high bits were proven clear above.
+        for k in 1..=words {
+            let w = (w0 + k) % words;
+            if self.occ[w] != 0 {
+                return Some(w * 64 + self.occ[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Move the active remainder back to its (empty) home bucket.
+    fn retire_active(&mut self) {
+        debug_assert!(!self.active.is_empty());
+        let p = (self.active_slot & self.mask) as usize;
+        debug_assert!(self.buckets[p].is_empty(), "active home bucket not empty");
+        std::mem::swap(&mut self.buckets[p], &mut self.active);
+        self.set_bit(p);
+    }
+
+    /// Activate the occupied bucket with the lowest slot (≥ `slot(now)`).
+    fn activate_next(&mut self, now: SimTime) {
+        debug_assert!(self.wheel_len > 0 && self.active.is_empty());
+        let now_slot = self.slot_of(now);
+        let start = (now_slot & self.mask) as usize;
+        let p = self
+            .next_occupied_from(start)
+            .expect("wheel_len > 0 but no occupied bucket");
+        self.clear_bit(p);
+        // Physical → absolute slot: window purity guarantees exactly one
+        // in-window rotation per physical bucket.
+        let delta = (p + self.nb - start) & (self.nb - 1);
+        self.active_slot = now_slot + delta as u64;
+        std::mem::swap(&mut self.active, &mut self.buckets[p]);
+        self.active
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+    }
+
+    /// Pull overflow entries whose slot fell inside the wheel window at
+    /// `now` into their buckets. Runs only while popping (right after the
+    /// clock advanced), which is what keeps tier order an invariant.
+    fn promote(&mut self, now: SimTime) {
+        let limit = self.slot_of(now) + self.nb as u64;
+        while let Some(top) = self.overflow.peek() {
+            let slot = self.slot_of(top.time);
+            if slot >= limit {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry vanished");
+            // Promoted slots exceed every pre-existing wheel slot (tier
+            // order), in particular `active_slot`: always a plain bucket.
+            let p = (slot & self.mask) as usize;
+            self.buckets[p].push(entry);
+            self.set_bit(p);
+            self.wheel_len += 1;
+        }
+    }
+}
+
+impl<E> Default for CalendarFel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> FelBackend<E> for CalendarFel<E> {
+    fn insert(&mut self, entry: Entry<E>, now: SimTime) {
+        // Clamp below-`now` times (a caller-counted monotonicity violation
+        // that only release builds survive) for bucketing only; the entry
+        // keeps its original `(time, seq)` sort key.
+        let slot = self.slot_of(entry.time.max(now));
+        if slot >= self.slot_of(now) + self.nb as u64 {
+            self.overflow.push(entry);
+            return;
+        }
+        if self.wheel_len > 0 {
+            if slot == self.active_slot {
+                // Sorted insert, descending. Same-instant pushes (the
+                // common case: an event scheduling its immediate successor)
+                // have the largest `(time, seq)` of the bucket so far and
+                // land at/near the tail — no shifting.
+                let key = (entry.time, entry.seq);
+                let pos = self.active.partition_point(|e| (e.time, e.seq) > key);
+                self.active.insert(pos, entry);
+                self.wheel_len += 1;
+                return;
+            }
+            if slot > self.active_slot {
+                let p = (slot & self.mask) as usize;
+                self.buckets[p].push(entry);
+                self.set_bit(p);
+                self.wheel_len += 1;
+                return;
+            }
+            // New wheel minimum below the active bucket: its bucket is
+            // provably empty (invariant 3), so it becomes the new active
+            // bucket and the old one retires whole.
+            self.retire_active();
+        }
+        self.active_slot = slot;
+        self.active.push(entry);
+        self.wheel_len += 1;
+    }
+
+    fn remove_min(&mut self) -> Option<Entry<E>> {
+        if self.wheel_len == 0 {
+            // Tier order: with an empty wheel the overflow top is the
+            // global minimum. Promote its same-window successors so the
+            // wheel resumes service.
+            let entry = self.overflow.pop()?;
+            self.promote(entry.time);
+            if self.wheel_len > 0 {
+                self.activate_next(entry.time);
+            }
+            return Some(entry);
+        }
+        let entry = self
+            .active
+            .pop()
+            .expect("wheel_len > 0 implies a non-empty active bucket");
+        self.wheel_len -= 1;
+        self.promote(entry.time);
+        if self.active.is_empty() && self.wheel_len > 0 {
+            self.activate_next(entry.time);
+        }
+        Some(entry)
+    }
+
+    #[inline]
+    fn min_time(&self) -> Option<SimTime> {
+        if self.wheel_len > 0 {
+            self.active.last().map(|e| e.time)
+        } else {
+            self.overflow.peek().map(|e| e.time)
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Entry<E>>) {
+        out.reserve(self.len());
+        out.append(&mut self.active);
+        for w in 0..self.occ.len() {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.append(&mut self.buckets[w * 64 + b]);
+            }
+            self.occ[w] = 0;
+        }
+        out.extend(self.overflow.drain());
+        self.wheel_len = 0;
+        self.active_slot = 0;
+    }
+}

@@ -1,0 +1,132 @@
+//! Future-event-list (FEL) backends.
+//!
+//! The simulator's hot loop is push/pop on the FEL, so the backend is
+//! swappable: the default [`CalendarFel`] is a two-tier calendar queue
+//! (timing-wheel buckets over the near future, a sorted overflow tier for
+//! far-future timers), and [`HeapFel`] keeps the original binary heap alive
+//! as a differential reference. Both implement [`FelBackend`] and both must
+//! yield the exact same pop order — a total order over `(time, seq)` — so
+//! every simulation digest is bit-identical regardless of backend. The
+//! backend is selected per-queue via [`FelKind`]; see
+//! [`crate::EventQueue::with_kind`].
+//!
+//! Determinism argument: [`Entry`]'s ordering key is `(time, seq)` where
+//! `seq` is the queue's monotone insertion counter. That key is unique per
+//! entry (no two entries share a `seq`), so "pop the minimum" has exactly
+//! one correct answer at every step and any correct backend produces the
+//! same event schedule — FIFO within a timestamp, non-decreasing across
+//! timestamps. Backends therefore never need to agree on internal layout,
+//! only on the key.
+
+pub mod calendar;
+pub mod heap;
+
+pub use calendar::CalendarFel;
+pub use heap::HeapFel;
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+
+/// One scheduled entry: timestamp + monotone sequence number + payload.
+#[derive(Debug)]
+pub struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    /// Reversed ordering so a `BinaryHeap` (a max-heap) pops the earliest
+    /// timestamp first; ties broken by insertion sequence (FIFO).
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Which FEL backend an [`crate::EventQueue`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FelKind {
+    /// Two-tier calendar queue (timing wheel + overflow) — the default.
+    Calendar,
+    /// The original binary heap, kept as a differential reference.
+    Heap,
+}
+
+impl FelKind {
+    /// Backend selection for queues that don't get an explicit kind:
+    /// `TLB_FEL=heap` / `TLB_FEL=calendar` wins, then the `heap-fel` cargo
+    /// feature flips the default, else [`FelKind::Calendar`].
+    ///
+    /// Tests that compare backends should pin kinds explicitly (via
+    /// [`crate::EventQueue::with_kind`] or the simulator config) rather
+    /// than mutate the environment, which is process-global.
+    pub fn from_env() -> FelKind {
+        match std::env::var("TLB_FEL") {
+            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "heap" => FelKind::Heap,
+                "calendar" => FelKind::Calendar,
+                "" => Self::default_kind(),
+                other => {
+                    eprintln!(
+                        "warning: ignoring unknown TLB_FEL={other:?} (want `calendar` or `heap`)"
+                    );
+                    Self::default_kind()
+                }
+            },
+            Err(_) => Self::default_kind(),
+        }
+    }
+
+    fn default_kind() -> FelKind {
+        if cfg!(feature = "heap-fel") {
+            FelKind::Heap
+        } else {
+            FelKind::Calendar
+        }
+    }
+}
+
+/// The operations a FEL backend provides. [`crate::EventQueue`] owns the
+/// clock, the sequence counter and the monotonicity accounting; backends
+/// only order entries by `(time, seq)`.
+pub trait FelBackend<E> {
+    /// Insert `entry`. `now` is the caller's clock: the calendar backend
+    /// windows its wheel on it. An entry with `entry.time < now` (already
+    /// counted as a violation by the caller, panicking in debug builds)
+    /// must still come back in plain `(time, seq)` order.
+    fn insert(&mut self, entry: Entry<E>, now: SimTime);
+
+    /// Remove and return the `(time, seq)`-minimum entry.
+    fn remove_min(&mut self) -> Option<Entry<E>>;
+
+    /// Timestamp of the minimum entry, without removing it. Must be O(1).
+    fn min_time(&self) -> Option<SimTime>;
+
+    /// Number of pending entries.
+    fn len(&self) -> usize;
+
+    /// True when no entries are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Move every pending entry into `out`, in arbitrary order, leaving
+    /// the backend empty.
+    fn drain_into(&mut self, out: &mut Vec<Entry<E>>);
+}

@@ -1,45 +1,63 @@
 //! Deterministic future-event list.
 
+use crate::fel::{CalendarFel, Entry, FelBackend, FelKind, HeapFel};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// One scheduled entry: timestamp + monotone sequence number + payload.
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// The selected backend, dispatched statically (an enum, not a trait
+/// object: push/pop are the simulator's hottest calls).
+enum Backend<E> {
+    Calendar(CalendarFel<E>),
+    Heap(HeapFel<E>),
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> FelBackend<E> for Backend<E> {
+    #[inline]
+    fn insert(&mut self, entry: Entry<E>, now: SimTime) {
+        match self {
+            Backend::Calendar(b) => b.insert(entry, now),
+            Backend::Heap(b) => b.insert(entry, now),
+        }
     }
-}
-impl<E> Eq for Entry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    #[inline]
+    fn remove_min(&mut self) -> Option<Entry<E>> {
+        match self {
+            Backend::Calendar(b) => b.remove_min(),
+            Backend::Heap(b) => b.remove_min(),
+        }
     }
-}
 
-impl<E> Ord for Entry<E> {
-    /// Reversed ordering so the `BinaryHeap` (a max-heap) pops the earliest
-    /// timestamp first; ties broken by insertion sequence (FIFO).
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+    #[inline]
+    fn min_time(&self) -> Option<SimTime> {
+        match self {
+            Backend::Calendar(b) => b.min_time(),
+            Backend::Heap(b) => b.min_time(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Backend::Calendar(b) => b.len(),
+            Backend::Heap(b) => b.len(),
+        }
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<Entry<E>>) {
+        match self {
+            Backend::Calendar(b) => b.drain_into(out),
+            Backend::Heap(b) => b.drain_into(out),
+        }
     }
 }
 
 /// A future-event list with deterministic tie-breaking.
 ///
 /// Events scheduled for the same timestamp are executed in the order they
-/// were pushed, making simulation traces reproducible regardless of heap
-/// implementation details.
+/// were pushed, making simulation traces reproducible regardless of the
+/// storage backend: the pop order is the total order over `(time,
+/// insertion seq)`, which both the default calendar queue and the
+/// reference binary heap ([`FelKind`]) realize identically.
 ///
 /// ```
 /// use tlb_engine::{EventQueue, SimTime};
@@ -55,7 +73,7 @@ impl<E> Ord for Entry<E> {
 /// `now()` to the popped event's timestamp. Scheduling strictly in the past
 /// is a logic error and panics in debug builds.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
     seq: u64,
     now: SimTime,
     monotonicity_violations: u64,
@@ -68,23 +86,59 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at zero.
+    /// An empty queue with the clock at zero, on the environment-selected
+    /// backend ([`FelKind::from_env`]).
     pub fn new() -> Self {
+        Self::with_kind(FelKind::from_env())
+    }
+
+    /// An empty queue with pre-allocated capacity for `cap` events, on the
+    /// environment-selected backend.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_kind(cap, FelKind::from_env())
+    }
+
+    /// An empty queue on an explicitly chosen backend. Differential tests
+    /// and the bench harness pin kinds this way instead of racing on the
+    /// `TLB_FEL` environment variable.
+    pub fn with_kind(kind: FelKind) -> Self {
+        Self::with_capacity_and_kind(0, kind)
+    }
+
+    /// Explicit backend and capacity. For the calendar backend the
+    /// capacity reserves the overflow tier, where build-time bulk pushes
+    /// (e.g. every flow-start event of a run) land.
+    pub fn with_capacity_and_kind(cap: usize, kind: FelKind) -> Self {
+        let backend = match kind {
+            FelKind::Calendar => Backend::Calendar(CalendarFel::with_capacity(cap)),
+            FelKind::Heap => Backend::Heap(HeapFel::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend,
             seq: 0,
             now: SimTime::ZERO,
             monotonicity_violations: 0,
         }
     }
 
-    /// An empty queue with pre-allocated capacity for `cap` events.
-    pub fn with_capacity(cap: usize) -> Self {
+    /// A calendar-backed queue with explicit wheel geometry
+    /// (`2^shift`-ns buckets, `nb` of them). Tiny wheels force heavy
+    /// overflow/promotion churn; stress tests use this to exercise paths
+    /// the default ~2 ms window rarely hits.
+    pub fn with_calendar_geometry(shift: u32, nb: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            backend: Backend::Calendar(CalendarFel::with_geometry(shift, nb)),
             seq: 0,
             now: SimTime::ZERO,
             monotonicity_violations: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> FelKind {
+        match self.backend {
+            Backend::Calendar(_) => FelKind::Calendar,
+            Backend::Heap(_) => FelKind::Heap,
         }
     }
 
@@ -112,7 +166,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.backend.insert(Entry { time, seq, event }, self.now);
     }
 
     /// Schedule `event` `delay` after the current time.
@@ -125,7 +179,7 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when the queue is exhausted.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let entry = self.backend.remove_min()?;
         if entry.time < self.now {
             self.monotonicity_violations += 1;
         }
@@ -137,19 +191,19 @@ impl<E> EventQueue<E> {
     /// Timestamp of the earliest pending event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.backend.min_time()
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backend.len()
     }
 
     /// True when no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.backend.is_empty()
     }
 
     /// Total number of events ever scheduled (diagnostics).
@@ -171,7 +225,9 @@ impl<E> EventQueue<E> {
     /// advancing the clock. End-of-run accounting (e.g. counting packets
     /// still in flight at the horizon) wants the set, not the order.
     pub fn drain_unordered(&mut self) -> impl Iterator<Item = (SimTime, E)> + '_ {
-        self.heap.drain().map(|e| (e.time, e.event))
+        let mut out = Vec::new();
+        self.backend.drain_into(&mut out);
+        out.into_iter().map(|e| (e.time, e.event))
     }
 }
 
@@ -180,46 +236,62 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Every queue shape a test should pass on: both production backends
+    /// plus a deliberately tiny calendar wheel (16 ns × 64 buckets ≈ 1 µs
+    /// window) that forces overflow, promotion and wrap-around on the same
+    /// nanosecond-scale schedules the other tests use.
+    fn all_queues<E>() -> Vec<(&'static str, EventQueue<E>)> {
+        vec![
+            ("calendar", EventQueue::with_kind(FelKind::Calendar)),
+            ("heap", EventQueue::with_kind(FelKind::Heap)),
+            ("calendar-tiny", EventQueue::with_calendar_geometry(4, 64)),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), "c");
-        q.push(SimTime::from_nanos(10), "a");
-        q.push(SimTime::from_nanos(20), "b");
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
-        assert_eq!(q.pop(), None);
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(30), "c");
+            q.push(SimTime::from_nanos(10), "a");
+            q.push(SimTime::from_nanos(20), "b");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")), "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")), "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")), "{name}");
+            assert_eq!(q.pop(), None, "{name}");
+        }
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_nanos(5);
-        for i in 0..100 {
-            q.push(t, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for (name, mut q) in all_queues() {
+            let t = SimTime::from_nanos(5);
+            for i in 0..100 {
+                q.push(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop().unwrap().1, i, "{name}");
+            }
         }
     }
 
     #[test]
     fn clock_advances_on_pop() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(7), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime::from_micros(7));
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_micros(7), ());
+            assert_eq!(q.now(), SimTime::ZERO, "{name}");
+            q.pop();
+            assert_eq!(q.now(), SimTime::from_micros(7), "{name}");
+        }
     }
 
     #[test]
     fn push_after_is_relative() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(100), 0u8);
-        q.pop();
-        q.push_after(SimTime::from_nanos(50), 1u8);
-        assert_eq!(q.pop(), Some((SimTime::from_nanos(150), 1u8)));
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(100), 0u8);
+            q.pop();
+            q.push_after(SimTime::from_nanos(50), 1u8);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(150), 1u8)), "{name}");
+        }
     }
 
     #[test]
@@ -232,108 +304,257 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling_on_heap_too() {
+        let mut q = EventQueue::with_kind(FelKind::Heap);
+        q.push(SimTime::from_nanos(100), ());
+        q.pop();
+        q.push(SimTime::from_nanos(99), ());
+    }
+
+    #[test]
     fn interleaved_push_pop_keeps_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 1);
-        q.push(SimTime::from_nanos(40), 4);
-        assert_eq!(q.pop().unwrap().1, 1);
-        q.push(SimTime::from_nanos(20), 2);
-        q.push(SimTime::from_nanos(30), 3);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
-        assert_eq!(q.pop().unwrap().1, 4);
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(10), 1);
+            q.push(SimTime::from_nanos(40), 4);
+            assert_eq!(q.pop().unwrap().1, 1, "{name}");
+            q.push(SimTime::from_nanos(20), 2);
+            q.push(SimTime::from_nanos(30), 3);
+            assert_eq!(q.pop().unwrap().1, 2, "{name}");
+            assert_eq!(q.pop().unwrap().1, 3, "{name}");
+            assert_eq!(q.pop().unwrap().1, 4, "{name}");
+        }
     }
 
     #[test]
     fn counts_are_consistent() {
-        let mut q = EventQueue::with_capacity(8);
-        assert!(q.is_empty());
-        q.push(SimTime::from_nanos(1), ());
-        q.push(SimTime::from_nanos(2), ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.scheduled_total(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.scheduled_total(), 2);
+        for kind in [FelKind::Calendar, FelKind::Heap] {
+            let mut q = EventQueue::with_capacity_and_kind(8, kind);
+            assert_eq!(q.kind(), kind);
+            assert!(q.is_empty());
+            q.push(SimTime::from_nanos(1), ());
+            q.push(SimTime::from_nanos(2), ());
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.scheduled_total(), 2);
+            q.pop();
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.scheduled_total(), 2);
+        }
     }
 
     #[test]
     fn clean_run_has_no_monotonicity_violations() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 1);
-        q.push(SimTime::from_nanos(20), 2);
-        q.pop();
-        q.push(SimTime::from_nanos(15), 3);
-        while q.pop().is_some() {}
-        assert_eq!(q.monotonicity_violations(), 0);
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(10), 1);
+            q.push(SimTime::from_nanos(20), 2);
+            q.pop();
+            q.push(SimTime::from_nanos(15), 3);
+            while q.pop().is_some() {}
+            assert_eq!(q.monotonicity_violations(), 0, "{name}");
+        }
     }
 
     #[test]
     fn past_scheduling_is_counted() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(100), ());
-        q.pop();
-        let counted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            q.push(SimTime::from_nanos(99), ());
-        }));
-        if cfg!(debug_assertions) {
-            assert!(counted.is_err(), "debug builds must assert on the spot");
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(100), ());
+            q.pop();
+            let counted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                q.push(SimTime::from_nanos(99), ());
+            }));
+            if cfg!(debug_assertions) {
+                assert!(
+                    counted.is_err(),
+                    "{name}: debug builds must assert on the spot"
+                );
+            }
+            assert_eq!(q.monotonicity_violations(), 1, "{name}");
         }
-        assert_eq!(q.monotonicity_violations(), 1);
     }
 
     #[test]
     fn drain_unordered_empties_without_advancing_clock() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 1);
-        q.pop();
-        q.push(SimTime::from_nanos(30), 2);
-        q.push(SimTime::from_nanos(20), 3);
-        let mut drained: Vec<i32> = q.drain_unordered().map(|(_, e)| e).collect();
-        drained.sort_unstable();
-        assert_eq!(drained, vec![2, 3]);
-        assert!(q.is_empty());
-        assert_eq!(
-            q.now(),
-            SimTime::from_nanos(10),
-            "drain must not move the clock"
-        );
+        for (name, mut q) in all_queues() {
+            q.push(SimTime::from_nanos(10), 1);
+            q.pop();
+            q.push(SimTime::from_nanos(30), 2);
+            q.push(SimTime::from_nanos(20), 3);
+            // Park one entry far in the future so the calendar's overflow
+            // tier participates in the drain.
+            q.push(SimTime::from_secs(2), 4);
+            let mut drained: Vec<i32> = q.drain_unordered().map(|(_, e)| e).collect();
+            drained.sort_unstable();
+            assert_eq!(drained, vec![2, 3, 4], "{name}");
+            assert!(q.is_empty(), "{name}");
+            assert_eq!(
+                q.now(),
+                SimTime::from_nanos(10),
+                "{name}: drain must not move the clock"
+            );
+        }
+    }
+
+    #[test]
+    fn far_future_rides_the_overflow_tier_in_order() {
+        // Mix wheel-window and far-future times; pops must interleave them
+        // in plain (time, seq) order across promotions.
+        for (name, mut q) in all_queues::<u64>() {
+            let times: [u64; 8] = [
+                50,             // wheel
+                3_000_000,      // past the default 2.1 ms window
+                1_000,          // wheel
+                3_000_000,      // tie with the earlier overflow push
+                10_000_000_000, // 10 s out
+                2_097_152,      // exactly at the default window boundary
+                2_097_151,      // just inside
+                60,
+            ];
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), i as u64);
+            }
+            let mut sorted: Vec<(u64, u64)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i as u64))
+                .collect();
+            sorted.sort_unstable();
+            for &(t, i) in &sorted {
+                assert_eq!(q.pop(), Some((SimTime::from_nanos(t), i)), "{name}");
+            }
+            assert_eq!(q.pop(), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_rotations() {
+        // March the clock through hundreds of wheel rotations of the tiny
+        // geometry, alternating short and bucket-crossing gaps.
+        let mut q = EventQueue::with_calendar_geometry(4, 64);
+        let mut expect = SimTime::ZERO;
+        q.push(SimTime::ZERO, 0u32);
+        for step in 0..5_000u32 {
+            let (t, _) = q.pop().expect("still marching");
+            assert_eq!(t, expect);
+            assert_eq!(q.now(), expect);
+            let gap = match step % 4 {
+                0 => 3,     // same bucket
+                1 => 16,    // next bucket
+                2 => 1_024, // one full rotation of the 16 ns × 64 wheel
+                _ => 7_777, // several rotations, lands mid-wheel
+            };
+            expect += SimTime::from_nanos(gap as u64);
+            q.push(expect, step);
+        }
+        assert_eq!(q.monotonicity_violations(), 0);
+    }
+
+    /// Per-op observation of a differential script: what popped, the peek,
+    /// and the queue length.
+    type StepLog = Vec<(Option<(SimTime, u32)>, Option<SimTime>, usize)>;
+
+    /// One differential step script: interleaved pushes (with heavy
+    /// timestamp ties) and pops, replayed on every backend; all observable
+    /// outputs must match the heap reference exactly.
+    fn run_script(q: &mut EventQueue<u32>, ops: &[(u8, u16)]) -> StepLog {
+        let mut log = Vec::with_capacity(ops.len());
+        for (i, &(sel, raw)) in ops.iter().enumerate() {
+            let popped = match sel % 4 {
+                // Push with a tie-heavy near-future offset: scale ∈
+                // {0 (same instant), 1 bucket-ish, window-crossing}.
+                0 | 1 => {
+                    let scale = match raw % 8 {
+                        0..=4 => 0,     // same-timestamp ties dominate
+                        5 => 1,         // sub-bucket
+                        6 => 600,       // next-bucket at default shift
+                        _ => 3_000_000, // overflow tier
+                    };
+                    q.push_after(SimTime::from_nanos(scale * (1 + raw as u64 % 3)), i as u32);
+                    None
+                }
+                2 => q.pop(),
+                // Far-future push at an absolute slot shared by many
+                // entries (promotion-order stress).
+                _ => {
+                    let t = q.now() + SimTime::from_nanos(2_500_000 + (raw as u64 % 4) * 512);
+                    q.push(t, i as u32);
+                    None
+                }
+            };
+            log.push((popped, q.peek_time(), q.len()));
+        }
+        // Drain the remainder: full pop order is part of the observable
+        // contract.
+        while let Some(p) = q.pop() {
+            log.push((Some(p), q.peek_time(), q.len()));
+        }
+        log
     }
 
     proptest! {
         /// Popping must yield non-decreasing timestamps and, within a
-        /// timestamp, ascending insertion order.
+        /// timestamp, ascending insertion order — on every backend.
         #[test]
         fn prop_pop_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
-            }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some((t, i)) = q.pop() {
-                if let Some((lt, li)) = last {
-                    prop_assert!(t >= lt);
-                    if t == lt {
-                        prop_assert!(i > li);
-                    }
+            for (name, mut q) in all_queues() {
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
                 }
-                last = Some((t, i));
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some((t, i)) = q.pop() {
+                    if let Some((lt, li)) = last {
+                        prop_assert!(t >= lt, "{name}");
+                        if t == lt {
+                            prop_assert!(i > li, "{name}");
+                        }
+                    }
+                    last = Some((t, i));
+                }
             }
         }
 
-        /// All pushed events come back out exactly once.
+        /// All pushed events come back out exactly once — on every backend.
         #[test]
         fn prop_conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_nanos(t), i);
+            for (name, mut q) in all_queues() {
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut seen = vec![false; times.len()];
+                while let Some((_, i)) = q.pop() {
+                    prop_assert!(!seen[i], "{name}");
+                    seen[i] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s), "{name}");
             }
-            let mut seen = vec![false; times.len()];
-            while let Some((_, i)) = q.pop() {
-                prop_assert!(!seen[i]);
-                seen[i] = true;
+        }
+
+        /// Differential: random interleaved push/pop/push_after scripts
+        /// with heavy timestamp ties must produce identical pop results,
+        /// peeks, lengths and counters on the calendar backends vs the
+        /// heap reference.
+        #[test]
+        fn prop_backends_are_indistinguishable(
+            ops in proptest::collection::vec((0u8..4, 0u16..u16::MAX), 1..300)
+        ) {
+            let mut reference = EventQueue::with_kind(FelKind::Heap);
+            let ref_log = run_script(&mut reference, &ops);
+            for (name, mut q) in [
+                ("calendar", EventQueue::with_kind(FelKind::Calendar)),
+                ("calendar-tiny", EventQueue::with_calendar_geometry(4, 64)),
+                ("calendar-wide", EventQueue::with_calendar_geometry(14, 64)),
+            ] {
+                let log = run_script(&mut q, &ops);
+                prop_assert_eq!(&log, &ref_log, "{} diverged from heap", name);
+                prop_assert_eq!(q.now(), reference.now(), "{}: clock", name);
+                prop_assert_eq!(
+                    q.scheduled_total(), reference.scheduled_total(), "{}: scheduled", name
+                );
+                prop_assert_eq!(
+                    q.monotonicity_violations(),
+                    reference.monotonicity_violations(),
+                    "{}: violations", name
+                );
             }
-            prop_assert!(seen.iter().all(|&s| s));
         }
     }
 }

@@ -37,14 +37,24 @@ impl SampleSet {
         mean(&self.samples)
     }
 
-    /// The `p`-quantile; 0 when empty.
+    /// The `p`-quantile; 0 when empty. Sorts a copy of the samples —
+    /// readers that need several quantiles of the same set should use
+    /// [`SampleSet::quantiles`], which sorts once.
     pub fn quantile(&self, p: f64) -> f64 {
+        self.quantiles(&[p])[0]
+    }
+
+    /// Batch quantiles with a single sort (the per-call [`Self::quantile`]
+    /// clones and re-sorts the whole sample vector every time, which the
+    /// figure reports were paying several times per set). Empty sets yield
+    /// all zeros.
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<f64> {
         if self.samples.is_empty() {
-            return 0.0;
+            return vec![0.0; ps.len()];
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        percentile(&sorted, p)
+        ps.iter().map(|&p| percentile(&sorted, p)).collect()
     }
 
     /// Largest observation (0 when empty).
@@ -91,7 +101,21 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.quantiles(&[0.5, 0.99]), vec![0.0, 0.0]);
         assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn batch_quantiles_match_single_calls() {
+        let mut s = SampleSet::new();
+        for v in [9.0, 2.0, 5.0, 7.0, 1.0, 8.0, 3.0] {
+            s.push(v);
+        }
+        let ps = [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0];
+        let batch = s.quantiles(&ps);
+        for (&p, &q) in ps.iter().zip(&batch) {
+            assert_eq!(q.to_bits(), s.quantile(p).to_bits(), "p={p}");
+        }
     }
 
     #[test]

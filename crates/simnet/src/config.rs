@@ -1,7 +1,7 @@
 //! Simulation configuration: topology + transport + switch + scheme.
 
 use crate::scheme::Scheme;
-use tlb_engine::SimTime;
+use tlb_engine::{FelKind, SimTime};
 use tlb_net::{LeafId, LeafSpine, LeafSpineBuilder, SpineId};
 use tlb_switch::QueueCfg;
 use tlb_transport::TcpConfig;
@@ -71,6 +71,12 @@ pub struct SimConfig {
     /// audit tests) disables it.
     #[doc(hidden)]
     pub fault_drop_nth: Option<u64>,
+    /// Future-event-list backend for the run. Presets take the process
+    /// default (`TLB_FEL` env var / `heap-fel` feature, else the calendar
+    /// queue); the differential tests and `bench_pr4` pin it explicitly.
+    /// Both backends are bit-identical in results — this only selects the
+    /// data structure.
+    pub fel: FelKind,
 }
 
 impl SimConfig {
@@ -102,6 +108,7 @@ impl SimConfig {
             sample_queues: false,
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
+            fel: FelKind::from_env(),
         }
     }
 
@@ -134,6 +141,7 @@ impl SimConfig {
             sample_queues: false,
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
+            fel: FelKind::from_env(),
         }
     }
 
@@ -164,6 +172,7 @@ impl SimConfig {
             sample_queues: false,
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
+            fel: FelKind::from_env(),
         }
     }
 

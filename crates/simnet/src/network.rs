@@ -100,6 +100,8 @@ struct Net {
     short_qlen: SampleSet,
     long_qlen: SampleSet,
     short_qdelay: SampleSet,
+    /// FEL occupancy sampled every [`FEL_DEPTH_SAMPLE_EVERY`] events.
+    fel_depth: SampleSet,
     short_qdelay_series: TimeSeries,
     short_reorder: TimeSeries,
     long_reorder: TimeSeries,
@@ -201,7 +203,16 @@ impl Net {
             .collect();
 
         let n = flows.len();
-        let mut q = EventQueue::with_capacity(n * 4 + 1024);
+        // Size the FEL so steady state never reallocates: every flow can
+        // hold one pending start plus one armed retransmission timer, and
+        // each port can contribute one in-service `TxDone` plus a few
+        // propagating `Arrive`s. (For the calendar backend the capacity
+        // reserves the overflow tier, which is exactly where the build-time
+        // bulk of not-yet-started flows lands.)
+        let n_ports = topo.n_hosts()
+            + topo.n_leaves() * (topo.n_spines() + topo.hosts_per_leaf())
+            + topo.n_spines() * topo.n_leaves();
+        let mut q = EventQueue::with_capacity_and_kind(2 * n + 4 * n_ports + 64, cfg.fel);
         // Only chain heads get their own start event; chained flows are
         // launched by their predecessor's completion.
         let mut is_chained = vec![false; n];
@@ -233,10 +244,13 @@ impl Net {
             completed: vec![false; n],
             n_completed: 0,
             q,
-            out_buf: Vec::with_capacity(64),
+            // A sender can emit at most a receive window of segments (plus
+            // a FIN) from one call.
+            out_buf: Vec::with_capacity(cfg.tcp.rwnd_segs() as usize + 2),
             short_qlen: SampleSet::new(),
             long_qlen: SampleSet::new(),
             short_qdelay: SampleSet::new(),
+            fel_depth: SampleSet::new(),
             qth_series: Vec::new(),
             traced: {
                 let mut t = vec![false; n];
@@ -247,8 +261,18 @@ impl Net {
                 }
                 t
             },
-            traces: Vec::new(),
-            queue_series: Vec::new(),
+            traces: Vec::with_capacity(if cfg.trace_flows.is_empty() { 0 } else { 1024 }),
+            queue_series: {
+                // One row per series bucket up to the horizon, capped so a
+                // long horizon with a fine bucket can't pre-allocate
+                // unboundedly.
+                let rows = if cfg.sample_queues {
+                    (cfg.horizon.as_nanos() / cfg.series_bucket.as_nanos().max(1)) as usize + 1
+                } else {
+                    0
+                };
+                Vec::with_capacity(rows.min(1 << 16))
+            },
             lb_state_peak: 0,
             lb_decisions: 0,
             events: 0,
@@ -271,6 +295,12 @@ impl Net {
         net
     }
 
+    /// Sample FEL occupancy once per this many processed events. The
+    /// sample schedule depends only on the event count, which is identical
+    /// across FEL backends and thread counts, so the samples are part of
+    /// the deterministic digest.
+    const FEL_DEPTH_SAMPLE_EVERY: u64 = 4096;
+
     fn run_loop(&mut self) {
         let horizon = self.cfg.horizon;
         while self.n_completed < self.flows.len() {
@@ -284,6 +314,9 @@ impl Net {
             }
             let (now, ev) = self.q.pop().expect("peeked event vanished");
             self.events += 1;
+            if self.events.is_multiple_of(Self::FEL_DEPTH_SAMPLE_EVERY) {
+                self.fel_depth.push(self.q.len() as f64);
+            }
             match ev {
                 Event::FlowStart(i) => self.on_flow_start(i, now),
                 Event::TxDone { port, pkt } => self.on_tx_done(port, pkt, now),
@@ -693,6 +726,7 @@ impl Net {
             short_qlen: self.short_qlen,
             long_qlen: self.long_qlen,
             short_qdelay: self.short_qdelay,
+            fel_depth: self.fel_depth,
             short_reorder_series: self.short_reorder.means(),
             long_reorder_series: self.long_reorder.means(),
             long_goodput_series: self.long_goodput.rates(),

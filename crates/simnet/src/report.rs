@@ -158,6 +158,12 @@ pub struct RunReport {
     pub long_qlen: SampleSet,
     /// Per-hop queueing delay of short-flow data (seconds) — Fig. 8(b).
     pub short_qdelay: SampleSet,
+    /// Pending-event count of the engine's future-event list, sampled once
+    /// every 4096 processed events. The sampling schedule is a pure
+    /// function of the event count, so the samples are bit-identical
+    /// across FEL backends and thread counts; `bench_pr4` reads its
+    /// queue-depth histogram (p50/p99) from here.
+    pub fel_depth: SampleSet,
     /// Instantaneous reorder ratio of short flows over time — Fig. 8(a).
     pub short_reorder_series: Vec<(f64, f64)>,
     /// Instantaneous reorder ratio of long flows — Fig. 9(a).

@@ -134,7 +134,15 @@ mod tests {
             .into_iter()
             .map(|(cfg, flows)| run_one(cfg, flows))
             .collect();
+        // The pinned leg must take the pool's in-line bypass: no workers
+        // spawn, yet the digests below still match bit-for-bit.
+        let before_pinned = rayon::workers_observed();
         let pinned = rayon::with_threads(1, || run_all(batch()));
+        assert_eq!(
+            rayon::workers_observed(),
+            before_pinned,
+            "pinned-to-1 batch must use the in-line bypass, not pool workers"
+        );
         // The multi-threaded run, with a probe proving the batch really
         // spread over >1 OS thread (workers register only when they
         // execute at least one job).

@@ -136,6 +136,80 @@ fn fuzz_scenarios_are_digest_stable_across_thread_counts() {
 }
 
 #[test]
+fn fel_backends_are_bit_identical_on_fuzz_batch() {
+    // The calendar queue replaced the heap FEL in PR 4; both backends must
+    // realize the exact same (time, seq) pop order, so the full simulation
+    // digest — events, FCT bits, audit ledger — must match on the same
+    // 16-job fuzz batch the thread-count test uses.
+    use tlb::engine::FelKind;
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
+        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
+        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
+        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+    ];
+    let jobs_with = |kind: FelKind| -> Vec<_> {
+        raws.iter()
+            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
+                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
+            })
+            .map(|raw| {
+                let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
+                b.cfg.fel = kind;
+                (b.cfg, b.flows)
+            })
+            .collect()
+    };
+    let heap = run_all(jobs_with(FelKind::Heap));
+    let calendar = run_all(jobs_with(FelKind::Calendar));
+    assert_eq!(heap.len(), calendar.len());
+    for (a, b) in heap.iter().zip(&calendar) {
+        assert_eq!(digest(a), digest(b), "{}: calendar != heap", a.scheme);
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across FEL backends",
+            a.scheme
+        );
+    }
+}
+
+#[test]
+fn fel_backends_are_bit_identical_on_load_sweep() {
+    // Same check on fig10-shaped traffic: the large-scale fabric under a
+    // Poisson web-search load, where RTO timers and dense packet events mix
+    // in the queue (the workload class BENCH_PR4's macro sweep times).
+    use tlb::engine::FelKind;
+    let dist = web_search();
+    let jobs_with = |kind: FelKind| -> Vec<_> {
+        let mut jobs = Vec::new();
+        for &load in &[0.4, 0.8] {
+            for scheme in [Scheme::Ecmp, Scheme::tlb_default()] {
+                let mut cfg = SimConfig::large_scale(scheme, 8);
+                cfg.fel = kind;
+                let wl = PoissonWorkload {
+                    load,
+                    dist: &dist,
+                    duration: SimTime::from_millis(5),
+                    deadline_lo: SimTime::from_millis(5),
+                    deadline_hi: SimTime::from_millis(25),
+                    short_threshold: 100_000,
+                    inter_leaf_only: true,
+                };
+                let flows = wl.generate(&cfg.topo, &mut SimRng::new(7 ^ load.to_bits()));
+                jobs.push((cfg, flows));
+            }
+        }
+        jobs
+    };
+    let heap = run_all(jobs_with(FelKind::Heap));
+    let calendar = run_all(jobs_with(FelKind::Calendar));
+    for (a, b) in heap.iter().zip(&calendar) {
+        assert_eq!(digest(a), digest(b), "{}: calendar != heap", a.scheme);
+        assert_eq!(a.audit, b.audit, "{}: audit diverged", a.scheme);
+    }
+}
+
+#[test]
 fn workload_generators_are_seed_stable() {
     let topo = LeafSpineBuilder::new(4, 4, 8).build();
     // Regression pin: the first web-search Poisson flow for seed 1. If this

@@ -11,14 +11,24 @@
 //!
 //! Thread-count policy (first match wins):
 //! 1. an active [`with_threads`] override on the calling thread,
-//! 2. the `TLB_THREADS` environment variable (positive integer),
-//! 3. [`std::thread::available_parallelism`].
+//! 2. the `TLB_THREADS` environment variable (positive integer, read once
+//!    per process — figure harnesses call `collect` in tight loops, and an
+//!    env-var lookup takes the process environment lock on every call),
+//! 3. [`std::thread::available_parallelism`] (also cached).
+//!
+//! When the effective thread count is 1 (either policy, or a single-job
+//! batch), `run` bypasses the chunked shared work queue entirely and maps
+//! in-line on the calling thread: no allocation of job/result slots, no
+//! scoped-thread setup, no atomics. `BENCH_PR2.json` recorded the pooled
+//! path *slower* than serial (0.89× on fig11) on a 1-core host before this
+//! bypass was load-bearing; the determinism tests pin that the bypass
+//! spawns no workers and produces bit-identical results.
 
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     /// Per-thread thread-count override installed by [`with_threads`].
@@ -30,6 +40,13 @@ thread_local! {
 /// does not count. See [`workers_observed`].
 static WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// The process-wide default thread count (`TLB_THREADS`, else available
+/// cores), resolved once: `current_num_threads` sits on every `collect`,
+/// and the env lookup both allocates and serializes on the environment
+/// lock. Changing `TLB_THREADS` after the first parallel call therefore
+/// has no effect; use [`with_threads`] for scoped control.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
 /// The number of threads the next parallel `collect` on this thread will
 /// use (before clamping to the job count). Mirrors
 /// `rayon::current_num_threads`.
@@ -37,15 +54,19 @@ pub fn current_num_threads() -> usize {
     if let Some(n) = OVERRIDE.with(|o| o.get()) {
         return n;
     }
-    if let Ok(s) = std::env::var("TLB_THREADS") {
-        match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            _ => eprintln!("warning: ignoring invalid TLB_THREADS={s:?} (want a positive integer)"),
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(s) = std::env::var("TLB_THREADS") {
+            match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => eprintln!(
+                    "warning: ignoring invalid TLB_THREADS={s:?} (want a positive integer)"
+                ),
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Run `op` with the pool pinned to `n` threads on this thread (shim-only
@@ -84,6 +105,11 @@ where
     let n = items.len();
     let threads = current_num_threads().min(n);
     if threads <= 1 {
+        // Single-thread fast path: bypass the shared work queue and run
+        // in-line. Identical results by construction (same jobs, same
+        // order), with none of the slot allocations, scoped-thread spawns
+        // or cursor atomics below — on a 1-core host the pooled path is
+        // pure overhead (BENCH_PR2 measured 0.89× on fig11).
         return items.into_iter().map(f).collect();
     }
 
@@ -215,6 +241,47 @@ mod tests {
             "serial must run in-line"
         );
         assert_eq!(workers_observed(), before, "serial must spawn no workers");
+    }
+
+    #[test]
+    fn single_job_batch_bypasses_the_pool_even_with_many_threads() {
+        // threads is clamped to the job count, so a 1-job batch takes the
+        // in-line bypass no matter the configured width.
+        let main_id = std::thread::current().id();
+        let before = workers_observed();
+        let ids: Vec<ThreadId> =
+            with_threads(8, || run(vec![0], |_: usize| std::thread::current().id()));
+        assert_eq!(ids, vec![main_id], "1-job batch must run in-line");
+        assert_eq!(workers_observed(), before, "bypass must spawn no workers");
+    }
+
+    #[test]
+    fn bypass_propagates_panics_like_the_pool() {
+        // The in-line path must not change observable panic behavior.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(1, || {
+                run((0..4).collect(), |i: i32| {
+                    if i == 2 {
+                        panic!("serial job 2 exploded");
+                    }
+                    i
+                })
+            })
+        }));
+        let payload = result.expect_err("bypass must re-raise the job panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("serial job 2 exploded"));
+    }
+
+    #[test]
+    fn default_thread_count_is_stable_across_calls() {
+        // The process-wide default is resolved once; repeated reads agree
+        // (and don't re-take the env lock — not observable here, but the
+        // stability is).
+        let a = current_num_threads();
+        let b = current_num_threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
     }
 
     #[test]
