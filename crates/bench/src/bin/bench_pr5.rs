@@ -1,0 +1,158 @@
+//! `BENCH_PR5.json` emitter: hot-path comparison — static LB dispatch +
+//! per-link delivery pipes (`flat`) vs boxed-`dyn` dispatch + per-packet
+//! `Arrive` events (`reference`, the PR 4 hot path).
+//!
+//! ```sh
+//! cargo run --release -p tlb-bench --bin bench_pr5              # quick
+//! TLB_BENCH_ASSERT=1 cargo run --release -p tlb-bench --bin bench_pr5
+//! ```
+//!
+//! Two workloads: the fig10-style quick sweep (headline events/second) and
+//! a high-BDP long-link fabric (peak FEL depth, where per-packet delivery
+//! holds one event per in-flight packet). Per-job digests are asserted
+//! bit-identical between the legs on every repetition. Output:
+//! `results/BENCH_PR5.json` (schema `tlb-bench-pr5/v1`).
+
+use tlb_bench::perf5::{self, Leg, Pr5Report, SweepEntry};
+
+fn main() {
+    let mut report = Pr5Report::new();
+    println!(
+        "bench_pr5: {} scale, {} pool thread(s), {} host core(s)",
+        report.scale, report.threads, report.host_cores
+    );
+
+    // Jobs are built once per (leg × workload) and replayed by reference —
+    // repetitions re-time the same batch with zero re-cloning.
+    let fig10_flat = perf5::fig10_jobs(Leg::Flat);
+    let fig10_ref = perf5::fig10_jobs(Leg::Reference);
+    let bdp_flat = perf5::high_bdp_jobs(Leg::Flat);
+    let bdp_ref = perf5::high_bdp_jobs(Leg::Reference);
+
+    // Untimed warmup so neither timed leg pays first-touch costs (page
+    // faults, lazy allocator arenas) alone.
+    {
+        let warm = &fig10_flat[..1.min(fig10_flat.len())];
+        let _ = rayon::with_threads(report.threads, || tlb_simnet::run_all_ref(warm));
+    }
+
+    // Keep each leg's best of `reps` (TLB_BENCH_REPS, default 3): minimum
+    // wall-clock of identical deterministic work is the least-noise
+    // estimate. The leg order flips every rep — on a drifting machine
+    // (thermal, noisy neighbors) a fixed order systematically taxes
+    // whichever leg always runs later, and flipping cancels that bias in
+    // the per-leg minima.
+    let reps: usize = std::env::var("TLB_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3);
+
+    let mut best: [Option<SweepEntry>; 4] = [None, None, None, None];
+    for rep in 0..reps {
+        let threads = report.threads;
+        let (rf, ff) = if rep % 2 == 0 {
+            let r = perf5::sweep(Leg::Reference, "fig10", &fig10_ref, threads);
+            let f = perf5::sweep(Leg::Flat, "fig10", &fig10_flat, threads);
+            (r, f)
+        } else {
+            let f = perf5::sweep(Leg::Flat, "fig10", &fig10_flat, threads);
+            let r = perf5::sweep(Leg::Reference, "fig10", &fig10_ref, threads);
+            (r, f)
+        };
+        let ((rf, df_ref), (ff, df_flat)) = (rf, ff);
+        assert_eq!(
+            df_flat, df_ref,
+            "fig10: hot-path legs produced different simulation results — determinism bug"
+        );
+        let (rb, fb) = if rep % 2 == 0 {
+            let r = perf5::sweep(Leg::Reference, "high-bdp", &bdp_ref, threads);
+            let f = perf5::sweep(Leg::Flat, "high-bdp", &bdp_flat, threads);
+            (r, f)
+        } else {
+            let f = perf5::sweep(Leg::Flat, "high-bdp", &bdp_flat, threads);
+            let r = perf5::sweep(Leg::Reference, "high-bdp", &bdp_ref, threads);
+            (r, f)
+        };
+        let ((rb, db_ref), (fb, db_flat)) = (rb, fb);
+        assert_eq!(
+            db_flat, db_ref,
+            "high-bdp: hot-path legs produced different simulation results — determinism bug"
+        );
+        println!(
+            "  rep {}/{reps}: fig10 ref {:>8.0} ms / flat {:>8.0} ms, \
+             high-bdp ref {:>8.0} ms / flat {:>8.0} ms",
+            rep + 1,
+            rf.wall_ms,
+            ff.wall_ms,
+            rb.wall_ms,
+            fb.wall_ms
+        );
+        for (slot, e) in best.iter_mut().zip([rf, ff, rb, fb]) {
+            if slot.as_ref().is_none_or(|b| e.wall_ms < b.wall_ms) {
+                *slot = Some(e);
+            }
+        }
+    }
+    let [ref_fig10, flat_fig10, ref_bdp, flat_bdp] = best.map(|e| e.unwrap());
+
+    for e in [&ref_fig10, &flat_fig10, &ref_bdp, &flat_bdp] {
+        println!(
+            "  {:<9} {:<8} {:>3} jobs  {:>10} events  {:>8.0} ms  {:>10.0} events/s  \
+             depth p50={:.0} p99={:.0} max={:.0} (bound {})",
+            e.leg,
+            e.workload,
+            e.jobs,
+            e.events,
+            e.wall_ms,
+            e.events_per_sec,
+            e.depth_p50,
+            e.depth_p99,
+            e.depth_max,
+            e.bound_max
+        );
+    }
+
+    report.speedup_fig10 = flat_fig10.events_per_sec / ref_fig10.events_per_sec.max(1.0);
+    report.speedup_high_bdp = flat_bdp.events_per_sec / ref_bdp.events_per_sec.max(1.0);
+    report.fel_depth_reduction_high_bdp = ref_bdp.depth_max / flat_bdp.depth_max.max(1.0);
+    println!(
+        "speedup (flat/reference): fig10 {:.2}x, high-bdp {:.2}x; \
+         high-bdp peak FEL depth reduced {:.1}x",
+        report.speedup_fig10, report.speedup_high_bdp, report.fel_depth_reduction_high_bdp
+    );
+
+    assert!(
+        flat_bdp.depth_max <= flat_bdp.bound_max as f64,
+        "pipelined FEL depth {} exceeds its occupancy bound {}",
+        flat_bdp.depth_max,
+        flat_bdp.bound_max
+    );
+
+    if std::env::var("TLB_BENCH_ASSERT").as_deref() == Ok("1") {
+        // Parity gate, not a speedup gate: on short-link fabrics the pipes
+        // rarely hold more than one packet, so pipelined delivery replaces a
+        // per-hop `Box` round-trip (cheap under a caching allocator) with a
+        // ring-buffer copy — measured throughput is parity, and the 0.9
+        // floor is one measured wall-clock noise band below it (best-of-rep
+        // minima on shared single-core runners still jitter ~10%; see
+        // EXPERIMENTS.md). The high-BDP FEL-depth reduction is the
+        // structural win and is gated strictly.
+        assert!(
+            report.speedup_fig10 >= 0.9,
+            "perf regression: flat hot path clearly slower than the dyn + \
+             per-packet reference it replaced ({:.2}x) — see results/BENCH_PR5.json",
+            report.speedup_fig10
+        );
+        assert!(
+            report.fel_depth_reduction_high_bdp >= 2.0,
+            "high-BDP peak FEL depth not meaningfully reduced ({:.1}x) — \
+             see results/BENCH_PR5.json",
+            report.fel_depth_reduction_high_bdp
+        );
+        println!("TLB_BENCH_ASSERT: fig10 parity and high-BDP FEL-depth reduction hold");
+    }
+
+    report.runs = vec![ref_fig10, flat_fig10, ref_bdp, flat_bdp];
+    report.save();
+}

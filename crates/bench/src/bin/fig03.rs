@@ -68,15 +68,15 @@ fn main() {
         "granular.", "p25", "p50", "p75", "p95", "p99"
     ));
     for (label, rs) in &reports {
-        // Merge FCTs across seeds.
-        let mut fcts = Vec::new();
+        // Merge the raw FCT samples across seeds and sort once at the end
+        // — no per-seed CDF build (a sort per run) or 64-point resampling.
+        let mut merged = tlb_metrics::SampleSet::new();
         for r in rs {
-            let cdf = r.fct.fct_cdf(FlowClass::Short);
-            for p in cdf.points(64) {
-                fcts.push(p.0);
+            for fct in r.fct.fct_samples(FlowClass::Short) {
+                merged.push(fct);
             }
         }
-        let cdf = tlb_metrics::Cdf::from_samples(fcts);
+        let cdf = merged.into_cdf();
         out.line(&format!(
             "{:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
             label,

@@ -33,6 +33,7 @@ fn main() {
         "extensions",
         "bench_pr2",
         "bench_pr4",
+        "bench_pr5",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

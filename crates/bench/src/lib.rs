@@ -13,10 +13,12 @@ pub mod harness;
 pub mod out;
 pub mod perf;
 pub mod perf4;
+pub mod perf5;
 pub mod scale;
 
 pub use harness::*;
 pub use out::Out;
 pub use perf::{PerfEntry, PerfReport};
 pub use perf4::{MacroEntry, MicroEntry, Pr4Report};
+pub use perf5::{Pr5Report, SweepEntry};
 pub use scale::Scale;

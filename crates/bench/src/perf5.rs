@@ -1,0 +1,357 @@
+//! `BENCH_PR5.json` — hot-path comparison (static LB dispatch + per-link
+//! delivery pipes vs the boxed-`dyn` + per-packet reference), tracked from
+//! PR 5 on.
+//!
+//! Two workloads, each swept on both configurations:
+//!
+//! * **fig10** — the same quick load sweep `BENCH_PR4` times (paper scheme
+//!   set × quick load axis on the web-search distribution). Events/second
+//!   is the headline; the *flat* leg (enum dispatch + pipelined delivery)
+//!   against the *reference* leg (`dyn` dispatch + per-packet `Arrive`
+//!   events, i.e. the PR 4 hot path) is the PR's speedup claim.
+//! * **high-bdp** — 10 Gbit/s links with 500 µs propagation each: a
+//!   multi-megabyte bandwidth-delay product, where the per-packet
+//!   reference holds one FEL entry per in-flight packet. Here the
+//!   interesting number is the peak FEL depth, which the pipelined mode
+//!   bounds at fabric size ([`RunReport::fel_bound_peak`]).
+//!
+//! Per-job digests are asserted bit-identical between the legs — the two
+//! configurations must disagree on *nothing* but wall-clock and FEL
+//! residency. Jobs are built once per leg and replayed by reference
+//! ([`tlb_simnet::run_all_ref`]); repetitions re-time the same batch
+//! without re-cloning configs or flow lists.
+//!
+//! `TLB_BENCH_ASSERT=1` turns the flat-no-slower-than-reference
+//! expectation into a hard assertion (the CI perf-smoke step sets it).
+
+use tlb_engine::SimTime;
+use tlb_net::{FlowId, HostId, LeafSpineBuilder};
+use tlb_simnet::{DeliveryKind, LbDispatch, RunReport, Scheme, SimConfig};
+use tlb_workload::FlowSpec;
+
+/// One timed sweep: a leg (`flat` or `reference`) over a workload
+/// (`fig10` or `high-bdp`).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SweepEntry {
+    /// `flat` (enum dispatch + pipelined delivery) or `reference`
+    /// (`dyn` dispatch + per-packet delivery — the PR 4 hot path).
+    pub leg: String,
+    /// `fig10` or `high-bdp`.
+    pub workload: String,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Engine events processed, summed over the batch.
+    pub events: u64,
+    /// Wall-clock of the batch (milliseconds).
+    pub wall_ms: f64,
+    /// `events / wall` — the headline throughput.
+    pub events_per_sec: f64,
+    /// Median pending-event count across the batch's FEL depth samples.
+    pub depth_p50: f64,
+    /// 99th-percentile pending-event count.
+    pub depth_p99: f64,
+    /// Largest FEL depth sample in the batch.
+    pub depth_max: f64,
+    /// Largest pipelined-occupancy bound over the batch (mode-independent;
+    /// the `flat` leg's `depth_max` must stay below it).
+    pub bound_max: u64,
+}
+
+/// The whole `BENCH_PR5.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pr5Report {
+    /// Format tag for downstream tooling (`tlb-bench-pr5/v1`).
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the timed runs.
+    pub seed: u64,
+    /// Pool threads the sweeps used.
+    pub threads: usize,
+    /// `available_parallelism()` of the host.
+    pub host_cores: usize,
+    /// One entry per (leg × workload), best-of-reps wall-clock.
+    pub runs: Vec<SweepEntry>,
+    /// Flat events/sec ÷ reference events/sec on the fig10 sweep.
+    pub speedup_fig10: f64,
+    /// Same ratio on the high-BDP sweep.
+    pub speedup_high_bdp: f64,
+    /// Reference `depth_max` ÷ flat `depth_max` on the high-BDP sweep —
+    /// how much FEL residency the delivery pipes remove where BDP bites.
+    pub fel_depth_reduction_high_bdp: f64,
+}
+
+/// The two hot-path configurations under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Leg {
+    /// Enum dispatch + pipelined delivery (the PR 5 production path).
+    Flat,
+    /// `dyn` dispatch + per-packet delivery (the PR 4 hot path).
+    Reference,
+}
+
+impl Leg {
+    /// JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Leg::Flat => "flat",
+            Leg::Reference => "reference",
+        }
+    }
+
+    fn pin(self, cfg: &mut SimConfig) {
+        match self {
+            Leg::Flat => {
+                cfg.lb_dispatch = LbDispatch::Enum;
+                cfg.delivery = DeliveryKind::Pipelined;
+            }
+            Leg::Reference => {
+                cfg.lb_dispatch = LbDispatch::Dyn;
+                cfg.delivery = DeliveryKind::PerPacket;
+            }
+        }
+    }
+}
+
+/// The fig10 quick sweep (the batch `BENCH_PR4`'s macro sweep times), with
+/// every job pinned to `leg`'s dispatch + delivery. Identical traffic
+/// regardless of leg.
+pub fn fig10_jobs(leg: Leg) -> Vec<(SimConfig, Vec<FlowSpec>)> {
+    let web = tlb_workload::web_search();
+    let schemes = Scheme::paper_set();
+    let mut jobs = Vec::new();
+    for &load in &crate::load_sweep(crate::Scale::Quick) {
+        jobs.extend(crate::large_scale_jobs(
+            &schemes,
+            &web,
+            load,
+            crate::Scale::Quick,
+        ));
+    }
+    for (cfg, _) in &mut jobs {
+        leg.pin(cfg);
+    }
+    jobs
+}
+
+/// The high-BDP sweep: 2 leaves × 4 spines × 8 hosts at 10 Gbit/s with
+/// 500 µs per-link propagation (≈ 2 ms RTT through the spine), carrying
+/// 16 cross-rack 4 MB flows plus 32 staggered 20 KB shorts — per scheme,
+/// per seed. In the per-packet reference every in-flight packet is an FEL
+/// entry, so this is where the delivery pipes' occupancy bound shows.
+pub fn high_bdp_jobs(leg: Leg) -> Vec<(SimConfig, Vec<FlowSpec>)> {
+    let schemes = [Scheme::Ecmp, Scheme::Rps, Scheme::tlb_default()];
+    let seeds = [crate::scale::base_seed(), crate::scale::base_seed() + 1];
+    let mut jobs = Vec::new();
+    for scheme in &schemes {
+        for &seed in &seeds {
+            let mut cfg = SimConfig::basic_paper(scheme.clone());
+            cfg.seed = seed;
+            cfg.topo = LeafSpineBuilder::new(2, 4, 8)
+                .link_gbps(10.0)
+                .prop_per_link(SimTime::from_micros(500))
+                .build();
+            cfg.horizon = SimTime::from_millis(60);
+            leg.pin(&mut cfg);
+            let hosts_per_leaf = cfg.topo.hosts_per_leaf() as u32;
+            let mut flows = Vec::new();
+            for i in 0..16u32 {
+                flows.push(FlowSpec {
+                    id: FlowId(i),
+                    src: HostId(i % hosts_per_leaf),
+                    dst: HostId(hosts_per_leaf + (i * 3) % hosts_per_leaf),
+                    size_bytes: 4_000_000,
+                    start: SimTime::from_micros(10 * i as u64),
+                    deadline: None,
+                });
+            }
+            for i in 0..32u32 {
+                flows.push(FlowSpec {
+                    id: FlowId(16 + i),
+                    src: HostId((i * 5) % hosts_per_leaf),
+                    dst: HostId(hosts_per_leaf + (i * 7) % hosts_per_leaf),
+                    size_bytes: 20_000,
+                    start: SimTime::from_micros(200 + 50 * i as u64),
+                    deadline: None,
+                });
+            }
+            jobs.push((cfg, flows));
+        }
+    }
+    jobs
+}
+
+/// The per-job report fields the two legs must agree on bit-for-bit:
+/// `(events, drops, marks, completed, afct bits, long-goodput bits,
+/// occupancy-bound peak)`.
+pub type JobDigest = (u64, u64, u64, usize, u64, u64, u64);
+
+fn digest(r: &RunReport) -> JobDigest {
+    (
+        r.events,
+        r.drops,
+        r.marks,
+        r.completed,
+        r.fct_short.afct.to_bits(),
+        r.fct_long.mean_goodput.to_bits(),
+        r.fel_bound_peak,
+    )
+}
+
+/// Time one already-built batch (on `threads` pool threads) without
+/// consuming it, and return the entry plus per-job digests for
+/// cross-checking. Replaying the same borrowed batch is what makes
+/// repetitions clone-free.
+pub fn sweep(
+    leg: Leg,
+    workload: &str,
+    jobs: &[(SimConfig, Vec<FlowSpec>)],
+    threads: usize,
+) -> (SweepEntry, Vec<JobDigest>) {
+    let t0 = std::time::Instant::now();
+    let reports = rayon::with_threads(threads, || tlb_simnet::run_all_ref(jobs));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let events: u64 = reports.iter().map(|r| r.events).sum();
+    let mut depth = tlb_metrics::SampleSet::new();
+    let mut bound_max = 0u64;
+    for r in &reports {
+        depth.merge(&r.fel_depth);
+        bound_max = bound_max.max(r.fel_bound_peak);
+    }
+    let q = depth.quantiles(&[0.50, 0.99]);
+    let digests = reports.iter().map(digest).collect();
+
+    (
+        SweepEntry {
+            leg: leg.name().to_string(),
+            workload: workload.to_string(),
+            jobs: jobs.len(),
+            events,
+            wall_ms,
+            events_per_sec: if wall_ms > 0.0 {
+                events as f64 / (wall_ms / 1e3)
+            } else {
+                0.0
+            },
+            depth_p50: q[0],
+            depth_p99: q[1],
+            depth_max: depth.max(),
+            bound_max,
+        },
+        digests,
+    )
+}
+
+impl Pr5Report {
+    /// An empty report stamped with this process's scale/seed/thread setup.
+    pub fn new() -> Pr5Report {
+        Pr5Report {
+            schema: "tlb-bench-pr5/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            threads: rayon::current_num_threads(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs: Vec::new(),
+            speedup_fig10: 1.0,
+            speedup_high_bdp: 1.0,
+            fel_depth_reduction_high_bdp: 1.0,
+        }
+    }
+
+    /// Write the report to `results/BENCH_PR5.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR5.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for Pr5Report {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_pin_the_leg() {
+        for leg in [Leg::Flat, Leg::Reference] {
+            for jobs in [fig10_jobs(leg), high_bdp_jobs(leg)] {
+                assert!(!jobs.is_empty());
+                let (want_d, want_del) = match leg {
+                    Leg::Flat => (LbDispatch::Enum, DeliveryKind::Pipelined),
+                    Leg::Reference => (LbDispatch::Dyn, DeliveryKind::PerPacket),
+                };
+                assert!(jobs
+                    .iter()
+                    .all(|(cfg, _)| cfg.lb_dispatch == want_d && cfg.delivery == want_del));
+            }
+        }
+    }
+
+    #[test]
+    fn legs_agree_on_the_high_bdp_batch() {
+        // One scheme's worth to keep the unit test fast: digests (which
+        // include the mode-independent occupancy bound) must match.
+        let flat_jobs: Vec<_> = high_bdp_jobs(Leg::Flat).into_iter().take(2).collect();
+        let ref_jobs: Vec<_> = high_bdp_jobs(Leg::Reference).into_iter().take(2).collect();
+        let (flat_entry, flat_digests) = sweep(Leg::Flat, "high-bdp", &flat_jobs, 2);
+        let (ref_entry, ref_digests) = sweep(Leg::Reference, "high-bdp", &ref_jobs, 2);
+        assert_eq!(flat_digests, ref_digests, "legs diverged");
+        assert_eq!(flat_entry.bound_max, ref_entry.bound_max);
+        assert!(
+            flat_entry.depth_max <= flat_entry.bound_max as f64,
+            "flat leg must respect the occupancy bound: {} > {}",
+            flat_entry.depth_max,
+            flat_entry.bound_max
+        );
+        assert!(
+            ref_entry.depth_max > flat_entry.depth_max,
+            "high-BDP reference must hold more FEL entries ({} vs {})",
+            ref_entry.depth_max,
+            flat_entry.depth_max
+        );
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Pr5Report::new();
+        r.runs.push(SweepEntry {
+            leg: "flat".into(),
+            workload: "fig10".into(),
+            jobs: 20,
+            events: 1_000_000,
+            wall_ms: 500.0,
+            events_per_sec: 2e6,
+            depth_p50: 120.0,
+            depth_p99: 400.0,
+            depth_max: 450.0,
+            bound_max: 900,
+        });
+        r.speedup_fig10 = 1.25;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Pr5Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr5/v1");
+        assert_eq!(back.runs[0].leg, "flat");
+        assert_eq!(back.speedup_fig10, 1.25);
+    }
+}

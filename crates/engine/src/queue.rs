@@ -175,6 +175,41 @@ impl<E> EventQueue<E> {
         self.push(self.now + delay, event);
     }
 
+    /// Claim the next insertion sequence number without scheduling
+    /// anything. The caller parks the claimed seq elsewhere (e.g. a
+    /// per-link delivery pipe) and later materializes the event with
+    /// [`EventQueue::push_reserved`]; pop order treats the reservation
+    /// exactly as if the event had been pushed here, so an event stream
+    /// that defers some pushes through reservations is bit-identical to
+    /// one that pushes everything eagerly.
+    #[inline]
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Schedule `event` at `time` under a sequence number previously
+    /// claimed with [`EventQueue::reserve_seq`]. Subject to the same
+    /// clock-monotonicity contract as [`EventQueue::push`].
+    #[inline]
+    pub fn push_reserved(&mut self, time: SimTime, seq: u64, event: E) {
+        if time < self.now {
+            self.monotonicity_violations += 1;
+        }
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {now}",
+            now = self.now
+        );
+        debug_assert!(
+            seq < self.seq,
+            "push_reserved with an unclaimed seq {seq} (next is {next})",
+            next = self.seq
+        );
+        self.backend.insert(Entry { time, seq, event }, self.now);
+    }
+
     /// Remove and return the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is exhausted.
     #[inline]
@@ -206,7 +241,9 @@ impl<E> EventQueue<E> {
         self.backend.is_empty()
     }
 
-    /// Total number of events ever scheduled (diagnostics).
+    /// Total number of events ever scheduled, including sequence numbers
+    /// claimed via [`EventQueue::reserve_seq`] that have not materialized
+    /// yet (diagnostics).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.seq
@@ -339,6 +376,40 @@ mod tests {
             q.pop();
             assert_eq!(q.len(), 1);
             assert_eq!(q.scheduled_total(), 2);
+        }
+    }
+
+    #[test]
+    fn reserved_seq_keeps_fifo_position_among_ties() {
+        // Claim a seq, push two later-claimed ties, then materialize the
+        // reservation: it must pop *before* the ties pushed after the
+        // claim, exactly where an eager push would have landed.
+        for (name, mut q) in all_queues() {
+            let t = SimTime::from_nanos(50);
+            q.push(t, 0u32);
+            let held = q.reserve_seq();
+            q.push(t, 2u32);
+            q.push(t, 3u32);
+            q.push_reserved(t, held, 1u32);
+            for want in 0..4u32 {
+                assert_eq!(q.pop(), Some((t, want)), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_seq_counts_toward_scheduled_total() {
+        for (name, mut q) in all_queues::<u8>() {
+            q.push(SimTime::from_nanos(1), 0);
+            let held = q.reserve_seq();
+            assert_eq!(q.scheduled_total(), 2, "{name}");
+            assert_eq!(q.len(), 1, "{name}");
+            q.push_reserved(SimTime::from_nanos(2), held, 1);
+            assert_eq!(q.scheduled_total(), 2, "{name}");
+            assert_eq!(q.len(), 2, "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 0)), "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(2), 1)), "{name}");
+            assert_eq!(q.monotonicity_violations(), 0, "{name}");
         }
     }
 

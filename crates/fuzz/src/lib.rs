@@ -49,7 +49,7 @@ pub use scenario::{scenario_strategy, BuiltScenario, RawScenario, Scenario};
 /// property and the top-level `tests/fuzz_scenarios.rs` entry point.
 pub fn run_scenario_checked(raw: RawScenario) -> Result<tlb_simnet::RunReport, String> {
     let built = Scenario::from_raw(raw).build();
-    let report = tlb_simnet::run_one(built.cfg.clone(), built.flows.clone());
+    let report = tlb_simnet::run_one_ref(&built.cfg, &built.flows);
     check_report(&built, &report)?;
     Ok(report)
 }

@@ -181,13 +181,18 @@ impl FctRecorder {
         }
     }
 
+    /// Completed FCTs of a class, in seconds (unsorted). Lets callers that
+    /// merge several runs pool the raw samples and build one CDF at the
+    /// end, instead of sorting per run and resampling.
+    pub fn fct_samples(&self, class: FlowClass) -> Vec<f64> {
+        self.class_records(class)
+            .filter_map(|r| r.end.map(|e| (e - r.start).as_secs_f64()))
+            .collect()
+    }
+
     /// Empirical CDF of completed FCTs for a class (Fig. 3(c)).
     pub fn fct_cdf(&self, class: FlowClass) -> Cdf {
-        let fcts: Vec<f64> = self
-            .class_records(class)
-            .filter_map(|r| r.end.map(|e| (e - r.start).as_secs_f64()))
-            .collect();
-        Cdf::from_samples(fcts)
+        Cdf::from_samples(self.fct_samples(class))
     }
 }
 

@@ -1,6 +1,6 @@
 //! A bag of scalar samples with summary statistics.
 
-use crate::stats::{mean, percentile, Cdf};
+use crate::stats::{mean, percentile, percentile_select, Cdf};
 
 /// Collects scalar observations (queue lengths, queueing delays, …) and
 /// summarizes them. Sorting is deferred to read time.
@@ -37,11 +37,17 @@ impl SampleSet {
         mean(&self.samples)
     }
 
-    /// The `p`-quantile; 0 when empty. Sorts a copy of the samples —
-    /// readers that need several quantiles of the same set should use
-    /// [`SampleSet::quantiles`], which sorts once.
+    /// The `p`-quantile; 0 when empty. Selects within a scratch copy
+    /// (`O(n)`, no full sort) — bit-identical to the sorted path, see
+    /// [`percentile_select`]. Readers that need several quantiles of the
+    /// same set should still use [`SampleSet::quantiles`], which sorts
+    /// once and indexes.
     pub fn quantile(&self, p: f64) -> f64 {
-        self.quantiles(&[p])[0]
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut scratch = self.samples.clone();
+        percentile_select(&mut scratch, p)
     }
 
     /// Batch quantiles with a single sort (the per-call [`Self::quantile`]

@@ -1,5 +1,6 @@
 //! Simulation configuration: topology + transport + switch + scheme.
 
+use crate::dispatch::LbDispatch;
 use crate::scheme::Scheme;
 use tlb_engine::{FelKind, SimTime};
 use tlb_net::{LeafId, LeafSpine, LeafSpineBuilder, SpineId};
@@ -77,6 +78,53 @@ pub struct SimConfig {
     /// Both backends are bit-identical in results — this only selects the
     /// data structure.
     pub fel: FelKind,
+    /// Load-balancer dispatch path. Presets take the process default
+    /// (`TLB_LB_DISPATCH` env var / `dyn-lb` feature, else static enum
+    /// dispatch); differential tests and `bench_pr5` pin it explicitly.
+    /// Both paths are bit-identical in results — this only selects the
+    /// call mechanism.
+    pub lb_dispatch: LbDispatch,
+    /// Packet-delivery scheduling. Presets take the process default
+    /// (`TLB_DELIVERY` env var, else per-link pipelines); differential
+    /// tests and `bench_pr5` pin it explicitly. Both modes are
+    /// bit-identical in results — this only selects how arrivals sit in
+    /// the future-event list.
+    pub delivery: DeliveryKind,
+}
+
+/// How in-flight packets are scheduled for arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// One `VecDeque` pipe per link with a single chained delivery event:
+    /// FEL occupancy stays O(ports + links + timers) regardless of
+    /// packets in flight — the default production path.
+    Pipelined,
+    /// One FEL entry per in-flight packet, kept as the differential
+    /// reference.
+    PerPacket,
+}
+
+impl DeliveryKind {
+    /// The delivery mode selected by the environment:
+    /// `TLB_DELIVERY=pipelined` or `=per-packet`, defaulting to
+    /// [`DeliveryKind::Pipelined`].
+    pub fn from_env() -> DeliveryKind {
+        match std::env::var("TLB_DELIVERY") {
+            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "pipelined" => DeliveryKind::Pipelined,
+                "per-packet" | "per_packet" => DeliveryKind::PerPacket,
+                "" => DeliveryKind::Pipelined,
+                other => {
+                    eprintln!(
+                        "warning: ignoring unknown TLB_DELIVERY={other:?} \
+                         (want `pipelined` or `per-packet`)"
+                    );
+                    DeliveryKind::Pipelined
+                }
+            },
+            Err(_) => DeliveryKind::Pipelined,
+        }
+    }
 }
 
 impl SimConfig {
@@ -109,6 +157,8 @@ impl SimConfig {
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
             fel: FelKind::from_env(),
+            lb_dispatch: LbDispatch::from_env(),
+            delivery: DeliveryKind::from_env(),
         }
     }
 
@@ -142,6 +192,8 @@ impl SimConfig {
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
             fel: FelKind::from_env(),
+            lb_dispatch: LbDispatch::from_env(),
+            delivery: DeliveryKind::from_env(),
         }
     }
 
@@ -173,6 +225,8 @@ impl SimConfig {
             audit: cfg!(debug_assertions),
             fault_drop_nth: None,
             fel: FelKind::from_env(),
+            lb_dispatch: LbDispatch::from_env(),
+            delivery: DeliveryKind::from_env(),
         }
     }
 

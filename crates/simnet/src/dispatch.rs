@@ -1,0 +1,307 @@
+//! Static load-balancer dispatch: the hot-path alternative to
+//! `Box<dyn LoadBalancer>`.
+//!
+//! [`Scheme::build`] returns a trait object, which costs a virtual call on
+//! **every** forwarded packet. [`AnyLb`] is a closed enum over the same
+//! concrete schemes whose trait methods dispatch by `match` — the compiler
+//! sees through the variant and can inline the scheme's decision logic
+//! into the forwarding loop.
+//!
+//! The `dyn` path stays alive as a differential reference (mirroring the
+//! FEL's heap-vs-calendar pattern): [`AnyLb::Dyn`] wraps the trait object,
+//! [`LbDispatch`] selects which path a run uses, `TLB_LB_DISPATCH`
+//! overrides it per process, and the `dyn-lb` cargo feature flips the
+//! default. Both paths must be observably identical — digest tests in
+//! `tests/determinism.rs` hold them to bit-for-bit equality.
+
+use crate::Scheme;
+use tlb_core::Tlb;
+use tlb_engine::{SimRng, SimTime};
+use tlb_lb::{CongaLite, Drill, Ecmp, FlowBender, HermesLite, LetFlow, Presto, Rps, Wcmp};
+use tlb_net::Packet;
+use tlb_switch::{LoadBalancer, PortView};
+
+/// Which load-balancer dispatch path a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbDispatch {
+    /// Static enum dispatch ([`AnyLb`]'s concrete variants) — the default
+    /// production path.
+    Enum,
+    /// The original `Box<dyn LoadBalancer>` virtual-call path, kept as a
+    /// differential reference.
+    Dyn,
+}
+
+impl LbDispatch {
+    /// The dispatch selected by the environment: `TLB_LB_DISPATCH=enum`
+    /// or `=dyn`, defaulting to [`LbDispatch::Enum`] (the `dyn-lb`
+    /// feature flips the default to `Dyn`).
+    pub fn from_env() -> LbDispatch {
+        match std::env::var("TLB_LB_DISPATCH") {
+            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "enum" => LbDispatch::Enum,
+                "dyn" => LbDispatch::Dyn,
+                "" => Self::default_kind(),
+                other => {
+                    eprintln!(
+                        "warning: ignoring unknown TLB_LB_DISPATCH={other:?} (want `enum` or `dyn`)"
+                    );
+                    Self::default_kind()
+                }
+            },
+            Err(_) => Self::default_kind(),
+        }
+    }
+
+    fn default_kind() -> LbDispatch {
+        if cfg!(feature = "dyn-lb") {
+            LbDispatch::Dyn
+        } else {
+            LbDispatch::Enum
+        }
+    }
+}
+
+/// A load balancer with static dispatch: one variant per concrete scheme,
+/// plus [`AnyLb::Dyn`] wrapping the boxed trait object as the
+/// differential reference path.
+pub enum AnyLb {
+    /// Flow-level hashing.
+    Ecmp(Ecmp),
+    /// Per-packet random spraying.
+    Rps(Rps),
+    /// Fixed-size flowcells, round-robin.
+    Presto(Presto),
+    /// Flowlet switching with random rerouting.
+    LetFlow(LetFlow),
+    /// Per-packet power-of-two-choices with memory.
+    Drill(Drill),
+    /// Flowlet switching onto the least-loaded uplink.
+    CongaLite(CongaLite),
+    /// Flow-level congestion-triggered rehashing.
+    FlowBender(FlowBender),
+    /// Size-aware flowlet/flow hybrid.
+    Hermes(HermesLite),
+    /// Weighted flow-level hashing.
+    Wcmp(Wcmp),
+    /// The paper's scheme: traffic-aware adaptive granularity.
+    Tlb(Box<Tlb>),
+    /// Virtual-call reference path (`dyn-lb` feature / `TLB_LB_DISPATCH=dyn`).
+    Dyn(Box<dyn LoadBalancer>),
+}
+
+/// Forward one expression to every variant's payload. `Box<T>` payloads
+/// auto-deref, so the same arm body works for concrete and boxed variants.
+macro_rules! dispatch {
+    ($self:expr, $lb:ident => $body:expr) => {
+        match $self {
+            AnyLb::Ecmp($lb) => $body,
+            AnyLb::Rps($lb) => $body,
+            AnyLb::Presto($lb) => $body,
+            AnyLb::LetFlow($lb) => $body,
+            AnyLb::Drill($lb) => $body,
+            AnyLb::CongaLite($lb) => $body,
+            AnyLb::FlowBender($lb) => $body,
+            AnyLb::Hermes($lb) => $body,
+            AnyLb::Wcmp($lb) => $body,
+            AnyLb::Tlb($lb) => $body,
+            AnyLb::Dyn($lb) => $body,
+        }
+    };
+}
+
+impl LoadBalancer for AnyLb {
+    #[inline]
+    fn name(&self) -> &'static str {
+        dispatch!(self, lb => lb.name())
+    }
+
+    #[inline]
+    fn choose_uplink(
+        &mut self,
+        pkt: &Packet,
+        view: PortView<'_>,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> usize {
+        dispatch!(self, lb => lb.choose_uplink(pkt, view, now, rng))
+    }
+
+    #[inline]
+    fn on_tick(&mut self, view: PortView<'_>, now: SimTime) {
+        dispatch!(self, lb => lb.on_tick(view, now))
+    }
+
+    #[inline]
+    fn tick_interval(&self) -> Option<SimTime> {
+        dispatch!(self, lb => lb.tick_interval())
+    }
+
+    #[inline]
+    fn state_bytes(&self) -> usize {
+        dispatch!(self, lb => lb.state_bytes())
+    }
+
+    #[inline]
+    fn q_threshold(&self) -> Option<u64> {
+        dispatch!(self, lb => lb.q_threshold())
+    }
+
+    #[inline]
+    fn long_reroutes(&self) -> Option<u64> {
+        // `Tlb` also has an *inherent* `long_reroutes() -> u64` that method
+        // resolution prefers over the trait's `Option<u64>`, so the Tlb arm
+        // must qualify the call; the macro can't express a per-arm cast.
+        match self {
+            AnyLb::Ecmp(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Rps(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Presto(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::LetFlow(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Drill(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::CongaLite(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::FlowBender(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Hermes(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Wcmp(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::Tlb(lb) => LoadBalancer::long_reroutes(&**lb),
+            AnyLb::Dyn(lb) => lb.long_reroutes(),
+        }
+    }
+}
+
+impl Scheme {
+    /// Build this scheme as a statically dispatched [`AnyLb`].
+    pub fn build_static(&self, salt: u64) -> AnyLb {
+        match self {
+            Scheme::Ecmp => AnyLb::Ecmp(Ecmp::new(salt)),
+            Scheme::Rps => AnyLb::Rps(Rps::new()),
+            Scheme::Presto { cell_bytes } => AnyLb::Presto(Presto::new(*cell_bytes)),
+            Scheme::LetFlow { timeout } => AnyLb::LetFlow(LetFlow::new(*timeout)),
+            Scheme::Drill { d, m } => AnyLb::Drill(Drill::new(*d, *m)),
+            Scheme::CongaLite { timeout } => AnyLb::CongaLite(CongaLite::new(*timeout)),
+            Scheme::FlowBender {
+                mark_threshold_pkts,
+                frac_threshold,
+                window_pkts,
+            } => AnyLb::FlowBender(FlowBender::new(
+                *mark_threshold_pkts,
+                *frac_threshold,
+                *window_pkts,
+            )),
+            Scheme::Hermes {
+                reroute_size_bytes,
+                congested_pkts,
+                benefit_factor,
+            } => AnyLb::Hermes(HermesLite::new(
+                *reroute_size_bytes,
+                *congested_pkts,
+                *benefit_factor,
+            )),
+            Scheme::Wcmp => AnyLb::Wcmp(Wcmp::new()),
+            Scheme::Tlb(cfg) => AnyLb::Tlb(Box::new(Tlb::new(*cfg))),
+        }
+    }
+
+    /// Build this scheme on the requested dispatch path. Both paths
+    /// construct the identical concrete balancer from the identical salt —
+    /// only the call mechanism differs.
+    pub fn build_dispatch(&self, salt: u64, dispatch: LbDispatch) -> AnyLb {
+        match dispatch {
+            LbDispatch::Enum => self.build_static(salt),
+            LbDispatch::Dyn => AnyLb::Dyn(self.build(salt)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every scheme: the enum path and the dyn path must expose identical
+    /// trait-level metadata and make identical decisions on a packet
+    /// stream (same salt, same RNG stream).
+    #[test]
+    fn enum_and_dyn_paths_agree_per_scheme() {
+        use tlb_net::{FlowId, HostId, LinkProps, PktKind};
+        use tlb_switch::{OutPort, QueueCfg};
+
+        let link = LinkProps::gbps(1.0, SimTime::ZERO);
+        let qcfg = QueueCfg {
+            capacity_pkts: 64,
+            ecn_threshold_pkts: Some(8),
+        };
+        let ports: Vec<OutPort> = (0..8)
+            .map(|i| {
+                let mut p = OutPort::new(link, qcfg);
+                for s in 0..(i * 3 % 7) {
+                    p.enqueue(
+                        Packet::data(
+                            FlowId(500),
+                            HostId(0),
+                            HostId(1),
+                            s as u32,
+                            1460,
+                            40,
+                            SimTime::ZERO,
+                        ),
+                        SimTime::ZERO,
+                    );
+                }
+                p
+            })
+            .collect();
+
+        for scheme in Scheme::extended_set() {
+            let mut fast = scheme.build_dispatch(7, LbDispatch::Enum);
+            let mut slow = scheme.build_dispatch(7, LbDispatch::Dyn);
+            assert_eq!(fast.name(), slow.name());
+            assert_eq!(fast.tick_interval(), slow.tick_interval());
+            assert_eq!(fast.state_bytes(), slow.state_bytes());
+            assert_eq!(fast.q_threshold(), slow.q_threshold());
+            assert_eq!(fast.long_reroutes(), slow.long_reroutes());
+
+            let mut rng_a = SimRng::new(11);
+            let mut rng_b = SimRng::new(11);
+            let mut now = SimTime::ZERO;
+            for i in 0..512u32 {
+                now += SimTime::from_nanos(700);
+                let pkt = match i % 97 {
+                    0 => Packet::control(
+                        FlowId(i / 7),
+                        HostId(0),
+                        HostId(9),
+                        PktKind::Syn,
+                        0,
+                        SimTime::ZERO,
+                    ),
+                    1 => Packet::control(
+                        FlowId(i / 7),
+                        HostId(0),
+                        HostId(9),
+                        PktKind::Fin,
+                        0,
+                        SimTime::ZERO,
+                    ),
+                    _ => Packet::data(
+                        FlowId(i / 7),
+                        HostId(0),
+                        HostId(9),
+                        i,
+                        1460,
+                        40,
+                        SimTime::ZERO,
+                    ),
+                };
+                let a = fast.choose_uplink(&pkt, PortView::new(&ports), now, &mut rng_a);
+                let b = slow.choose_uplink(&pkt, PortView::new(&ports), now, &mut rng_b);
+                assert_eq!(a, b, "{} diverged at packet {i}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_env_defaults_to_enum() {
+        if std::env::var("TLB_LB_DISPATCH").is_err() && !cfg!(feature = "dyn-lb") {
+            assert_eq!(LbDispatch::from_env(), LbDispatch::Enum);
+        }
+    }
+}

@@ -26,15 +26,16 @@
 
 pub mod audit;
 pub mod config;
+pub mod dispatch;
 pub mod network;
 pub mod report;
 pub mod runner;
 pub mod scheme;
 
 pub use audit::{AuditReport, KindCounts};
-pub use config::LinkEvent;
-pub use config::SimConfig;
+pub use config::{DeliveryKind, LinkEvent, SimConfig};
+pub use dispatch::{AnyLb, LbDispatch};
 pub use network::Simulation;
 pub use report::{Hop, RunReport, Summary, TraceEvent};
-pub use runner::{run_all, run_one};
+pub use runner::{run_all, run_all_ref, run_one, run_one_ref};
 pub use scheme::Scheme;

@@ -10,18 +10,47 @@
 //! The load balancer runs at the *source* leaf: every packet a local host
 //! sends to a remote rack goes through `LoadBalancer::choose_uplink`.
 //! Spine→leaf and leaf→host forwarding are single-path.
+//!
+//! ## Hot-path layout
+//!
+//! All output ports live in one flat `Vec<OutPort>` indexed by [`PortId`]
+//! (hosts' NICs, then each leaf's uplinks and downlinks, then the spines'
+//! downlinks — see [`PortMap`]), with the next-hop node precomputed per
+//! port. Load balancers dispatch statically through [`crate::AnyLb`]
+//! unless the run pins [`crate::LbDispatch::Dyn`].
+//!
+//! In-flight packets ride **per-link delivery pipes**: a link has constant
+//! propagation delay and its port serializes packets one at a time, so
+//! arrival times per link are non-decreasing and FIFO. Instead of one FEL
+//! entry per in-flight packet, each link keeps a `VecDeque` of
+//! `(arrival time, reserved seq, packet)` and at most one chained
+//! `Deliver` event in the FEL; popping it delivers the head and re-arms
+//! the chain. Sequence numbers are *reserved* at the moment a per-packet
+//! push would have happened ([`tlb_engine::EventQueue::reserve_seq`]), so
+//! the FEL's `(time, seq)` pop order — and therefore every observable
+//! result — is bit-identical to the per-packet reference
+//! ([`crate::DeliveryKind::PerPacket`]). The payoff is FEL occupancy
+//! bounded by O(ports + links + pending timers/starts) instead of
+//! O(packets in flight); the run loop enforces that bound whenever the
+//! audit is on.
 
 use crate::audit::{AuditLedger, PortAudit};
-use crate::config::SimConfig;
+use crate::config::{DeliveryKind, SimConfig};
+use crate::dispatch::AnyLb;
 use crate::report::{ClassCounters, RunReport};
+use std::collections::VecDeque;
 use tlb_engine::{EventQueue, SimRng, SimTime};
 use tlb_metrics::{FctRecorder, FlowClass, SampleSet, TimeSeries};
-use tlb_net::{FlowId, HostId, LeafId, Packet, PktKind, SpineId};
+use tlb_net::{HostId, LeafId, Packet, PktKind, SpineId};
 use tlb_switch::{Enqueued, LoadBalancer, OutPort, PortView};
 use tlb_transport::{SenderOutput, TcpReceiver, TcpSender};
 use tlb_workload::FlowSpec;
 
-/// A specific output queue in the fabric.
+/// Index into the flat port table (see [`PortMap`]).
+type PortId = u32;
+
+/// A specific output queue in the fabric — the decoded form of a
+/// [`PortId`], used for traces and audit labels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PortRef {
     /// Host `h`'s NIC queue (towards its leaf).
@@ -42,14 +71,130 @@ enum NodeRef {
     Spine(u16),
 }
 
+/// The flat port-table layout: hosts' NICs first, then per leaf its
+/// uplinks followed by its downlinks, then per spine its downlinks. Leaf
+/// uplinks are contiguous, so the load balancer's [`PortView`] is a plain
+/// slice of the table.
+#[derive(Clone, Copy, Debug)]
+struct PortMap {
+    n_leaves: u32,
+    n_spines: u32,
+    hosts_per_leaf: u32,
+    /// First leaf port (== number of hosts).
+    leaf_base: u32,
+    /// Ports per leaf (`n_spines + hosts_per_leaf`).
+    leaf_stride: u32,
+    /// First spine port.
+    spine_base: u32,
+}
+
+impl PortMap {
+    fn new(topo: &tlb_net::LeafSpine) -> PortMap {
+        let n_leaves = topo.n_leaves() as u32;
+        let n_spines = topo.n_spines() as u32;
+        let hosts_per_leaf = topo.hosts_per_leaf() as u32;
+        let leaf_base = topo.n_hosts() as u32;
+        let leaf_stride = n_spines + hosts_per_leaf;
+        PortMap {
+            n_leaves,
+            n_spines,
+            hosts_per_leaf,
+            leaf_base,
+            leaf_stride,
+            spine_base: leaf_base + n_leaves * leaf_stride,
+        }
+    }
+
+    #[inline]
+    fn n_ports(&self) -> usize {
+        (self.spine_base + self.n_spines * self.n_leaves) as usize
+    }
+
+    #[inline]
+    fn host_nic(&self, h: u32) -> PortId {
+        h
+    }
+
+    #[inline]
+    fn leaf_up(&self, leaf: u32, up: u32) -> PortId {
+        self.leaf_base + leaf * self.leaf_stride + up
+    }
+
+    #[inline]
+    fn leaf_down(&self, leaf: u32, slot: u32) -> PortId {
+        self.leaf_base + leaf * self.leaf_stride + self.n_spines + slot
+    }
+
+    #[inline]
+    fn spine_down(&self, spine: u32, leaf: u32) -> PortId {
+        self.spine_base + spine * self.n_leaves + leaf
+    }
+
+    /// The contiguous slice of leaf `leaf`'s uplinks in the port table.
+    #[inline]
+    fn leaf_up_range(&self, leaf: usize) -> std::ops::Range<usize> {
+        let start = self.leaf_up(leaf as u32, 0) as usize;
+        start..start + self.n_spines as usize
+    }
+
+    #[inline]
+    fn is_leaf_up(&self, p: PortId) -> bool {
+        p >= self.leaf_base
+            && p < self.spine_base
+            && (p - self.leaf_base) % self.leaf_stride < self.n_spines
+    }
+
+    fn decode(&self, p: PortId) -> PortRef {
+        if p < self.leaf_base {
+            PortRef::HostNic(p)
+        } else if p < self.spine_base {
+            let rel = p - self.leaf_base;
+            let leaf = (rel / self.leaf_stride) as u16;
+            let off = rel % self.leaf_stride;
+            if off < self.n_spines {
+                PortRef::LeafUp {
+                    leaf,
+                    up: off as u16,
+                }
+            } else {
+                PortRef::LeafDown {
+                    leaf,
+                    slot: (off - self.n_spines) as u16,
+                }
+            }
+        } else {
+            let rel = p - self.spine_base;
+            PortRef::SpineDown {
+                spine: (rel / self.n_leaves) as u16,
+                leaf: (rel % self.n_leaves) as u16,
+            }
+        }
+    }
+
+    /// The node a packet reaches after crossing port `p`'s link.
+    fn next_node(&self, p: PortId, topo: &tlb_net::LeafSpine) -> NodeRef {
+        match self.decode(p) {
+            PortRef::HostNic(h) => NodeRef::Leaf(topo.leaf_of(HostId(h)).index() as u16),
+            PortRef::LeafUp { up, .. } => NodeRef::Spine(up),
+            PortRef::LeafDown { leaf, slot } => {
+                NodeRef::Host(leaf as u32 * self.hosts_per_leaf + slot as u32)
+            }
+            PortRef::SpineDown { leaf, .. } => NodeRef::Leaf(leaf),
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Event {
     /// A flow's start time arrived.
     FlowStart(u32),
-    /// A packet finished serializing on `port`; deliver it across the link.
-    TxDone { port: PortRef, pkt: Packet },
-    /// A packet arrives at a node (after propagation).
-    Arrive { node: NodeRef, pkt: Packet },
+    /// The packet in service on `port` finished serializing.
+    TxDone(PortId),
+    /// The head of `port`'s delivery pipe arrives now (pipelined mode).
+    Deliver(PortId),
+    /// A packet arrives after crossing `port`'s link (per-packet reference
+    /// mode; boxed so the hot enum stays one word of payload).
+    Arrive { port: PortId, pkt: Box<Packet> },
     /// A sender's retransmission timer fires.
     Timer { flow: u32 },
     /// A leaf balancer's periodic tick.
@@ -60,15 +205,18 @@ enum Event {
     QueueSample,
 }
 
-struct LeafSw {
-    up: Vec<OutPort>,
-    down: Vec<OutPort>,
-    lb: Box<dyn LoadBalancer>,
-    rng: SimRng,
+/// One in-flight packet parked in a link's delivery pipe: its arrival
+/// time and the FEL sequence number reserved for it.
+struct PipeEntry {
+    at: SimTime,
+    seq: u64,
+    pkt: Packet,
 }
 
-struct SpineSw {
-    down: Vec<OutPort>,
+/// A leaf switch's control state (its ports live in the flat table).
+struct LeafSw {
+    lb: AnyLb,
+    rng: SimRng,
 }
 
 /// One configured simulation, ready to run.
@@ -81,12 +229,18 @@ pub struct Simulation {
     next: Vec<Option<u32>>,
 }
 
-struct Net {
-    cfg: SimConfig,
-    flows: Vec<FlowSpec>,
-    host_nics: Vec<OutPort>,
+struct Net<'a> {
+    cfg: &'a SimConfig,
+    flows: &'a [FlowSpec],
+    pmap: PortMap,
+    /// Every output queue in the fabric, laid out per [`PortMap`].
+    ports: Vec<OutPort>,
+    /// Per-link delivery pipes, parallel to `ports` (each port drives
+    /// exactly one link). Empty in per-packet mode.
+    pipes: Vec<VecDeque<PipeEntry>>,
+    /// Precomputed next hop per port.
+    next_node: Vec<NodeRef>,
     leaves: Vec<LeafSw>,
-    spines: Vec<SpineSw>,
     senders: Vec<Option<TcpSender>>,
     receivers: Vec<Option<TcpReceiver>>,
     next_flow: Vec<Option<u32>>,
@@ -95,6 +249,15 @@ struct Net {
     n_completed: usize,
     q: EventQueue<Event>,
     out_buf: Vec<SenderOutput>,
+    // FEL-occupancy bound bookkeeping (mode-independent counters).
+    /// `FlowStart` events pending in the FEL.
+    starts_pending: u64,
+    /// `Timer` events pending in the FEL.
+    timers_live: u64,
+    /// `LbTick`/`LinkChange`/`QueueSample` events pending in the FEL.
+    misc_pending: u64,
+    /// Peak of the occupancy bound over the depth-sample schedule.
+    fel_bound_peak: u64,
     // Metrics.
     fct: FctRecorder,
     short_qlen: SampleSet,
@@ -158,60 +321,74 @@ impl Simulation {
 
     /// Run to completion (all flows done or horizon reached) and report.
     pub fn run(self) -> RunReport {
-        let wall_start = std::time::Instant::now();
-        let mut net = Net::build(self.cfg, self.flows, self.next);
-        net.run_loop();
-        net.into_report(wall_start.elapsed())
+        run_with(&self.cfg, &self.flows, self.next)
     }
 }
 
-impl Net {
-    fn build(cfg: SimConfig, flows: Vec<FlowSpec>, next_flow: Vec<Option<u32>>) -> Net {
+/// Run one simulation over borrowed inputs. [`Simulation::run`] and the
+/// clone-free [`crate::runner::run_one_ref`] both land here.
+pub(crate) fn run_with(
+    cfg: &SimConfig,
+    flows: &[FlowSpec],
+    next_flow: Vec<Option<u32>>,
+) -> RunReport {
+    let wall_start = std::time::Instant::now();
+    let mut net = Net::build(cfg, flows, next_flow);
+    net.run_loop();
+    net.into_report(wall_start.elapsed())
+}
+
+impl<'a> Net<'a> {
+    fn build(cfg: &'a SimConfig, flows: &'a [FlowSpec], next_flow: Vec<Option<u32>>) -> Net<'a> {
         let topo = &cfg.topo;
         let mut master_rng = SimRng::new(cfg.seed);
+        let pmap = PortMap::new(topo);
 
-        let host_nics = (0..topo.n_hosts())
-            .map(|_| OutPort::new(topo.host_link(), cfg.host_queue))
+        let mut ports = Vec::with_capacity(pmap.n_ports());
+        for _ in 0..topo.n_hosts() {
+            ports.push(OutPort::new(topo.host_link(), cfg.host_queue));
+        }
+        for l in 0..topo.n_leaves() {
+            for s in 0..topo.n_spines() {
+                ports.push(OutPort::new(
+                    topo.uplink(LeafId(l as u32), SpineId(s as u32)),
+                    cfg.queue,
+                ));
+            }
+            for _ in 0..topo.hosts_per_leaf() {
+                ports.push(OutPort::new(topo.host_link(), cfg.queue));
+            }
+        }
+        for s in 0..topo.n_spines() {
+            for l in 0..topo.n_leaves() {
+                ports.push(OutPort::new(
+                    topo.downlink(SpineId(s as u32), LeafId(l as u32)),
+                    cfg.queue,
+                ));
+            }
+        }
+        debug_assert_eq!(ports.len(), pmap.n_ports());
+        let next_node = (0..ports.len() as u32)
+            .map(|p| pmap.next_node(p, topo))
             .collect();
+        let pipes = (0..ports.len()).map(|_| VecDeque::new()).collect();
 
         let leaves = (0..topo.n_leaves())
             .map(|l| LeafSw {
-                up: (0..topo.n_spines())
-                    .map(|s| {
-                        OutPort::new(topo.uplink(LeafId(l as u32), SpineId(s as u32)), cfg.queue)
-                    })
-                    .collect(),
-                down: (0..topo.hosts_per_leaf())
-                    .map(|_| OutPort::new(topo.host_link(), cfg.queue))
-                    .collect(),
-                lb: cfg.scheme.build(l as u64 + 1),
+                lb: cfg.scheme.build_dispatch(l as u64 + 1, cfg.lb_dispatch),
                 rng: master_rng.fork(l as u64),
             })
             .collect();
 
-        let spines = (0..topo.n_spines())
-            .map(|s| SpineSw {
-                down: (0..topo.n_leaves())
-                    .map(|l| {
-                        OutPort::new(
-                            topo.downlink(SpineId(s as u32), LeafId(l as u32)),
-                            cfg.queue,
-                        )
-                    })
-                    .collect(),
-            })
-            .collect();
-
         let n = flows.len();
-        // Size the FEL so steady state never reallocates: every flow can
-        // hold one pending start plus one armed retransmission timer, and
-        // each port can contribute one in-service `TxDone` plus a few
-        // propagating `Arrive`s. (For the calendar backend the capacity
-        // reserves the overflow tier, which is exactly where the build-time
-        // bulk of not-yet-started flows lands.)
-        let n_ports = topo.n_hosts()
-            + topo.n_leaves() * (topo.n_spines() + topo.hosts_per_leaf())
-            + topo.n_spines() * topo.n_leaves();
+        // Size the FEL so steady state never reallocates. In pipelined
+        // delivery the occupancy is bounded by the fabric (one `TxDone`
+        // plus one `Deliver` per port) plus pending timers/starts; the
+        // per-packet reference mode can additionally hold one `Arrive` per
+        // packet in flight. (For the calendar backend the capacity
+        // reserves the overflow tier, which is exactly where the
+        // build-time bulk of not-yet-started flows lands.)
+        let n_ports = pmap.n_ports();
         let mut q = EventQueue::with_capacity_and_kind(2 * n + 4 * n_ports + 64, cfg.fel);
         // Only chain heads get their own start event; chained flows are
         // launched by their predecessor's completion.
@@ -219,9 +396,11 @@ impl Net {
         for &nf in next_flow.iter().flatten() {
             is_chained[nf as usize] = true;
         }
+        let mut starts_pending = 0u64;
         for (i, f) in flows.iter().enumerate() {
             if !is_chained[i] {
                 q.push(f.start, Event::FlowStart(i as u32));
+                starts_pending += 1;
             }
         }
         // Balancer ticks per leaf.
@@ -235,9 +414,11 @@ impl Net {
             short_reorder: TimeSeries::new(cfg.series_bucket),
             long_reorder: TimeSeries::new(cfg.series_bucket),
             long_goodput: TimeSeries::new(cfg.series_bucket),
-            host_nics,
+            pmap,
+            ports,
+            pipes,
+            next_node,
             leaves,
-            spines,
             senders: (0..n).map(|_| None).collect(),
             receivers: (0..n).map(|_| None).collect(),
             next_flow,
@@ -247,6 +428,10 @@ impl Net {
             // A sender can emit at most a receive window of segments (plus
             // a FIN) from one call.
             out_buf: Vec::with_capacity(cfg.tcp.rwnd_segs() as usize + 2),
+            starts_pending,
+            timers_live: 0,
+            misc_pending: 0,
+            fel_bound_peak: 0,
             short_qlen: SampleSet::new(),
             long_qlen: SampleSet::new(),
             short_qdelay: SampleSet::new(),
@@ -284,13 +469,16 @@ impl Net {
         for l in 0..net.leaves.len() {
             if let Some(iv) = net.leaves[l].lb.tick_interval() {
                 net.q.push(iv, Event::LbTick { leaf: l as u16 });
+                net.misc_pending += 1;
             }
         }
         for (i, ev) in net.cfg.link_events.iter().enumerate() {
             net.q.push(ev.at, Event::LinkChange(i as u32));
+            net.misc_pending += 1;
         }
         if net.cfg.sample_queues {
             net.q.push(net.cfg.series_bucket, Event::QueueSample);
+            net.misc_pending += 1;
         }
         net
     }
@@ -300,6 +488,15 @@ impl Net {
     /// across FEL backends and thread counts, so the samples are part of
     /// the deterministic digest.
     const FEL_DEPTH_SAMPLE_EVERY: u64 = 4096;
+
+    /// The pipelined-delivery FEL occupancy bound: at most one `TxDone`
+    /// and one `Deliver` per port, plus every pending flow start, timer
+    /// and housekeeping event. Computed from counters that are identical
+    /// across delivery modes, so its peak is digest-stable.
+    #[inline]
+    fn fel_bound(&self) -> u64 {
+        2 * self.ports.len() as u64 + self.starts_pending + self.timers_live + self.misc_pending
+    }
 
     fn run_loop(&mut self) {
         let horizon = self.cfg.horizon;
@@ -316,23 +513,50 @@ impl Net {
             self.events += 1;
             if self.events.is_multiple_of(Self::FEL_DEPTH_SAMPLE_EVERY) {
                 self.fel_depth.push(self.q.len() as f64);
+                let bound = self.fel_bound();
+                self.fel_bound_peak = self.fel_bound_peak.max(bound);
+                // The occupancy oracle: pipelined delivery must keep the
+                // FEL within the fabric-sized bound.
+                if self.cfg.audit && self.cfg.delivery == DeliveryKind::Pipelined {
+                    assert!(
+                        self.q.len() as u64 <= bound,
+                        "FEL occupancy {} exceeds the pipelined bound {bound}",
+                        self.q.len(),
+                    );
+                }
             }
             match ev {
-                Event::FlowStart(i) => self.on_flow_start(i, now),
-                Event::TxDone { port, pkt } => self.on_tx_done(port, pkt, now),
-                Event::Arrive { node, pkt } => {
+                Event::FlowStart(i) => {
+                    self.starts_pending -= 1;
+                    self.on_flow_start(i, now);
+                }
+                Event::TxDone(p) => self.on_tx_done(p, now),
+                Event::Deliver(p) => self.on_deliver(p, now),
+                Event::Arrive { port, pkt } => {
                     self.arrive_seen += 1;
                     if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
                         // Injected driver bug (audit tests only): the packet
                         // vanishes without any accounting layer hearing of it.
                         continue;
                     }
-                    self.on_arrive(node, pkt, now);
+                    self.on_arrive(port, *pkt, now);
                 }
-                Event::Timer { flow } => self.on_timer(flow, now),
-                Event::LbTick { leaf } => self.on_lb_tick(leaf, now),
-                Event::LinkChange(i) => self.on_link_change(i as usize),
-                Event::QueueSample => self.on_queue_sample(now),
+                Event::Timer { flow } => {
+                    self.timers_live -= 1;
+                    self.on_timer(flow, now);
+                }
+                Event::LbTick { leaf } => {
+                    self.misc_pending -= 1;
+                    self.on_lb_tick(leaf, now);
+                }
+                Event::LinkChange(i) => {
+                    self.misc_pending -= 1;
+                    self.on_link_change(i as usize);
+                }
+                Event::QueueSample => {
+                    self.misc_pending -= 1;
+                    self.on_queue_sample(now);
+                }
             }
         }
     }
@@ -361,8 +585,9 @@ impl Net {
     }
 
     fn on_lb_tick(&mut self, leaf: u16, now: SimTime) {
+        let view = PortView::new(&self.ports[self.pmap.leaf_up_range(leaf as usize)]);
         let l = &mut self.leaves[leaf as usize];
-        l.lb.on_tick(PortView::new(&l.up), now);
+        l.lb.on_tick(view, now);
         self.lb_state_peak = self.lb_state_peak.max(l.lb.state_bytes());
         if leaf == 0 {
             if let Some(qth) = l.lb.q_threshold() {
@@ -379,6 +604,7 @@ impl Net {
             let next = now + iv;
             if next <= self.cfg.horizon {
                 self.q.push(next, Event::LbTick { leaf });
+                self.misc_pending += 1;
             }
         }
     }
@@ -391,10 +617,11 @@ impl Net {
             match o {
                 SenderOutput::Send(pkt) => {
                     self.audit.emitted(&pkt);
-                    self.enqueue(PortRef::HostNic(src.0), pkt, now);
+                    self.enqueue(self.pmap.host_nic(src.0), pkt, now);
                 }
                 SenderOutput::ArmTimer { deadline } => {
                     self.q.push(deadline.max(now), Event::Timer { flow });
+                    self.timers_live += 1;
                 }
                 SenderOutput::Finished => {
                     // Sender-side completion; FCT is recorded at the
@@ -406,8 +633,7 @@ impl Net {
 
     /// Record leaf-0's uplink occupancy and re-arm the sampler.
     fn on_queue_sample(&mut self, now: SimTime) {
-        let lens: Vec<u32> = self.leaves[0]
-            .up
+        let lens: Vec<u32> = self.ports[self.pmap.leaf_up_range(0)]
             .iter()
             .map(|p| p.len_pkts() as u32)
             .collect();
@@ -415,6 +641,7 @@ impl Net {
         let next = now + self.cfg.series_bucket;
         if next <= self.cfg.horizon {
             self.q.push(next, Event::QueueSample);
+            self.misc_pending += 1;
         }
     }
 
@@ -428,44 +655,28 @@ impl Net {
             l.prop_delay += ev.extra_delay;
             port.set_link(l);
         };
-        degrade(&mut self.leaves[ev.leaf.index()].up[ev.spine.index()]);
-        degrade(&mut self.spines[ev.spine.index()].down[ev.leaf.index()]);
+        let up = self
+            .pmap
+            .leaf_up(ev.leaf.index() as u32, ev.spine.index() as u32);
+        degrade(&mut self.ports[up as usize]);
+        let down = self
+            .pmap
+            .spine_down(ev.spine.index() as u32, ev.leaf.index() as u32);
+        degrade(&mut self.ports[down as usize]);
     }
 
     // ---- forwarding ------------------------------------------------------
 
-    fn port_mut(&mut self, r: PortRef) -> &mut OutPort {
-        match r {
-            PortRef::HostNic(h) => &mut self.host_nics[h as usize],
-            PortRef::LeafUp { leaf, up } => &mut self.leaves[leaf as usize].up[up as usize],
-            PortRef::LeafDown { leaf, slot } => &mut self.leaves[leaf as usize].down[slot as usize],
-            PortRef::SpineDown { spine, leaf } => {
-                &mut self.spines[spine as usize].down[leaf as usize]
-            }
-        }
-    }
-
-    fn next_node(&self, r: PortRef) -> NodeRef {
-        match r {
-            PortRef::HostNic(h) => NodeRef::Leaf(self.cfg.topo.leaf_of(HostId(h)).index() as u16),
-            PortRef::LeafUp { up, .. } => NodeRef::Spine(up),
-            PortRef::LeafDown { leaf, slot } => NodeRef::Host(
-                (leaf as usize * self.cfg.topo.hosts_per_leaf() + slot as usize) as u32,
-            ),
-            PortRef::SpineDown { leaf, .. } => NodeRef::Leaf(leaf),
-        }
-    }
-
-    fn enqueue(&mut self, r: PortRef, pkt: Packet, now: SimTime) {
+    fn enqueue(&mut self, p: PortId, pkt: Packet, now: SimTime) {
         if self.traced[pkt.flow.index()] {
-            self.trace(r, &pkt, now);
+            self.trace(p, &pkt, now);
         }
         self.audit.enqueue_attempt(&pkt);
-        match self.port_mut(r).enqueue(pkt, now) {
+        match self.ports[p as usize].enqueue(pkt, now) {
             Enqueued::Queued { was_idle, .. } => {
                 self.audit.enqueued(&pkt);
                 if was_idle {
-                    self.start_tx(r, now);
+                    self.start_tx(p, now);
                 }
             }
             Enqueued::Dropped => {
@@ -476,82 +687,124 @@ impl Net {
         }
     }
 
-    fn start_tx(&mut self, r: PortRef, now: SimTime) {
-        let is_short =
-            |net: &Net, f: FlowId| net.flows[f.index()].size_bytes < net.cfg.short_threshold;
-        let (pkt, tx_time, wait) = {
-            let port = self.port_mut(r);
-            let pkt = port.start_service().expect("start_tx on an empty port");
-            let t = port.tx_time(pkt.wire_bytes as u64);
-            (pkt, t, now.saturating_sub(pkt.enqueued_at))
-        };
+    fn start_tx(&mut self, p: PortId, now: SimTime) {
+        let pi = p as usize;
+        let pkt = *self.ports[pi]
+            .start_service()
+            .expect("start_tx on an empty port");
+        let tx_time = self.ports[pi].tx_time(pkt.wire_bytes as u64);
         // Leaf-uplink queueing delay of short-flow data (Fig. 8(b)) — the
         // queues the load balancer controls; NIC and downlink waits are the
         // same for every scheme and would only dilute the comparison.
-        if matches!(r, PortRef::LeafUp { .. })
+        if self.pmap.is_leaf_up(p)
             && pkt.kind == PktKind::Data
-            && is_short(self, pkt.flow)
+            && self.flows[pkt.flow.index()].size_bytes < self.cfg.short_threshold
         {
-            let w = wait.as_secs_f64();
+            let w = now.saturating_sub(pkt.enqueued_at).as_secs_f64();
             self.short_qdelay.push(w);
             self.short_qdelay_series.add(now, w);
         }
         self.audit.tx_started(&pkt);
-        self.q.push(now + tx_time, Event::TxDone { port: r, pkt });
+        self.q.push(now + tx_time, Event::TxDone(p));
     }
 
-    fn on_tx_done(&mut self, r: PortRef, pkt: Packet, now: SimTime) {
+    fn on_tx_done(&mut self, p: PortId, now: SimTime) {
+        let pi = p as usize;
+        let (pkt, more) = self.ports[pi].finish_service();
         self.audit.tx_done(&pkt);
-        let (more, prop) = {
-            let port = self.port_mut(r);
-            (port.finish_service(&pkt), port.link().prop_delay)
-        };
+        let prop = self.ports[pi].link().prop_delay;
         if more {
-            self.start_tx(r, now);
+            self.start_tx(p, now);
         }
-        let node = self.next_node(r);
-        self.q.push(now + prop, Event::Arrive { node, pkt });
+        let at = now + prop;
+        match self.cfg.delivery {
+            DeliveryKind::Pipelined => {
+                // Reserve the seq a per-packet `Arrive` push would have
+                // taken right here, so the FEL's (time, seq) order — and
+                // every downstream observable — matches the reference
+                // mode bit-for-bit. Only the pipe head keeps a live FEL
+                // event; successors chain when it pops.
+                let seq = self.q.reserve_seq();
+                let pipe = &mut self.pipes[pi];
+                if pipe.is_empty() {
+                    self.q.push_reserved(at, seq, Event::Deliver(p));
+                }
+                pipe.push_back(PipeEntry { at, seq, pkt });
+            }
+            DeliveryKind::PerPacket => {
+                self.q.push(
+                    at,
+                    Event::Arrive {
+                        port: p,
+                        pkt: Box::new(pkt),
+                    },
+                );
+            }
+        }
     }
 
-    fn on_arrive(&mut self, node: NodeRef, pkt: Packet, now: SimTime) {
+    /// Pipelined delivery: the head of `p`'s pipe arrives now. Re-arm the
+    /// chain for the next in-flight packet, then hand the packet to the
+    /// arrival logic.
+    fn on_deliver(&mut self, p: PortId, now: SimTime) {
+        let entry = self.pipes[p as usize]
+            .pop_front()
+            .expect("Deliver on an empty pipe");
+        debug_assert_eq!(entry.at, now, "pipe head out of FIFO order");
+        if let Some(front) = self.pipes[p as usize].front() {
+            let (at, seq) = (front.at, front.seq);
+            self.q.push_reserved(at, seq, Event::Deliver(p));
+        }
+        self.arrive_seen += 1;
+        if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
+            // Injected driver bug (audit tests only): the packet vanishes
+            // without any accounting layer hearing of it.
+            return;
+        }
+        self.on_arrive(p, entry.pkt, now);
+    }
+
+    /// A packet finished crossing port `p`'s link.
+    fn on_arrive(&mut self, p: PortId, pkt: Packet, now: SimTime) {
         self.audit.arrived(&pkt);
-        match node {
+        match self.next_node[p as usize] {
             NodeRef::Spine(s) => {
-                let leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u16;
-                self.enqueue(PortRef::SpineDown { spine: s, leaf }, pkt, now);
+                let leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u32;
+                self.enqueue(self.pmap.spine_down(s as u32, leaf), pkt, now);
             }
             NodeRef::Leaf(l) => {
-                let dst_leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u16;
-                if dst_leaf == l {
+                let dst_leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u32;
+                if dst_leaf == l as u32 {
                     // Downstream (or intra-rack): single path to the host.
-                    let slot = self.cfg.topo.host_slot(pkt.dst) as u16;
-                    self.enqueue(PortRef::LeafDown { leaf: l, slot }, pkt, now);
+                    let slot = self.cfg.topo.host_slot(pkt.dst) as u32;
+                    self.enqueue(self.pmap.leaf_down(l as u32, slot), pkt, now);
                 } else {
                     // Upstream: the load balancer picks the uplink.
                     self.lb_decisions += 1;
+                    let range = self.pmap.leaf_up_range(l as usize);
+                    let view = PortView::new(&self.ports[range.clone()]);
                     let leaf = &mut self.leaves[l as usize];
-                    let view = PortView::new(&leaf.up);
-                    let up = leaf.lb.choose_uplink(&pkt, view, now, &mut leaf.rng) as u16;
-                    debug_assert!((up as usize) < leaf.up.len());
+                    let up = leaf.lb.choose_uplink(&pkt, view, now, &mut leaf.rng) as u32;
+                    debug_assert!((up as usize) < range.len());
                     // Fig. 3(a): queue length experienced at enqueue.
                     if pkt.kind == PktKind::Data {
-                        let qlen = leaf.up[up as usize].len_pkts() as f64;
+                        let qlen = self.ports[range.start + up as usize].len_pkts() as f64;
                         if self.flows[pkt.flow.index()].size_bytes < self.cfg.short_threshold {
                             self.short_qlen.push(qlen);
                         } else {
                             self.long_qlen.push(qlen);
                         }
                     }
-                    self.enqueue(PortRef::LeafUp { leaf: l, up }, pkt, now);
+                    self.enqueue(self.pmap.leaf_up(l as u32, up), pkt, now);
                 }
             }
             NodeRef::Host(h) => self.deliver_to_host(h, pkt, now),
         }
     }
 
-    fn trace(&mut self, r: PortRef, pkt: &Packet, now: SimTime) {
+    fn trace(&mut self, p: PortId, pkt: &Packet, now: SimTime) {
         use crate::report::{Hop, TraceEvent};
-        let hop = match r {
+        let hop = match self.pmap.decode(p) {
             PortRef::HostNic(h) => Hop::HostNic { host: h },
             PortRef::LeafUp { leaf, up } => Hop::LeafUplink { leaf, spine: up },
             PortRef::LeafDown { leaf, slot } => Hop::LeafDownlink { leaf, slot },
@@ -585,7 +838,7 @@ impl Net {
                     .get_or_insert_with(|| TcpReceiver::new(pkt.flow, pkt.dst, pkt.src));
                 let synack = receiver.on_syn(now);
                 self.audit.emitted(&synack);
-                self.enqueue(PortRef::HostNic(h), synack, now);
+                self.enqueue(self.pmap.host_nic(h), synack, now);
             }
             PktKind::Data => {
                 let spec = self.flows[fi];
@@ -620,10 +873,11 @@ impl Net {
                     // Closed-loop chain: launch the successor back-to-back.
                     if let Some(nf) = self.next_flow[fi] {
                         self.q.push(now, Event::FlowStart(nf));
+                        self.starts_pending += 1;
                     }
                 }
                 self.audit.emitted(&ack);
-                self.enqueue(PortRef::HostNic(h), ack, now);
+                self.enqueue(self.pmap.host_nic(h), ack, now);
             }
             PktKind::SynAck | PktKind::Ack => {
                 let mut out = std::mem::take(&mut self.out_buf);
@@ -674,11 +928,10 @@ impl Net {
             }
         }
 
-        let uplink_utilization = self
-            .leaves
-            .iter()
+        let uplink_utilization = (0..self.pmap.n_leaves as usize)
             .map(|l| {
-                l.up.iter()
+                self.ports[self.pmap.leaf_up_range(l)]
+                    .iter()
                     .map(|p| p.stats().busy.as_secs_f64() / dur)
                     .collect()
             })
@@ -686,17 +939,9 @@ impl Net {
 
         let mut drops = 0;
         let mut marks = 0;
-        let mut count_port = |p: &OutPort| {
+        for p in &self.ports {
             drops += p.stats().dropped;
             marks += p.stats().marked;
-        };
-        self.host_nics.iter().for_each(&mut count_port);
-        for l in &self.leaves {
-            l.up.iter().for_each(&mut count_port);
-            l.down.iter().for_each(&mut count_port);
-        }
-        for s in &self.spines {
-            s.down.iter().for_each(&mut count_port);
         }
 
         let lb_state_final = self
@@ -727,6 +972,7 @@ impl Net {
             long_qlen: self.long_qlen,
             short_qdelay: self.short_qdelay,
             fel_depth: self.fel_depth,
+            fel_bound_peak: self.fel_bound_peak,
             short_reorder_series: self.short_reorder.means(),
             long_reorder_series: self.long_reorder.means(),
             long_goodput_series: self.long_goodput.rates(),
@@ -748,51 +994,54 @@ impl Net {
     }
 
     /// Close the packet-conservation ledger: feed it the end-of-run
-    /// residuals (queued packets, pending serializations and propagations),
-    /// per-port accounting snapshots, the engine's clock counter, and each
-    /// live sender's invariant check, then let it verify everything (see
-    /// [`crate::audit`]). Drains the event queue; call only from
-    /// [`Net::into_report`].
+    /// residuals (queued packets, pending serializations and propagations
+    /// — the latter live in the FEL in per-packet mode and in the link
+    /// pipes in pipelined mode), per-port accounting snapshots, the
+    /// engine's clock counter, and each live sender's invariant check,
+    /// then let it verify everything (see [`crate::audit`]). Drains the
+    /// event queue; call only from [`Net::into_report`].
     fn finish_audit(&mut self) -> Option<crate::audit::AuditReport> {
         let mut ledger = std::mem::replace(&mut self.audit, AuditLedger::new(false));
         if !ledger.enabled() {
             return None;
         }
 
-        let mut ports: Vec<(String, &OutPort)> = Vec::new();
-        for (h, p) in self.host_nics.iter().enumerate() {
-            ports.push((format!("host{h}.nic"), p));
-        }
-        for (l, leaf) in self.leaves.iter().enumerate() {
-            for (s, p) in leaf.up.iter().enumerate() {
-                ports.push((format!("leaf{l}.up{s}"), p));
-            }
-            for (d, p) in leaf.down.iter().enumerate() {
-                ports.push((format!("leaf{l}.down{d}"), p));
-            }
-        }
-        for (s, spine) in self.spines.iter().enumerate() {
-            for (l, p) in spine.down.iter().enumerate() {
-                ports.push((format!("spine{s}.down{l}"), p));
-            }
-        }
+        let labels: Vec<String> = (0..self.ports.len() as u32)
+            .map(|p| match self.pmap.decode(p) {
+                PortRef::HostNic(h) => format!("host{h}.nic"),
+                PortRef::LeafUp { leaf, up } => format!("leaf{leaf}.up{up}"),
+                PortRef::LeafDown { leaf, slot } => format!("leaf{leaf}.down{slot}"),
+                PortRef::SpineDown { spine, leaf } => format!("spine{spine}.down{leaf}"),
+            })
+            .collect();
 
-        for (_, p) in &ports {
+        for p in &self.ports {
             for pkt in p.iter_queued() {
                 ledger.residual_queued(pkt);
             }
+            // Both delivery modes park the serializing packet in the port.
+            if let Some(pkt) = p.in_service_pkt() {
+                ledger.residual_in_service(pkt);
+            }
         }
-        let port_audits: Vec<PortAudit> = ports
-            .iter()
-            .map(|(label, p)| PortAudit::of(label.clone(), p))
+        let port_audits: Vec<PortAudit> = labels
+            .into_iter()
+            .zip(&self.ports)
+            .map(|(label, p)| PortAudit::of(label, p))
             .collect();
 
         let monotonicity = self.q.monotonicity_violations();
         for (_, ev) in self.q.drain_unordered() {
-            match ev {
-                Event::TxDone { pkt, .. } => ledger.residual_in_service(&pkt),
-                Event::Arrive { pkt, .. } => ledger.residual_propagating(&pkt),
-                _ => {}
+            if let Event::Arrive { pkt, .. } = ev {
+                ledger.residual_propagating(&pkt);
+            }
+        }
+        // Pipelined mode: in-flight packets live in the link pipes (at
+        // most one of them also has a `Deliver` event above, which carries
+        // no packet — no double counting).
+        for pipe in &self.pipes {
+            for e in pipe {
+                ledger.residual_propagating(&e.pkt);
             }
         }
 

@@ -3,6 +3,7 @@
 
 use super::*;
 use crate::scheme::Scheme;
+use tlb_net::FlowId;
 use tlb_workload::FlowSpec;
 
 fn one_flow(size: u64) -> Vec<FlowSpec> {

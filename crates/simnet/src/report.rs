@@ -164,6 +164,12 @@ pub struct RunReport {
     /// across FEL backends and thread counts; `bench_pr4` reads its
     /// queue-depth histogram (p50/p99) from here.
     pub fel_depth: SampleSet,
+    /// Peak of the pipelined-delivery FEL occupancy bound
+    /// `2·ports + pending starts/timers/housekeeping` over the same sample
+    /// schedule. Computed from mode-independent counters, so it is
+    /// digest-stable; in pipelined delivery every `fel_depth` sample is
+    /// asserted ≤ the bound whenever the audit is on.
+    pub fel_bound_peak: u64,
     /// Instantaneous reorder ratio of short flows over time — Fig. 8(a).
     pub short_reorder_series: Vec<(f64, f64)>,
     /// Instantaneous reorder ratio of long flows — Fig. 9(a).

@@ -29,6 +29,14 @@ pub fn run_one(cfg: SimConfig, flows: Vec<FlowSpec>) -> RunReport {
     Simulation::new(cfg, flows).run()
 }
 
+/// Run one simulation over borrowed inputs — the clone-free twin of
+/// [`run_one`] for harnesses that replay the same `(config, flows)` job
+/// across repetitions (benchmarks, fuzz shrinking).
+pub fn run_one_ref(cfg: &SimConfig, flows: &[FlowSpec]) -> RunReport {
+    cfg.validate().expect("invalid simulation configuration");
+    crate::network::run_with(cfg, flows, vec![None; flows.len()])
+}
+
 /// Run a batch of independent simulations in parallel, preserving input
 /// order in the output. Thread count: `TLB_THREADS` env var (or a
 /// `rayon::with_threads` override), else available cores, clamped to the
@@ -36,6 +44,15 @@ pub fn run_one(cfg: SimConfig, flows: Vec<FlowSpec>) -> RunReport {
 pub fn run_all(jobs: Vec<(SimConfig, Vec<FlowSpec>)>) -> Vec<RunReport> {
     jobs.into_par_iter()
         .map(|(cfg, flows)| run_one(cfg, flows))
+        .collect()
+}
+
+/// The borrowed twin of [`run_all`]: fan a batch out without consuming it,
+/// so repeated legs (benchmark reps, A/B sweeps) reuse one job vector
+/// instead of cloning every config and flow list per leg.
+pub fn run_all_ref(jobs: &[(SimConfig, Vec<FlowSpec>)]) -> Vec<RunReport> {
+    jobs.par_iter()
+        .map(|(cfg, flows)| run_one_ref(cfg, flows))
         .collect()
 }
 

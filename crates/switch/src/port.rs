@@ -68,9 +68,11 @@ pub struct OutPort {
     cfg: QueueCfg,
     queue: VecDeque<Packet>,
     queued_bytes: u64,
-    /// True while a packet is being serialized (it has been popped from
-    /// `queue` but its last bit has not left yet).
-    serializing: bool,
+    /// The packet being serialized, if any: popped from `queue` but its
+    /// last bit has not left yet. Owning it here (rather than carrying it
+    /// in the end-of-serialization event) keeps the driver's event payload
+    /// small and lets audits see the in-flight packet.
+    in_service: Option<Packet>,
     stats: PortStats,
 }
 
@@ -82,7 +84,7 @@ impl OutPort {
             cfg,
             queue: VecDeque::new(),
             queued_bytes: 0,
-            serializing: false,
+            in_service: None,
             stats: PortStats::default(),
         }
     }
@@ -115,7 +117,7 @@ impl OutPort {
     /// True when nothing is queued or being serialized.
     #[inline]
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && !self.serializing
+        self.queue.is_empty() && self.in_service.is_none()
     }
 
     /// Serialization time of a packet of `bytes` on this port's link.
@@ -136,7 +138,7 @@ impl OutPort {
         if let Some(k) = self.cfg.ecn_threshold_pkts {
             // The instantaneous queue DCTCP marks against includes the
             // packet being serialized: it has left `queue` but not the port.
-            let occupancy = self.queue.len() + self.serializing as usize;
+            let occupancy = self.queue.len() + self.in_service.is_some() as usize;
             if pkt.ecn_capable() && occupancy >= k {
                 pkt.mark_ce();
                 marked = true;
@@ -152,29 +154,30 @@ impl OutPort {
         Enqueued::Queued { marked, was_idle }
     }
 
-    /// Take the head packet and mark the transmitter busy. The caller
-    /// schedules the end-of-serialization event `tx_time(pkt)` later and
-    /// then calls [`OutPort::finish_service`].
+    /// Move the head packet into the service slot and mark the
+    /// transmitter busy, returning a borrow of it. The caller schedules
+    /// the end-of-serialization event `tx_time(pkt)` later and then calls
+    /// [`OutPort::finish_service`] to take the packet back out.
     ///
     /// Panics if called while already serializing (a driver bug).
-    pub fn start_service(&mut self) -> Option<Packet> {
-        assert!(!self.serializing, "start_service while busy");
+    pub fn start_service(&mut self) -> Option<&Packet> {
+        assert!(self.in_service.is_none(), "start_service while busy");
         let pkt = self.queue.pop_front()?;
         self.queued_bytes -= pkt.wire_bytes as u64;
-        self.serializing = true;
-        Some(pkt)
+        Some(self.in_service.insert(pkt))
     }
 
-    /// Mark the in-flight packet fully serialized and account for it.
-    /// Returns `true` if more packets are waiting (the caller should start
-    /// the next service immediately).
-    pub fn finish_service(&mut self, pkt: &Packet) -> bool {
-        debug_assert!(self.serializing, "finish_service while idle");
-        self.serializing = false;
+    /// Take the fully serialized packet out of the service slot and
+    /// account for it. The `bool` is `true` if more packets are waiting
+    /// (the caller should start the next service immediately).
+    ///
+    /// Panics if no packet is in service (a driver bug).
+    pub fn finish_service(&mut self) -> (Packet, bool) {
+        let pkt = self.in_service.take().expect("finish_service while idle");
         self.stats.bytes_tx += pkt.wire_bytes as u64;
         self.stats.pkts_tx += 1;
         self.stats.busy += self.tx_time(pkt.wire_bytes as u64);
-        !self.queue.is_empty()
+        (pkt, !self.queue.is_empty())
     }
 
     /// Lifetime counters.
@@ -187,7 +190,14 @@ impl OutPort {
     /// not yet fully on the wire).
     #[inline]
     pub fn in_service(&self) -> bool {
-        self.serializing
+        self.in_service.is_some()
+    }
+
+    /// The packet currently being serialized, if any. Exposed for
+    /// end-of-run conservation audits.
+    #[inline]
+    pub fn in_service_pkt(&self) -> Option<&Packet> {
+        self.in_service.as_ref()
     }
 
     /// The packets currently queued (excluding the one in service), head
@@ -240,9 +250,9 @@ mod tests {
             p.enqueue(data(s), SimTime::ZERO);
         }
         for s in 0..5 {
-            let pkt = p.start_service().unwrap();
+            assert_eq!(p.start_service().unwrap().seq, s);
+            let (pkt, _) = p.finish_service();
             assert_eq!(pkt.seq, s);
-            p.finish_service(&pkt);
         }
         assert!(p.is_idle());
     }
@@ -279,11 +289,11 @@ mod tests {
         assert_eq!(p.stats().marked, 2);
         // The CE bit is actually on the queued packets.
         let mut ce = 0;
-        while let Some(pkt) = p.start_service() {
+        while p.start_service().is_some() {
+            let (pkt, _) = p.finish_service();
             if pkt.ce() {
                 ce += 1;
             }
-            p.finish_service(&pkt);
         }
         assert_eq!(ce, 2);
     }
@@ -295,7 +305,7 @@ mod tests {
         // sees one queued and one in service must be marked.
         let mut p = OutPort::new(link(), cfg(16, Some(2)));
         p.enqueue(data(0), SimTime::ZERO);
-        let head = p.start_service().unwrap();
+        p.start_service().unwrap();
         // Occupancy 1 (in service only): below K, unmarked.
         assert_eq!(
             p.enqueue(data(1), SimTime::ZERO),
@@ -313,7 +323,7 @@ mod tests {
             }
         );
         assert_eq!(p.stats().marked, 1);
-        p.finish_service(&head);
+        p.finish_service();
     }
 
     #[test]
@@ -322,11 +332,15 @@ mod tests {
         assert!(!p.in_service());
         p.enqueue(data(0), SimTime::ZERO);
         p.enqueue(data(1), SimTime::ZERO);
-        let head = p.start_service().unwrap();
+        assert!(p.in_service_pkt().is_none());
+        p.start_service().unwrap();
         assert!(p.in_service());
+        assert_eq!(p.in_service_pkt().unwrap().seq, 0);
         let queued: Vec<u32> = p.iter_queued().map(|q| q.seq).collect();
         assert_eq!(queued, vec![1], "in-service packet is not in the queue");
-        p.finish_service(&head);
+        let (head, more) = p.finish_service();
+        assert_eq!(head.seq, 0);
+        assert!(more);
         assert!(!p.in_service());
     }
 
@@ -358,9 +372,9 @@ mod tests {
         p.enqueue(data(0), SimTime::ZERO);
         p.enqueue(data(1), SimTime::ZERO);
         assert_eq!(p.len_bytes(), 3000);
-        let pkt = p.start_service().unwrap();
+        p.start_service().unwrap();
         assert_eq!(p.len_bytes(), 1500);
-        p.finish_service(&pkt);
+        p.finish_service();
         assert_eq!(p.len_bytes(), 1500);
     }
 
@@ -375,7 +389,7 @@ mod tests {
                 was_idle: true
             }
         );
-        let pkt = p.start_service().unwrap();
+        p.start_service().unwrap();
         // While serializing, the queue is empty but the port is not idle.
         let r1 = p.enqueue(data(1), SimTime::ZERO);
         assert_eq!(
@@ -385,15 +399,15 @@ mod tests {
                 was_idle: false
             }
         );
-        assert!(p.finish_service(&pkt), "one more packet waits");
+        assert!(p.finish_service().1, "one more packet waits");
     }
 
     #[test]
     fn busy_time_accumulates() {
         let mut p = OutPort::new(link(), cfg(16, None));
         p.enqueue(data(0), SimTime::ZERO);
-        let pkt = p.start_service().unwrap();
-        p.finish_service(&pkt);
+        p.start_service().unwrap();
+        p.finish_service();
         // 1500 B at 1 Gbit/s = 12 us.
         assert_eq!(p.stats().busy, SimTime::from_micros(12));
         assert_eq!(p.stats().bytes_tx, 1500);
@@ -427,7 +441,6 @@ mod tests {
         #[test]
         fn prop_accounting(ops in proptest::collection::vec(0u8..3, 1..200)) {
             let mut p = OutPort::new(link(), cfg(8, Some(4)));
-            let mut in_service: Option<Packet> = None;
             let mut seq = 0u32;
             for op in ops {
                 match op {
@@ -444,10 +457,10 @@ mod tests {
                         }
                     }
                     _ => {
-                        if let Some(pkt) = in_service.take() {
-                            p.finish_service(&pkt);
+                        if p.in_service() {
+                            p.finish_service();
                         } else {
-                            in_service = p.start_service();
+                            let _ = p.start_service();
                         }
                     }
                 }

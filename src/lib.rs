@@ -55,7 +55,10 @@ pub mod prelude {
     pub use tlb_metrics::{FlowClass, SampleSet};
     pub use tlb_model::{q_th_min, ModelParams, QTh};
     pub use tlb_net::{FlowId, HostId, LeafId, LeafSpine, LeafSpineBuilder, SpineId};
-    pub use tlb_simnet::{run_all, run_one, AuditReport, RunReport, Scheme, SimConfig, Simulation};
+    pub use tlb_simnet::{
+        run_all, run_all_ref, run_one, run_one_ref, AuditReport, DeliveryKind, LbDispatch,
+        RunReport, Scheme, SimConfig, Simulation,
+    };
     pub use tlb_switch::{LoadBalancer, PortView, QueueCfg};
     pub use tlb_transport::TcpConfig;
     pub use tlb_workload::{

@@ -234,3 +234,93 @@ fn workload_generators_are_seed_stable() {
         assert_eq!((x.src, x.dst), (y.src, y.dst));
     }
 }
+
+#[test]
+fn lb_dispatch_paths_are_bit_identical_on_fuzz_batch() {
+    // PR 5 replaced the per-packet `Box<dyn LoadBalancer>` virtual call
+    // with static enum dispatch (`AnyLb`). Both paths build the identical
+    // balancer from the identical salt, so the full simulation digest —
+    // events, FCT bits, audit ledger — must match on the same 16-job fuzz
+    // batch the FEL-backend test uses.
+    use tlb::simnet::LbDispatch;
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
+        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
+        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
+        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+    ];
+    let jobs_with = |dispatch: LbDispatch| -> Vec<_> {
+        raws.iter()
+            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
+                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
+            })
+            .map(|raw| {
+                let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
+                b.cfg.lb_dispatch = dispatch;
+                (b.cfg, b.flows)
+            })
+            .collect()
+    };
+    let fast = run_all(jobs_with(LbDispatch::Enum));
+    let reference = run_all(jobs_with(LbDispatch::Dyn));
+    assert_eq!(fast.len(), reference.len());
+    for (a, b) in fast.iter().zip(&reference) {
+        assert_eq!(digest(a), digest(b), "{}: enum != dyn dispatch", a.scheme);
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across dispatch paths",
+            a.scheme
+        );
+    }
+}
+
+#[test]
+fn delivery_modes_are_bit_identical_on_fuzz_batch() {
+    // PR 5 replaced one FEL `Arrive` entry per in-flight packet with
+    // per-link delivery pipes plus a chained `Deliver` event. The pipe
+    // reserves the exact sequence number the per-packet push would have
+    // taken, so the (time, seq) pop order — and with it every observable,
+    // including the sampled `fel_depth` schedule — must be bit-identical
+    // across modes. Only the FEL *occupancy* may differ, bounded in
+    // pipelined mode by `fel_bound_peak` (itself mode-independent).
+    use tlb::simnet::DeliveryKind;
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
+        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
+        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
+        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+    ];
+    let jobs_with = |delivery: DeliveryKind| -> Vec<_> {
+        raws.iter()
+            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
+                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
+            })
+            .map(|raw| {
+                let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
+                b.cfg.delivery = delivery;
+                (b.cfg, b.flows)
+            })
+            .collect()
+    };
+    let pipelined = run_all(jobs_with(DeliveryKind::Pipelined));
+    let per_packet = run_all(jobs_with(DeliveryKind::PerPacket));
+    assert_eq!(pipelined.len(), per_packet.len());
+    for (a, b) in pipelined.iter().zip(&per_packet) {
+        assert_eq!(
+            digest(a),
+            digest(b),
+            "{}: pipelined != per-packet",
+            a.scheme
+        );
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across delivery modes",
+            a.scheme
+        );
+        assert_eq!(
+            a.fel_bound_peak, b.fel_bound_peak,
+            "{}: the occupancy bound must be mode-independent",
+            a.scheme
+        );
+    }
+}
