@@ -36,9 +36,9 @@ fn main() {
     ));
     for (label, r) in &reports {
         let ups = &r.uplink_utilization[0]; // leaf 0 hosts all senders
-        let mean = ups.iter().sum::<f64>() / ups.len() as f64;
-        let min = ups.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = ups.iter().copied().fold(0.0, f64::max);
+        let mean = tlb_metrics::mean(ups);
+        let min = tlb_metrics::min(ups);
+        let max = tlb_metrics::max(ups);
         let var = ups.iter().map(|u| (u - mean).powi(2)).sum::<f64>() / ups.len() as f64;
         out.line(&format!(
             "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>10.4}",

@@ -101,7 +101,8 @@ fn run_panel(out: &mut Out, title: &str, xs: &[(String, Point)], seeds: &[u64]) 
         .map(|(_, p)| {
             let q = model_qth_bytes(*p);
             let runs: Vec<(f64, f64)> = seeds.iter().map(|&s| run_at(*p, q, s)).collect();
-            let miss = runs.iter().map(|r| r.0).fold(0.0, f64::max);
+            let misses: Vec<f64> = runs.iter().map(|r| r.0).collect();
+            let miss = tlb_metrics::max(&misses);
             let afct = runs.iter().map(|r| r.1).sum::<f64>() / runs.len() as f64;
             (miss, afct)
         })

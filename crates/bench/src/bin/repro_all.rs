@@ -34,6 +34,7 @@ fn main() {
         "bench_pr2",
         "bench_pr4",
         "bench_pr5",
+        "bench_pr6",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

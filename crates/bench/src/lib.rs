@@ -14,6 +14,7 @@ pub mod out;
 pub mod perf;
 pub mod perf4;
 pub mod perf5;
+pub mod perf6;
 pub mod scale;
 
 pub use harness::*;
@@ -21,4 +22,5 @@ pub use out::Out;
 pub use perf::{PerfEntry, PerfReport};
 pub use perf4::{MacroEntry, MicroEntry, Pr4Report};
 pub use perf5::{Pr5Report, SweepEntry};
+pub use perf6::{Pr6Report, SteadyAllocEntry};
 pub use scale::Scale;

@@ -1,0 +1,305 @@
+//! `BENCH_PR6.json` — allocation-free steady state, measured: the packet
+//! arena + recycling hot path timed against the PR 5 baseline, with the
+//! counting-allocator audit run on the same production job. Tracked from
+//! PR 6 on.
+//!
+//! Reuses the `BENCH_PR5` machinery ([`crate::perf5`]): the same fig10
+//! quick sweep, the same `flat` vs `reference` legs, the same best-of-reps
+//! alternated-order timing discipline, and the same per-job digest
+//! cross-check (the legs must disagree on nothing but wall-clock).
+//!
+//! Three numbers matter:
+//!
+//! * **`speedup_fig10`** — flat ÷ reference events/second, measured fresh
+//!   in this build. PR 5 shipped at 0.97× (the pipes bought FEL residency,
+//!   not throughput, on short-link fabrics). The arena changed what this
+//!   ratio means: per-packet `Arrive` events now carry a 4-byte slot id
+//!   instead of a `Box`, which made the *reference* leg the faster one on
+//!   fig10-shaped fabrics — both legs beat their PR 5 selves, the
+//!   reference by more.
+//! * **`speedup_vs_pr5`** — this build's flat leg ÷ the flat leg recorded
+//!   in `results/BENCH_PR5.json` (falling back to the committed baseline
+//!   when the file is absent). Honest caveat: the baseline number was
+//!   measured by a *past* run on whatever machine produced that file, so
+//!   this ratio is only meaningful when both were produced on the same
+//!   hardware — `repro_all` runs `bench_pr5` immediately before
+//!   `bench_pr6`, which refreshes the baseline in place.
+//! * **`steady_alloc`** — the [`tlb_engine::CountingAlloc`] delta across
+//!   the second half of a fig10-shaped production run, one entry per leg.
+//!   The bench binary installs the counting allocator, so these rows prove
+//!   the zero-allocation claim on the exact code being timed, not just in
+//!   the test harness.
+
+use crate::perf5::{self, Leg, SweepEntry};
+
+/// PR 5's committed flat-leg fig10 throughput (events/second), used when
+/// `results/BENCH_PR5.json` cannot be read. From the checked-in baseline
+/// measured on the single-core CI runner.
+pub const PR5_FALLBACK_FLAT_FIG10_EPS: f64 = 9_053_913.9;
+
+/// PR 5's committed fig10 speedup (flat ÷ reference), same provenance.
+pub const PR5_FALLBACK_SPEEDUP_FIG10: f64 = 0.9717851727542738;
+
+/// One leg's steady-state allocation audit on the fig10 production job.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SteadyAllocEntry {
+    /// `flat` or `reference` (see [`perf5::Leg`]).
+    pub leg: String,
+    /// Events before the audit window opened (learned: total ÷ 2).
+    pub warmup_events: u64,
+    /// Events inside the window.
+    pub steady_events: u64,
+    /// Whether a counting allocator was actually installed — `false`
+    /// would make the zeros below vacuous.
+    pub counting: bool,
+    /// Fresh allocations inside the window.
+    pub allocs: u64,
+    /// Reallocations (Vec regrowth) inside the window.
+    pub reallocs: u64,
+    /// Frees inside the window (not gated: dropping warmup-era storage
+    /// after the boundary is benign).
+    pub deallocs: u64,
+    /// Bytes requested inside the window.
+    pub bytes: u64,
+}
+
+impl SteadyAllocEntry {
+    /// Heap acquisitions — the quantity the gate pins to zero.
+    pub fn acquisitions(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+}
+
+/// The whole `BENCH_PR6.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pr6Report {
+    /// Format tag for downstream tooling (`tlb-bench-pr6/v1`).
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the timed runs.
+    pub seed: u64,
+    /// Pool threads the sweeps used.
+    pub threads: usize,
+    /// `available_parallelism()` of the host.
+    pub host_cores: usize,
+    /// One entry per leg on the fig10 sweep, best-of-reps wall-clock.
+    pub runs: Vec<SweepEntry>,
+    /// Flat ÷ reference events/sec, measured fresh in this build.
+    pub speedup_fig10: f64,
+    /// The fig10 speedup `results/BENCH_PR5.json` recorded (or the
+    /// committed fallback) — what this PR set out to recover from.
+    pub baseline_pr5_speedup_fig10: f64,
+    /// PR 5's flat-leg fig10 events/sec (from the JSON, or the fallback).
+    pub baseline_pr5_flat_events_per_sec: f64,
+    /// Where the baseline came from: `results/BENCH_PR5.json` or
+    /// `fallback`.
+    pub baseline_source: String,
+    /// This build's flat leg ÷ `baseline_pr5_flat_events_per_sec`. Only
+    /// hardware-comparable when the baseline file was produced on this
+    /// machine (see the module docs).
+    pub speedup_vs_pr5: f64,
+    /// Counting-allocator audit of the fig10 production job, per leg.
+    pub steady_alloc: Vec<SteadyAllocEntry>,
+}
+
+/// Read PR 5's flat-leg fig10 throughput and fig10 speedup from
+/// `results/BENCH_PR5.json`; fall back to the committed constants (tagging
+/// the source) when the file is absent or malformed.
+pub fn pr5_baseline() -> (f64, f64, String) {
+    let path = crate::out::results_dir().join("BENCH_PR5.json");
+    let parsed: Option<perf5::Pr5Report> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    match parsed {
+        Some(r) => {
+            let flat = r
+                .runs
+                .iter()
+                .find(|e| e.leg == "flat" && e.workload == "fig10")
+                .map(|e| e.events_per_sec);
+            match flat {
+                Some(eps) => (eps, r.speedup_fig10, path.display().to_string()),
+                None => fallback(),
+            }
+        }
+        None => fallback(),
+    }
+}
+
+fn fallback() -> (f64, f64, String) {
+    (
+        PR5_FALLBACK_FLAT_FIG10_EPS,
+        PR5_FALLBACK_SPEEDUP_FIG10,
+        "fallback".to_string(),
+    )
+}
+
+/// Run the counting-allocator audit for `leg` on the first job of the
+/// fig10 sweep: learn the total event count unaudited, then replay with
+/// the window opening at the halfway mark (the same learn-then-audit
+/// protocol as `tests/alloc_hygiene.rs`). Serial — the counters are
+/// process-wide, so a parallel batch would pollute the window.
+pub fn steady_alloc(leg: Leg) -> SteadyAllocEntry {
+    let (cfg, flows) = perf5::fig10_jobs(leg)
+        .into_iter()
+        .next()
+        .expect("fig10 sweep is non-empty");
+    steady_alloc_on(cfg, flows, leg.name())
+}
+
+/// The learn-then-audit protocol on an arbitrary job, labeled `label` in
+/// the resulting entry.
+pub fn steady_alloc_on(
+    cfg: tlb_simnet::SimConfig,
+    flows: Vec<tlb_workload::FlowSpec>,
+    label: &str,
+) -> SteadyAllocEntry {
+    let mut learn = cfg.clone();
+    learn.alloc_warmup_events = None;
+    let total = tlb_simnet::run_one(learn, flows.clone()).events;
+    let mut audited = cfg;
+    audited.alloc_warmup_events = Some((total / 2).max(1));
+    let r = tlb_simnet::run_one(audited, flows);
+    let a = r
+        .alloc_audit
+        .expect("audit window never closed (warmup past end of run?)");
+    SteadyAllocEntry {
+        leg: label.to_string(),
+        warmup_events: a.warmup_events,
+        steady_events: a.steady_events,
+        counting: a.counting,
+        allocs: a.allocs,
+        reallocs: a.reallocs,
+        deallocs: a.deallocs,
+        bytes: a.bytes,
+    }
+}
+
+impl Pr6Report {
+    /// An empty report stamped with this process's scale/seed/thread setup
+    /// and the PR 5 baseline.
+    pub fn new() -> Pr6Report {
+        let (baseline_eps, baseline_speedup, source) = pr5_baseline();
+        Pr6Report {
+            schema: "tlb-bench-pr6/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            threads: rayon::current_num_threads(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs: Vec::new(),
+            speedup_fig10: 1.0,
+            baseline_pr5_speedup_fig10: baseline_speedup,
+            baseline_pr5_flat_events_per_sec: baseline_eps,
+            baseline_source: source,
+            speedup_vs_pr5: 1.0,
+            steady_alloc: Vec::new(),
+        }
+    }
+
+    /// Write the report to `results/BENCH_PR6.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR6.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for Pr6Report {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parses_the_committed_json_or_falls_back() {
+        let (eps, speedup, _source) = pr5_baseline();
+        // Whether it came from the file or the fallback, the numbers must
+        // be in a sane range for a fig10 sweep.
+        assert!(eps > 1e5, "implausible baseline events/sec: {eps}");
+        assert!(
+            (0.1..10.0).contains(&speedup),
+            "implausible baseline speedup: {speedup}"
+        );
+    }
+
+    #[test]
+    fn steady_alloc_entry_counts_acquisitions() {
+        let e = SteadyAllocEntry {
+            leg: "flat".into(),
+            warmup_events: 10,
+            steady_events: 10,
+            counting: true,
+            allocs: 2,
+            reallocs: 3,
+            deallocs: 7,
+            bytes: 64,
+        };
+        assert_eq!(e.acquisitions(), 5);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Pr6Report::new();
+        r.steady_alloc.push(SteadyAllocEntry {
+            leg: "flat".into(),
+            warmup_events: 500_000,
+            steady_events: 500_000,
+            counting: true,
+            allocs: 0,
+            reallocs: 0,
+            deallocs: 12,
+            bytes: 0,
+        });
+        r.speedup_fig10 = 1.07;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Pr6Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr6/v1");
+        assert_eq!(back.steady_alloc[0].leg, "flat");
+        assert_eq!(back.speedup_fig10, 1.07);
+        assert_eq!(back.steady_alloc[0].acquisitions(), 0);
+    }
+
+    #[test]
+    fn steady_alloc_runs_the_audit_window() {
+        // This test binary does NOT install the counting allocator, so the
+        // deltas must be zero with `counting == false` — proving the
+        // window plumbing works and that a gate must check `counting`.
+        // Small single-flow job so the test stays fast in debug builds.
+        use tlb_engine::SimTime;
+        use tlb_simnet::{Scheme, SimConfig};
+        let cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        let flows = vec![tlb_workload::FlowSpec {
+            id: tlb_net::FlowId(0),
+            src: tlb_net::HostId(0),
+            dst: tlb_net::HostId(cfg.topo.hosts_per_leaf() as u32),
+            size_bytes: 200 * 1460,
+            start: SimTime::ZERO,
+            deadline: None,
+        }];
+        let e = steady_alloc_on(cfg, flows, "test");
+        assert_eq!(e.leg, "test");
+        assert!(!e.counting);
+        assert!(e.steady_events > 0);
+        assert_eq!(e.acquisitions(), 0);
+    }
+}

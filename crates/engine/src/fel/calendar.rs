@@ -83,11 +83,25 @@ impl<E> CalendarFel<E> {
         Self::with_geometry(DEFAULT_SHIFT, DEFAULT_BUCKETS)
     }
 
+    /// Per-bucket capacity pre-warmed by [`CalendarFel::with_capacity`].
+    /// Steady-state bucket depth in simulation runs stays in the single
+    /// digits (events inside one 512 ns slot); without the pre-warm, the
+    /// long tail of buckets hitting their all-time depth peak keeps
+    /// doubling 4→8→16-entry vectors for the whole run, which the
+    /// zero-allocation steady-state gate rejects. 32 entries × 32 bytes ×
+    /// 4096 buckets ≈ 4 MB per queue — noise next to the run's metrics.
+    const BUCKET_RESERVE: usize = 32;
+
     /// An empty queue with room reserved in the overflow tier — build-time
-    /// bulk pushes (all flow-start events of a run) land there.
+    /// bulk pushes (all flow-start events of a run) land there — and every
+    /// wheel bucket pre-warmed to [`Self::BUCKET_RESERVE`] entries.
     pub fn with_capacity(cap: usize) -> CalendarFel<E> {
         let mut q = Self::new();
         q.overflow.reserve(cap);
+        q.active.reserve(Self::BUCKET_RESERVE);
+        for b in &mut q.buckets {
+            b.reserve(Self::BUCKET_RESERVE);
+        }
         q
     }
 

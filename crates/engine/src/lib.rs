@@ -18,11 +18,13 @@
 //!   seeded via SplitMix64. No external RNG crate is used at runtime, which
 //!   pins the random stream independent of dependency versions.
 
+pub mod alloc_audit;
 pub mod fel;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use alloc_audit::{AllocCounters, CountingAlloc};
 pub use fel::FelKind;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -61,6 +61,15 @@ impl FctRecorder {
         }
     }
 
+    /// Pre-size the record table for `n_flows` flows so `flow_started`
+    /// never reallocates mid-run (the resize-on-demand path stays as the
+    /// correctness fallback for sparse ids beyond the hint).
+    pub fn reserve(&mut self, n_flows: usize) {
+        if n_flows > self.records.len() {
+            self.records.reserve(n_flows - self.records.len());
+        }
+    }
+
     /// Register a flow at its start time.
     pub fn flow_started(
         &mut self,

@@ -1,6 +1,6 @@
 //! A bag of scalar samples with summary statistics.
 
-use crate::stats::{mean, percentile, percentile_select, Cdf};
+use crate::stats::{max, mean, min, percentile, percentile_select, Cdf};
 
 /// Collects scalar observations (queue lengths, queueing delays, …) and
 /// summarizes them. Sorting is deferred to read time.
@@ -13,6 +13,20 @@ impl SampleSet {
     /// An empty sample set.
     pub fn new() -> SampleSet {
         SampleSet::default()
+    }
+
+    /// An empty sample set with room for `cap` observations before the
+    /// backing storage grows. Hot-path recorders pre-size from workload
+    /// bounds so steady state stays allocation-free.
+    pub fn with_capacity(cap: usize) -> SampleSet {
+        SampleSet {
+            samples: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Reserve room for `additional` more observations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
     }
 
     /// Record one observation.
@@ -63,9 +77,22 @@ impl SampleSet {
         ps.iter().map(|&p| percentile(&sorted, p)).collect()
     }
 
-    /// Largest observation (0 when empty).
+    /// Largest observation. Empty sets report 0 (the benign-empty
+    /// convention shared by every summary here), but non-empty sets fold
+    /// from `-inf` — the previous fold from `0.0` silently clamped
+    /// all-negative sample sets to zero.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(0.0, f64::max)
+        max(&self.samples)
+    }
+
+    /// Smallest observation (0 when empty, same convention as `max`).
+    pub fn min(&self) -> f64 {
+        min(&self.samples)
+    }
+
+    /// Raw observations in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
     }
 
     /// Consume into an empirical CDF.
@@ -122,6 +149,28 @@ mod tests {
         for (&p, &q) in ps.iter().zip(&batch) {
             assert_eq!(q.to_bits(), s.quantile(p).to_bits(), "p={p}");
         }
+    }
+
+    #[test]
+    fn max_of_all_negative_samples_is_negative() {
+        // Regression: the old fold seeded with 0.0, so a set of negative
+        // observations reported max == 0.0.
+        let mut s = SampleSet::new();
+        for v in [-5.0, -1.5, -9.0] {
+            s.push(v);
+        }
+        assert_eq!(s.max(), -1.5);
+        assert_eq!(s.min(), -9.0);
+    }
+
+    #[test]
+    fn with_capacity_does_not_grow_within_bound() {
+        let mut s = SampleSet::with_capacity(64);
+        let cap = s.samples.capacity();
+        for v in 0..64 {
+            s.push(v as f64);
+        }
+        assert_eq!(s.samples.capacity(), cap);
     }
 
     #[test]

@@ -29,6 +29,18 @@ impl TimeSeries {
         self.bucket
     }
 
+    /// Materialize every bucket up to `horizon` now, so `add` calls within
+    /// the horizon never resize mid-run. `cap` bounds the up-front footprint
+    /// for absurd horizon/bucket ratios; observations beyond it fall back to
+    /// resize-on-demand.
+    pub fn reserve_until(&mut self, horizon: SimTime, cap: usize) {
+        let n = (self.idx(horizon) + 1).min(cap);
+        if n > self.sums.len() {
+            self.sums.resize(n, 0.0);
+            self.counts.resize(n, 0);
+        }
+    }
+
     fn idx(&self, t: SimTime) -> usize {
         (t.as_nanos() / self.bucket.as_nanos()) as usize
     }
@@ -136,6 +148,23 @@ mod tests {
         assert_eq!(s.grand_mean(), 2.0);
         let empty = TimeSeries::new(ms(1));
         assert_eq!(empty.grand_mean(), 0.0);
+    }
+
+    #[test]
+    fn reserve_until_pre_materializes_without_changing_output() {
+        let mut s = TimeSeries::new(ms(1));
+        s.reserve_until(ms(10), 1 << 16);
+        let cap = s.sums.capacity();
+        s.add(ms(0), 1.0);
+        s.add(ms(9), 3.0);
+        assert_eq!(s.sums.capacity(), cap, "adds within horizon must not grow");
+        // Zero-count buckets stay invisible to every reader.
+        assert_eq!(s.means().len(), 2);
+        assert_eq!(s.grand_mean(), 2.0);
+        // The cap bounds the up-front footprint.
+        let mut t = TimeSeries::new(ms(1));
+        t.reserve_until(ms(1_000_000), 64);
+        assert_eq!(t.n_buckets(), 64);
     }
 
     #[test]

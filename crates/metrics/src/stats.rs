@@ -8,6 +8,26 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// Largest value; 0 for an empty slice (the shared benign-empty
+/// convention). Non-empty slices fold from `-inf` so all-negative data
+/// reports its true maximum — seeding the fold with `0.0` would silently
+/// clamp it to zero, the bug `SampleSet::max` shipped with.
+pub fn max(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Smallest value; 0 for an empty slice. Folds from `+inf` on non-empty
+/// data for the same reason [`max`] folds from `-inf`.
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
 /// The `p`-quantile (0 ≤ p ≤ 1) of **sorted** data using the
 /// nearest-rank-with-interpolation convention. Panics in debug builds if
 /// the slice is unsorted.
@@ -125,6 +145,16 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0]), 2.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn min_max_handle_all_negative_and_empty() {
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[-3.0, -1.0, -2.0]), -1.0);
+        assert_eq!(min(&[-3.0, -1.0, -2.0]), -3.0);
+        assert_eq!(max(&[4.0, -7.0]), 4.0);
+        assert_eq!(min(&[4.0, -7.0]), -7.0);
     }
 
     #[test]

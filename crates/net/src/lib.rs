@@ -5,10 +5,12 @@
 //! asymmetric variants of Fig. 16/17 built by degrading individual
 //! leaf-to-spine links.
 
+pub mod arena;
 pub mod ids;
 pub mod packet;
 pub mod topology;
 
+pub use arena::{PacketArena, PacketSlot};
 pub use ids::{FlowId, HostId, LeafId, SpineId};
 pub use packet::{Packet, PktKind};
 pub use topology::{LeafSpine, LeafSpineBuilder, LinkProps};

@@ -90,6 +90,42 @@ pub struct SimConfig {
     /// bit-identical in results — this only selects how arrivals sit in
     /// the future-event list.
     pub delivery: DeliveryKind,
+    /// `Some(W)`: snapshot the process allocation counters when the run
+    /// loop has processed `W` events and report the steady-state delta in
+    /// [`crate::RunReport::alloc_audit`]. Only meaningful when the binary
+    /// installs [`tlb_engine::CountingAlloc`] and the run executes
+    /// serially (the counters are process-wide). Presets take the process
+    /// default (`TLB_ALLOC_AUDIT` env var: `1` for a default warmup of
+    /// 2^17 events, or an explicit event count); `None` when a run ends
+    /// before `W` events. The simulator is deterministic, so the delta is
+    /// exactly reproducible for a given (config, flows) pair.
+    pub alloc_warmup_events: Option<u64>,
+}
+
+/// The default warmup (in processed events) for `TLB_ALLOC_AUDIT=1`.
+pub const DEFAULT_ALLOC_WARMUP_EVENTS: u64 = 1 << 17;
+
+/// Parse `TLB_ALLOC_AUDIT`: unset/`0`/empty disables, `1` enables with
+/// [`DEFAULT_ALLOC_WARMUP_EVENTS`], any other integer is the warmup event
+/// count itself.
+fn alloc_warmup_from_env() -> Option<u64> {
+    match std::env::var("TLB_ALLOC_AUDIT") {
+        Ok(s) => match s.trim() {
+            "" | "0" => None,
+            "1" => Some(DEFAULT_ALLOC_WARMUP_EVENTS),
+            other => match other.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!(
+                        "warning: ignoring unparsable TLB_ALLOC_AUDIT={other:?} \
+                         (want 0, 1, or a warmup event count)"
+                    );
+                    None
+                }
+            },
+        },
+        Err(_) => None,
+    }
 }
 
 /// How in-flight packets are scheduled for arrival.
@@ -159,6 +195,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            alloc_warmup_events: alloc_warmup_from_env(),
         }
     }
 
@@ -194,6 +231,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            alloc_warmup_events: alloc_warmup_from_env(),
         }
     }
 
@@ -227,6 +265,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            alloc_warmup_events: alloc_warmup_from_env(),
         }
     }
 

@@ -37,13 +37,13 @@
 use crate::audit::{AuditLedger, PortAudit};
 use crate::config::{DeliveryKind, SimConfig};
 use crate::dispatch::AnyLb;
-use crate::report::{ClassCounters, RunReport};
+use crate::report::{AllocAudit, ClassCounters, RunReport};
 use std::collections::VecDeque;
-use tlb_engine::{EventQueue, SimRng, SimTime};
+use tlb_engine::{alloc_audit, EventQueue, SimRng, SimTime};
 use tlb_metrics::{FctRecorder, FlowClass, SampleSet, TimeSeries};
-use tlb_net::{HostId, LeafId, Packet, PktKind, SpineId};
+use tlb_net::{HostId, LeafId, Packet, PacketArena, PacketSlot, PktKind, SpineId};
 use tlb_switch::{Enqueued, LoadBalancer, OutPort, PortView};
-use tlb_transport::{SenderOutput, TcpReceiver, TcpSender};
+use tlb_transport::{OooPool, SenderOutput, TcpReceiver, TcpSender};
 use tlb_workload::FlowSpec;
 
 /// Index into the flat port table (see [`PortMap`]).
@@ -193,8 +193,10 @@ enum Event {
     /// The head of `port`'s delivery pipe arrives now (pipelined mode).
     Deliver(PortId),
     /// A packet arrives after crossing `port`'s link (per-packet reference
-    /// mode; boxed so the hot enum stays one word of payload).
-    Arrive { port: PortId, pkt: Box<Packet> },
+    /// mode). The packet itself parks in the [`PacketArena`]; the event
+    /// carries its 4-byte generation-checked handle, so the hot enum stays
+    /// one word of payload with no heap round-trip per packet.
+    Arrive { port: PortId, slot: PacketSlot },
     /// A sender's retransmission timer fires.
     Timer { flow: u32 },
     /// A leaf balancer's periodic tick.
@@ -245,10 +247,25 @@ struct Net<'a> {
     receivers: Vec<Option<TcpReceiver>>,
     next_flow: Vec<Option<u32>>,
     total_segs: Vec<u32>,
+    /// Per-flow short/long classification, precomputed at build so the
+    /// per-packet paths index a bitvec instead of re-deriving it from the
+    /// flow table.
+    is_short: Vec<bool>,
     completed: Vec<bool>,
     n_completed: usize,
     q: EventQueue<Event>,
+    /// Parking lot for in-flight packets in per-packet delivery mode
+    /// (`Event::Arrive` carries a slot handle). Unused — and unallocated —
+    /// in pipelined mode, where packets ride the link pipes inline.
+    arena: PacketArena,
+    /// Recycles receivers' out-of-order buffers across flow lifetimes.
+    ooo_pool: OooPool,
     out_buf: Vec<SenderOutput>,
+    /// Allocation counters captured when `events` crossed the configured
+    /// warmup boundary (see [`SimConfig::alloc_warmup_events`]).
+    alloc_at_warmup: Option<alloc_audit::AllocCounters>,
+    /// Steady-state allocation report, filled at run-loop exit.
+    alloc_report: Option<AllocAudit>,
     // FEL-occupancy bound bookkeeping (mode-independent counters).
     /// `FlowStart` events pending in the FEL.
     starts_pending: u64,
@@ -371,7 +388,32 @@ impl<'a> Net<'a> {
         let next_node = (0..ports.len() as u32)
             .map(|p| pmap.next_node(p, topo))
             .collect();
-        let pipes = (0..ports.len()).map(|_| VecDeque::new()).collect();
+        // Pre-size each link's delivery pipe from the link's physics: one
+        // serializer feeds the pipe, every entry costs at least the
+        // smallest packet's serialization time, and entries live exactly
+        // one propagation delay — so at most `prop/tx(min_wire) + 1`
+        // packets are ever in flight. Mid-run degradations can stretch
+        // prop_delay (the worst configured extra_delay is folded in);
+        // bandwidth only ever drops, which *lowers* the ceiling. This is
+        // what keeps pipe growth out of the steady-state allocation gate.
+        let max_extra = cfg
+            .link_events
+            .iter()
+            .map(|e| e.extra_delay)
+            .fold(SimTime::ZERO, SimTime::max);
+        let min_wire = cfg.tcp.header_bytes.max(1) as u64;
+        let pipes: Vec<VecDeque<PipeEntry>> = ports
+            .iter()
+            .map(|p| {
+                if cfg.delivery != DeliveryKind::Pipelined {
+                    // Per-packet mode never touches the pipes.
+                    return VecDeque::new();
+                }
+                let tx = p.tx_time(min_wire).as_nanos().max(1);
+                let prop = (p.link().prop_delay + max_extra).as_nanos();
+                VecDeque::with_capacity((prop / tx + 2).min(4096) as usize)
+            })
+            .collect();
 
         let leaves = (0..topo.n_leaves())
             .map(|l| LeafSw {
@@ -403,17 +445,61 @@ impl<'a> Net<'a> {
                 starts_pending += 1;
             }
         }
+        // Pre-size every per-packet metric collector from workload bounds,
+        // so steady state never grows them. `segs(class)` counts first
+        // transmissions; the +25% headroom absorbs retransmissions (the
+        // allocation gate pins typical runs well under that).
+        let total_segs: Vec<u32> = flows
+            .iter()
+            .map(|f| f.size_bytes.div_ceil(cfg.tcp.mss as u64) as u32)
+            .collect();
+        let is_short: Vec<bool> = flows
+            .iter()
+            .map(|f| f.size_bytes < cfg.short_threshold)
+            .collect();
+        let segs = |short: bool| -> usize {
+            total_segs
+                .iter()
+                .zip(&is_short)
+                .filter(|&(_, &s)| s == short)
+                .map(|(&t, _)| t as usize)
+                .sum()
+        };
+        let sample_cap = |first_tx: usize| (first_tx + first_tx / 4 + 64).min(1 << 22);
+        let short_segs = segs(true);
+        let long_segs = segs(false);
+        // FEL-depth samples: one per 4096 events; a data segment costs
+        // O(2 hops·(TxDone+Arrive)) events each way, so 24·segs/4096 is a
+        // generous event-count estimate.
+        let depth_cap = ((short_segs + long_segs) * 24 / 4096 + 64).min(1 << 20);
+        let mut fct = FctRecorder::new(cfg.short_threshold);
+        fct.reserve(n);
+        // A traced data segment records ~5 hops each way (NIC, uplink,
+        // spine, downlink, delivery; same for its ACK), plus
+        // handshake/teardown and retransmissions. 16 rows per segment
+        // covers that with headroom, so tracing stays off the steady-state
+        // allocation gate; capped like the other horizon-scaled collectors.
+        let traced_segs: usize = cfg
+            .trace_flows
+            .iter()
+            .filter_map(|f| total_segs.get(f.index()))
+            .map(|&s| s as usize)
+            .sum();
+        let trace_rows = if traced_segs == 0 {
+            0
+        } else {
+            (traced_segs * 16 + 64).min(1 << 20)
+        };
+
         // Balancer ticks per leaf.
         let mut net = Net {
-            total_segs: flows
-                .iter()
-                .map(|f| f.size_bytes.div_ceil(cfg.tcp.mss as u64) as u32)
-                .collect(),
-            fct: FctRecorder::new(cfg.short_threshold),
-            short_qdelay_series: TimeSeries::new(cfg.series_bucket),
-            short_reorder: TimeSeries::new(cfg.series_bucket),
-            long_reorder: TimeSeries::new(cfg.series_bucket),
-            long_goodput: TimeSeries::new(cfg.series_bucket),
+            total_segs,
+            is_short,
+            fct,
+            short_qdelay_series: Self::series_for(cfg),
+            short_reorder: Self::series_for(cfg),
+            long_reorder: Self::series_for(cfg),
+            long_goodput: Self::series_for(cfg),
             pmap,
             ports,
             pipes,
@@ -425,17 +511,33 @@ impl<'a> Net<'a> {
             completed: vec![false; n],
             n_completed: 0,
             q,
-            // A sender can emit at most a receive window of segments (plus
-            // a FIN) from one call.
-            out_buf: Vec::with_capacity(cfg.tcp.rwnd_segs() as usize + 2),
+            // Per-packet mode parks every in-flight packet here; size it
+            // like the FEL so steady-state occupancy never grows the slab.
+            // Pipelined mode keeps packets in the link pipes instead and
+            // skips the allocation entirely.
+            arena: if cfg.delivery == DeliveryKind::PerPacket {
+                PacketArena::with_capacity(2 * n + 4 * n_ports + 64)
+            } else {
+                PacketArena::new()
+            },
+            // The free stack parks at most one buffer per torn-down flow,
+            // so `n` bounds it; capped like the other flow-scaled
+            // collectors (24 bytes per parked handle).
+            ooo_pool: OooPool::with_capacity(n.min(1 << 20)),
+            // The sender state machine bounds its per-call output (see
+            // `TcpConfig::max_outputs_per_call`); the allocation audit
+            // asserts this buffer never regrows.
+            out_buf: Vec::with_capacity(cfg.tcp.max_outputs_per_call()),
+            alloc_at_warmup: None,
+            alloc_report: None,
             starts_pending,
             timers_live: 0,
             misc_pending: 0,
             fel_bound_peak: 0,
-            short_qlen: SampleSet::new(),
-            long_qlen: SampleSet::new(),
-            short_qdelay: SampleSet::new(),
-            fel_depth: SampleSet::new(),
+            short_qlen: SampleSet::with_capacity(sample_cap(short_segs)),
+            long_qlen: SampleSet::with_capacity(sample_cap(long_segs)),
+            short_qdelay: SampleSet::with_capacity(sample_cap(short_segs)),
+            fel_depth: SampleSet::with_capacity(depth_cap),
             qth_series: Vec::new(),
             traced: {
                 let mut t = vec![false; n];
@@ -446,7 +548,7 @@ impl<'a> Net<'a> {
                 }
                 t
             },
-            traces: Vec::with_capacity(if cfg.trace_flows.is_empty() { 0 } else { 1024 }),
+            traces: Vec::with_capacity(trace_rows),
             queue_series: {
                 // One row per series bucket up to the horizon, capped so a
                 // long horizon with a fine bucket can't pre-allocate
@@ -470,6 +572,13 @@ impl<'a> Net<'a> {
             if let Some(iv) = net.leaves[l].lb.tick_interval() {
                 net.q.push(iv, Event::LbTick { leaf: l as u16 });
                 net.misc_pending += 1;
+                // Leaf 0's threshold trace grows by at most one row per
+                // tick; materialize the worst case now (capped like
+                // `queue_series`).
+                if l == 0 {
+                    let rows = (cfg.horizon.as_nanos() / iv.as_nanos().max(1)) as usize + 2;
+                    net.qth_series.reserve(rows.min(1 << 16));
+                }
             }
         }
         for (i, ev) in net.cfg.link_events.iter().enumerate() {
@@ -481,6 +590,14 @@ impl<'a> Net<'a> {
             net.misc_pending += 1;
         }
         net
+    }
+
+    /// A per-class time series pre-sized to the run horizon, so bucket
+    /// appends never resize mid-run (the cap mirrors `queue_series`).
+    fn series_for(cfg: &SimConfig) -> TimeSeries {
+        let mut s = TimeSeries::new(cfg.series_bucket);
+        s.reserve_until(cfg.horizon, 1 << 16);
+        s
     }
 
     /// Sample FEL occupancy once per this many processed events. The
@@ -500,6 +617,9 @@ impl<'a> Net<'a> {
 
     fn run_loop(&mut self) {
         let horizon = self.cfg.horizon;
+        // Allocation-audit warmup boundary, hoisted to a plain u64 compare
+        // on the hot path (`u64::MAX` = auditing off).
+        let warmup = self.cfg.alloc_warmup_events.unwrap_or(u64::MAX);
         while self.n_completed < self.flows.len() {
             // Peek before popping: an event past the horizon must stay in
             // the queue (end-of-run accounting counts it as in flight) and
@@ -511,6 +631,9 @@ impl<'a> Net<'a> {
             }
             let (now, ev) = self.q.pop().expect("peeked event vanished");
             self.events += 1;
+            if self.events == warmup {
+                self.alloc_at_warmup = Some(alloc_audit::counters());
+            }
             if self.events.is_multiple_of(Self::FEL_DEPTH_SAMPLE_EVERY) {
                 self.fel_depth.push(self.q.len() as f64);
                 let bound = self.fel_bound();
@@ -532,14 +655,15 @@ impl<'a> Net<'a> {
                 }
                 Event::TxDone(p) => self.on_tx_done(p, now),
                 Event::Deliver(p) => self.on_deliver(p, now),
-                Event::Arrive { port, pkt } => {
+                Event::Arrive { port, slot } => {
+                    let pkt = self.arena.take(slot);
                     self.arrive_seen += 1;
                     if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
                         // Injected driver bug (audit tests only): the packet
                         // vanishes without any accounting layer hearing of it.
                         continue;
                     }
-                    self.on_arrive(port, *pkt, now);
+                    self.on_arrive(port, pkt, now);
                 }
                 Event::Timer { flow } => {
                     self.timers_live -= 1;
@@ -558,6 +682,23 @@ impl<'a> Net<'a> {
                     self.on_queue_sample(now);
                 }
             }
+        }
+        // Close the allocation-audit window at loop exit, *before* the
+        // reporting/audit phase — end-of-run summarization is allowed to
+        // allocate; the steady-state invariant covers event processing
+        // only. The probe runs after the final read so it cannot pollute
+        // the delta.
+        if let Some(start) = self.alloc_at_warmup.take() {
+            let d = start.delta(alloc_audit::counters());
+            self.alloc_report = Some(AllocAudit {
+                warmup_events: warmup,
+                steady_events: self.events.saturating_sub(warmup),
+                counting: alloc_audit::probe_counting(),
+                allocs: d.allocs,
+                reallocs: d.reallocs,
+                deallocs: d.deallocs,
+                bytes: d.bytes,
+            });
         }
     }
 
@@ -692,14 +833,13 @@ impl<'a> Net<'a> {
         let pkt = *self.ports[pi]
             .start_service()
             .expect("start_tx on an empty port");
-        let tx_time = self.ports[pi].tx_time(pkt.wire_bytes as u64);
+        // The port memoized this packet's serialization time when service
+        // started — one division per packet-hop instead of three.
+        let tx_time = self.ports[pi].service_tx_time();
         // Leaf-uplink queueing delay of short-flow data (Fig. 8(b)) — the
         // queues the load balancer controls; NIC and downlink waits are the
         // same for every scheme and would only dilute the comparison.
-        if self.pmap.is_leaf_up(p)
-            && pkt.kind == PktKind::Data
-            && self.flows[pkt.flow.index()].size_bytes < self.cfg.short_threshold
-        {
+        if self.pmap.is_leaf_up(p) && pkt.kind == PktKind::Data && self.is_short[pkt.flow.index()] {
             let w = now.saturating_sub(pkt.enqueued_at).as_secs_f64();
             self.short_qdelay.push(w);
             self.short_qdelay_series.add(now, w);
@@ -732,13 +872,8 @@ impl<'a> Net<'a> {
                 pipe.push_back(PipeEntry { at, seq, pkt });
             }
             DeliveryKind::PerPacket => {
-                self.q.push(
-                    at,
-                    Event::Arrive {
-                        port: p,
-                        pkt: Box::new(pkt),
-                    },
-                );
+                let slot = self.arena.insert(pkt);
+                self.q.push(at, Event::Arrive { port: p, slot });
             }
         }
     }
@@ -789,7 +924,7 @@ impl<'a> Net<'a> {
                     // Fig. 3(a): queue length experienced at enqueue.
                     if pkt.kind == PktKind::Data {
                         let qlen = self.ports[range.start + up as usize].len_pkts() as f64;
-                        if self.flows[pkt.flow.index()].size_bytes < self.cfg.short_threshold {
+                        if self.is_short[pkt.flow.index()] {
                             self.short_qlen.push(qlen);
                         } else {
                             self.long_qlen.push(qlen);
@@ -834,15 +969,20 @@ impl<'a> Net<'a> {
         let fi = pkt.flow.index();
         match pkt.kind {
             PktKind::Syn => {
-                let receiver = self.receivers[fi]
-                    .get_or_insert_with(|| TcpReceiver::new(pkt.flow, pkt.dst, pkt.src));
+                if self.receivers[fi].is_none() {
+                    // New connection: draw the out-of-order buffer from the
+                    // pool (recycled from a torn-down flow in steady state).
+                    let buf = self.ooo_pool.get(self.cfg.tcp.rwnd_segs() as usize);
+                    self.receivers[fi] =
+                        Some(TcpReceiver::with_ooo_buf(pkt.flow, pkt.dst, pkt.src, buf));
+                }
+                let receiver = self.receivers[fi].as_mut().expect("just inserted");
                 let synack = receiver.on_syn(now);
                 self.audit.emitted(&synack);
                 self.enqueue(self.pmap.host_nic(h), synack, now);
             }
             PktKind::Data => {
-                let spec = self.flows[fi];
-                let is_short = spec.size_bytes < self.cfg.short_threshold;
+                let is_short = self.is_short[fi];
                 let Some(receiver) = self.receivers[fi].as_mut() else {
                     // Data before SYN can't happen; drop defensively.
                     debug_assert!(false, "data for unknown receiver");
@@ -889,7 +1029,15 @@ impl<'a> Net<'a> {
             }
             PktKind::Fin => {
                 // Connection teardown carries no data; flow counting
-                // happened at the leaf switch.
+                // happened at the leaf switch. Recycle the receiver's
+                // out-of-order buffer: the sender only emits a FIN once
+                // every data segment was cumulatively ACKed, so the buffer
+                // is empty here. Idempotent on retransmitted/duplicate FINs
+                // (a reclaimed receiver hands back a capacity-0 Vec, which
+                // the pool ignores).
+                if let Some(r) = self.receivers[fi].as_mut() {
+                    self.ooo_pool.put(r.take_ooo_buf());
+                }
             }
         }
     }
@@ -902,6 +1050,15 @@ impl<'a> Net<'a> {
         // regression can't inflate every duration-derived rate.
         let sim_end = self.q.now().min(self.cfg.horizon);
         let dur = sim_end.as_secs_f64().max(1e-9);
+
+        // The reusable sender-output buffer was sized from the state
+        // machine's worst case (`TcpConfig::max_outputs_per_call`); a
+        // regrowth means that bound went stale.
+        debug_assert_eq!(
+            self.out_buf.capacity(),
+            self.cfg.tcp.max_outputs_per_call(),
+            "out_buf regrew past the derived per-call output bound"
+        );
 
         let audit = self.finish_audit();
 
@@ -988,6 +1145,7 @@ impl<'a> Net<'a> {
             tlb_long_reroutes,
             events: self.events,
             audit,
+            alloc_audit: self.alloc_report,
             sim_end,
             wall,
         }
@@ -1032,10 +1190,15 @@ impl<'a> Net<'a> {
 
         let monotonicity = self.q.monotonicity_violations();
         for (_, ev) in self.q.drain_unordered() {
-            if let Event::Arrive { pkt, .. } = ev {
-                ledger.residual_propagating(&pkt);
+            if let Event::Arrive { slot, .. } = ev {
+                ledger.residual_propagating(&self.arena.take(slot));
             }
         }
+        debug_assert!(
+            self.arena.is_empty(),
+            "{} arena slots leaked past the FEL drain",
+            self.arena.live()
+        );
         // Pipelined mode: in-flight packets live in the link pipes (at
         // most one of them also has a `Deliver` event above, which carries
         // no packet — no double counting).

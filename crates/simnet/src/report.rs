@@ -95,6 +95,39 @@ impl ClassCounters {
     }
 }
 
+/// Steady-state allocation audit: the process-wide allocator-counter delta
+/// between the warmup snapshot and the end of the event loop. `Some` iff
+/// the run had [`crate::SimConfig::alloc_warmup_events`] set *and*
+/// processed at least that many events. Only meaningful when the binary
+/// installs [`tlb_engine::CountingAlloc`] (`counting` reports whether it
+/// did — a zero delta under a non-counting allocator is vacuous) and the
+/// run executed serially (the counters are shared by every thread).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocAudit {
+    /// Events processed before the snapshot was taken.
+    pub warmup_events: u64,
+    /// Events processed inside the audited window.
+    pub steady_events: u64,
+    /// Whether a counting allocator was actually installed.
+    pub counting: bool,
+    /// Heap allocations in the window (the gated invariant: 0).
+    pub allocs: u64,
+    /// Reallocations (growth) in the window (gated: 0).
+    pub reallocs: u64,
+    /// Deallocations in the window.
+    pub deallocs: u64,
+    /// Bytes requested by `allocs` + `reallocs` in the window.
+    pub bytes: u64,
+}
+
+impl AllocAudit {
+    /// Heap acquisitions in the steady window — the number that must be
+    /// zero for the run to count as allocation-free.
+    pub fn acquisitions(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+}
+
 /// A flat, serializable digest of a run — what sweep scripts and the CLI's
 /// `--json` mode emit.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -207,6 +240,9 @@ pub struct RunReport {
     /// [`crate::SimConfig::audit`] set (a failing audit panics instead of
     /// reporting).
     pub audit: Option<crate::audit::AuditReport>,
+    /// Steady-state allocation audit — `Some` iff the run had
+    /// [`crate::SimConfig::alloc_warmup_events`] set and reached it.
+    pub alloc_audit: Option<AllocAudit>,
     /// Simulated time at which the run ended (never past the horizon).
     pub sim_end: SimTime,
     /// Wall-clock runtime.

@@ -73,6 +73,11 @@ pub struct OutPort {
     /// in the end-of-serialization event) keeps the driver's event payload
     /// small and lets audits see the in-flight packet.
     in_service: Option<Packet>,
+    /// Serialization time of the in-service packet, memoized at
+    /// [`OutPort::start_service`] against the link properties *then* — so
+    /// a mid-service [`OutPort::set_link`] neither reschedules the packet
+    /// nor mis-accounts its busy time.
+    service_tx: SimTime,
     stats: PortStats,
 }
 
@@ -82,9 +87,14 @@ impl OutPort {
         OutPort {
             link,
             cfg,
-            queue: VecDeque::new(),
+            // Drop-tail caps the queue at `capacity_pkts`, so this is the
+            // exact worst case — materializing it up front keeps a port
+            // hitting its all-time depth peak mid-run off the allocator
+            // (the steady-state allocation gate counts every regrowth).
+            queue: VecDeque::with_capacity(cfg.capacity_pkts),
             queued_bytes: 0,
             in_service: None,
+            service_tx: SimTime::ZERO,
             stats: PortStats::default(),
         }
     }
@@ -164,7 +174,20 @@ impl OutPort {
         assert!(self.in_service.is_none(), "start_service while busy");
         let pkt = self.queue.pop_front()?;
         self.queued_bytes -= pkt.wire_bytes as u64;
+        self.service_tx = self.tx_time(pkt.wire_bytes as u64);
         Some(self.in_service.insert(pkt))
+    }
+
+    /// Serialization time of the packet currently in service, as computed
+    /// when its service started. The driver schedules the
+    /// end-of-serialization event from this instead of recomputing against
+    /// a link that may have changed since.
+    ///
+    /// Panics if no packet is in service (a driver bug).
+    #[inline]
+    pub fn service_tx_time(&self) -> SimTime {
+        assert!(self.in_service.is_some(), "service_tx_time while idle");
+        self.service_tx
     }
 
     /// Take the fully serialized packet out of the service slot and
@@ -176,7 +199,10 @@ impl OutPort {
         let pkt = self.in_service.take().expect("finish_service while idle");
         self.stats.bytes_tx += pkt.wire_bytes as u64;
         self.stats.pkts_tx += 1;
-        self.stats.busy += self.tx_time(pkt.wire_bytes as u64);
+        // The memoized value, not a recomputation: if the link changed
+        // mid-service, the packet on the wire kept its old timing, and the
+        // busy clock must agree with the schedule the driver used.
+        self.stats.busy += self.service_tx;
         (pkt, !self.queue.is_empty())
     }
 
@@ -412,6 +438,28 @@ mod tests {
         assert_eq!(p.stats().busy, SimTime::from_micros(12));
         assert_eq!(p.stats().bytes_tx, 1500);
         assert_eq!(p.stats().pkts_tx, 1);
+    }
+
+    #[test]
+    fn busy_time_uses_link_at_service_start() {
+        // A mid-service link change must not retroactively change the
+        // in-flight packet's accounting: set_link documents that the
+        // packet on the wire keeps its old timing.
+        let mut p = OutPort::new(link(), cfg(16, None));
+        p.enqueue(data(0), SimTime::ZERO);
+        p.start_service().unwrap();
+        let scheduled = p.service_tx_time();
+        assert_eq!(scheduled, SimTime::from_micros(12));
+        // Halve the bandwidth while the packet is being serialized.
+        p.set_link(LinkProps::gbps(0.5, SimTime::from_micros(10)));
+        p.finish_service();
+        assert_eq!(p.stats().busy, scheduled, "busy clock matches schedule");
+        // The next packet serializes at the new rate.
+        p.enqueue(data(1), SimTime::ZERO);
+        p.start_service().unwrap();
+        assert_eq!(p.service_tx_time(), SimTime::from_micros(24));
+        p.finish_service();
+        assert_eq!(p.stats().busy, SimTime::from_micros(36));
     }
 
     #[test]

@@ -80,6 +80,25 @@ impl TcpConfig {
         (self.rwnd_bytes / self.mss).max(1)
     }
 
+    /// Upper bound on [`crate::SenderOutput`]s a *single* sender entry
+    /// point can append to its output buffer, derived from the state
+    /// machine rather than guessed at the call site:
+    ///
+    /// * the worst case is a partial ACK in fast recovery: 1 retransmission,
+    ///   then up to `rwnd_segs` window-limited fresh sends (the effective
+    ///   window is capped by `rwnd_segs` and flight is nonnegative), then
+    ///   1 lazy `ArmTimer`;
+    /// * every other path is smaller: RTO emits retransmit + re-arm (2),
+    ///   fast retransmit emits retransmit + arm (2), flow completion emits
+    ///   FIN + Finished (2) and returns before `send_available`.
+    ///
+    /// The simulator sizes its reusable output buffer from this and the
+    /// allocation audit asserts it never regrows — so if a future sender
+    /// change widens the worst case, the gate catches the stale bound.
+    pub fn max_outputs_per_call(&self) -> usize {
+        self.rwnd_segs() as usize + 2
+    }
+
     /// Check configuration consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.mss == 0 {

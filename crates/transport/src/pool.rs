@@ -1,0 +1,145 @@
+//! Recycling pool for receiver out-of-order buffers.
+//!
+//! Every flow's receiver needs an out-of-order buffer bounded by the
+//! sender's window (`rwnd_segs` entries). Without pooling, each of the
+//! simulator's potentially hundreds of thousands of flows allocates its
+//! own and drops it at teardown — per-flow heap churn that the
+//! zero-allocation steady-state gate forbids. [`OooPool`] keeps torn-down
+//! buffers and hands them to new flows: after the pool's high-water mark
+//! of concurrently open flows is reached, connection setup stops touching
+//! the allocator entirely.
+
+/// A stack of reusable `Vec<u32>` buffers for receiver out-of-order
+/// queues. Returned buffers keep their capacity; handed-out buffers are
+/// empty and pre-sized to at least the requested window.
+#[derive(Debug, Default)]
+pub struct OooPool {
+    bufs: Vec<Vec<u32>>,
+    /// Buffers served from the free stack (steady state).
+    hits: u64,
+    /// Buffers that had to be freshly allocated (pool warmup).
+    misses: u64,
+}
+
+impl OooPool {
+    /// An empty pool that has not allocated.
+    pub fn new() -> OooPool {
+        OooPool::default()
+    }
+
+    /// A pool whose free stack can hold `cap` parked buffers before the
+    /// stack itself reallocates.
+    pub fn with_capacity(cap: usize) -> OooPool {
+        OooPool {
+            bufs: Vec::with_capacity(cap),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Hand out an empty buffer with capacity ≥ `min_capacity`, recycling
+    /// a parked one when available.
+    pub fn get(&mut self, min_capacity: usize) -> Vec<u32> {
+        match self.bufs.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                if buf.capacity() < min_capacity {
+                    buf.reserve(min_capacity - buf.len());
+                }
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(min_capacity)
+            }
+        }
+    }
+
+    /// Park a buffer for reuse. Capacity-0 buffers are ignored — that is
+    /// what an already-reclaimed receiver hands back (teardown is
+    /// idempotent), and parking them would serve useless buffers later.
+    pub fn put(&mut self, buf: Vec<u32>) {
+        if buf.capacity() > 0 {
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Buffers currently parked.
+    pub fn parked(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// `(hits, misses)`: gets served from the pool vs. freshly allocated.
+    /// In a zero-allocation steady state, misses stop growing once the
+    /// concurrent-flow high-water mark is reached.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_instead_of_allocating() {
+        let mut p = OooPool::new();
+        let a = p.get(44);
+        assert!(a.capacity() >= 44);
+        p.put(a);
+        assert_eq!(p.parked(), 1);
+        let b = p.get(44);
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 44);
+        assert_eq!(p.parked(), 0);
+        assert_eq!(p.stats(), (1, 1), "second get must be a pool hit");
+    }
+
+    #[test]
+    fn dirty_buffers_come_back_clean() {
+        let mut p = OooPool::new();
+        let mut a = p.get(8);
+        a.extend_from_slice(&[1, 2, 3]);
+        p.put(a);
+        let b = p.get(8);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_put_is_ignored() {
+        let mut p = OooPool::new();
+        p.put(Vec::new());
+        assert_eq!(p.parked(), 0);
+    }
+
+    #[test]
+    fn undersized_recycled_buffer_is_regrown() {
+        let mut p = OooPool::new();
+        p.put(Vec::with_capacity(4));
+        let b = p.get(64);
+        assert!(b.capacity() >= 64);
+    }
+
+    #[test]
+    fn pool_drain_on_flow_teardown() {
+        use crate::receiver::TcpReceiver;
+        use tlb_net::{FlowId, HostId};
+        // Simulate the simnet lifecycle: N concurrent flows draw from the
+        // pool, tear down, and return their buffers; the next N flows are
+        // all pool hits.
+        let mut p = OooPool::with_capacity(4);
+        let mut rxs: Vec<TcpReceiver> = (0..4)
+            .map(|i| TcpReceiver::with_ooo_buf(FlowId(i), HostId(1), HostId(0), p.get(44)))
+            .collect();
+        assert_eq!(p.stats(), (0, 4));
+        for r in &mut rxs {
+            p.put(r.take_ooo_buf());
+        }
+        assert_eq!(p.parked(), 4);
+        let _rxs2: Vec<TcpReceiver> = (0..4)
+            .map(|i| TcpReceiver::with_ooo_buf(FlowId(i), HostId(1), HostId(0), p.get(44)))
+            .collect();
+        assert_eq!(p.stats(), (4, 4), "second generation must be all hits");
+    }
+}

@@ -97,6 +97,63 @@ proptest! {
         }
     }
 
+    /// Every sender entry point respects `TcpConfig::max_outputs_per_call`
+    /// — the bound the simulator sizes its reusable output buffer from.
+    /// Drives the adversarial mix the bound's derivation worries about:
+    /// RTO fires, duplicate-ACK bursts (fast retransmit), partial ACKs in
+    /// recovery followed by window-opening ACKs, and the FIN path — and
+    /// asserts the pre-sized buffer never regrows.
+    #[test]
+    fn prop_out_buf_bound_holds_per_call(
+        script in proptest::collection::vec((0u32..3, 0u32..150), 1..300),
+        size_segs in 1u64..150,
+    ) {
+        let cfg = TcpConfig::dctcp_default();
+        let bound = cfg.max_outputs_per_call();
+        let mut s = TcpSender::new(cfg, FlowId(1), HostId(0), HostId(9), size_segs * 1460);
+        let mut out = Vec::with_capacity(bound);
+        let cap = out.capacity();
+        let mut now = SimTime::ZERO;
+        s.start(now, &mut out);
+        prop_assert!(out.len() <= bound);
+        now += SimTime::from_micros(100);
+        out.clear();
+        s.on_packet(&synack(now), now, &mut out);
+        prop_assert!(out.len() <= bound);
+        let mut cum = 0u32;
+        for (kind, a) in script {
+            out.clear();
+            match kind {
+                0 => {
+                    // RTO fire.
+                    now += s.rto() + SimTime::from_micros(1);
+                    s.on_timer(now, &mut out);
+                }
+                1 => {
+                    // Arbitrary (possibly stale/duplicate/partial) ACK.
+                    now += SimTime::from_micros(10);
+                    s.on_packet(&ack(a, a % 3 == 0, now), now, &mut out);
+                }
+                _ => {
+                    // Valid cumulative ACK advancing toward completion
+                    // (exercises window-limited bursts and the FIN path).
+                    cum = (cum + 1 + a % 4).min(size_segs as u32);
+                    now += SimTime::from_micros(10);
+                    s.on_packet(&ack(cum, false, now), now, &mut out);
+                }
+            }
+            prop_assert!(
+                out.len() <= bound,
+                "one call emitted {} outputs, bound {bound}",
+                out.len()
+            );
+            prop_assert_eq!(out.capacity(), cap, "output buffer regrew");
+            if s.is_finished() {
+                break;
+            }
+        }
+    }
+
     /// The receiver's cumulative pointer never exceeds the highest
     /// contiguous prefix, whatever arrives (including far-future seqs).
     #[test]

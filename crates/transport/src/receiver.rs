@@ -1,7 +1,6 @@
 //! The receiving endpoint: cumulative ACKs, out-of-order buffering,
 //! per-packet ECN echo, reordering statistics.
 
-use std::collections::BTreeSet;
 use tlb_engine::SimTime;
 use tlb_net::{packet::PktFlags, FlowId, HostId, Packet, PktKind};
 
@@ -36,8 +35,12 @@ pub struct TcpReceiver {
     peer: HostId,
     /// Next expected in-order segment.
     rcv_nxt: u32,
-    /// Buffered out-of-order segments (bounded by the sender's window).
-    ooo: BTreeSet<u32>,
+    /// Buffered out-of-order segments, kept sorted ascending. Bounded by
+    /// the sender's window (≤ `rwnd_segs` entries), so a flat sorted Vec
+    /// beats a tree: binary-search insert, first-element min, prefix-drain
+    /// on heal — and the backing storage can be pooled and recycled across
+    /// flows (see [`crate::pool::OooPool`]) instead of node-allocating.
+    ooo: Vec<u32>,
     /// High-water mark of `rcv_nxt`, kept separately so the monotone
     /// in-order-delivery invariant is checked against recorded history
     /// rather than re-derived from the value it guards.
@@ -51,16 +54,43 @@ impl TcpReceiver {
     /// Create the receiver side of `flow`, living on `host`, talking back
     /// to `peer`.
     pub fn new(flow: FlowId, host: HostId, peer: HostId) -> TcpReceiver {
+        TcpReceiver::with_ooo_buf(flow, host, peer, Vec::new())
+    }
+
+    /// Like [`TcpReceiver::new`], but adopting `buf` (cleared) as the
+    /// out-of-order buffer — the hook the simulator uses to hand receivers
+    /// pooled, pre-sized storage instead of letting each flow grow its own.
+    pub fn with_ooo_buf(
+        flow: FlowId,
+        host: HostId,
+        peer: HostId,
+        mut buf: Vec<u32>,
+    ) -> TcpReceiver {
+        buf.clear();
         TcpReceiver {
             flow,
             host,
             peer,
             rcv_nxt: 0,
-            ooo: BTreeSet::new(),
+            ooo: buf,
             delivered_watermark: 0,
             violation: None,
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// Reclaim the out-of-order buffer for pooling, leaving an empty
+    /// unallocated Vec behind. Called at flow teardown (FIN delivery), by
+    /// which point the buffer is necessarily empty: the cumulative point
+    /// has passed every segment the sender ever emitted. Idempotent — a
+    /// second call returns a capacity-0 Vec, which pools ignore.
+    pub fn take_ooo_buf(&mut self) -> Vec<u32> {
+        debug_assert!(
+            self.ooo.is_empty(),
+            "ooo buffer non-empty at teardown (rcv_nxt {})",
+            self.rcv_nxt
+        );
+        std::mem::take(&mut self.ooo)
     }
 
     /// Highest in-order segment delivered so far (`rcv_nxt`).
@@ -94,7 +124,7 @@ impl TcpReceiver {
         if let Some(v) = &self.violation {
             return Some(v.clone());
         }
-        if let Some(&lo) = self.ooo.iter().next() {
+        if let Some(&lo) = self.ooo.first() {
             if lo <= self.rcv_nxt {
                 return Some(format!(
                     "ooo buffer holds already-delivered segment {lo} (rcv_nxt {})",
@@ -142,16 +172,26 @@ impl TcpReceiver {
         let advanced = if seq == self.rcv_nxt {
             self.stats.in_order += 1;
             self.rcv_nxt += 1;
-            // Drain any buffered continuation.
-            while self.ooo.remove(&self.rcv_nxt) {
-                self.rcv_nxt += 1;
+            // Drain any buffered continuation: with `ooo` sorted and every
+            // entry > the old rcv_nxt, the healed run is exactly the
+            // longest prefix of consecutive values starting at rcv_nxt.
+            let mut run = 0usize;
+            while run < self.ooo.len() && self.ooo[run] == self.rcv_nxt + run as u32 {
+                run += 1;
+            }
+            if run > 0 {
+                self.rcv_nxt += run as u32;
+                self.ooo.copy_within(run.., 0);
+                self.ooo.truncate(self.ooo.len() - run);
             }
             true
         } else if seq > self.rcv_nxt {
-            if self.ooo.insert(seq) {
-                self.stats.out_of_order += 1;
-            } else {
-                self.stats.duplicates += 1;
+            match self.ooo.binary_search(&seq) {
+                Ok(_) => self.stats.duplicates += 1,
+                Err(pos) => {
+                    self.ooo.insert(pos, seq);
+                    self.stats.out_of_order += 1;
+                }
             }
             false
         } else {
@@ -270,6 +310,44 @@ mod tests {
         let a1 = r.on_data(&seg(1, false), SimTime::ZERO);
         assert!(!a1.ece());
         assert_eq!(r.stats().ce_marked, 1);
+    }
+
+    #[test]
+    fn pooled_buffer_roundtrip() {
+        // A recycled buffer (dirty, pre-sized) is adopted cleanly…
+        let mut dirty = Vec::with_capacity(44);
+        dirty.extend_from_slice(&[7, 9, 11]);
+        let cap = dirty.capacity();
+        let mut r = TcpReceiver::with_ooo_buf(FlowId(1), HostId(9), HostId(0), dirty);
+        assert_eq!(r.buffered(), 0, "adopted buffer must be cleared");
+        // …used through a gap-and-heal cycle without growing…
+        r.on_data(&seg(0, false), SimTime::ZERO);
+        for s in [2, 4, 3] {
+            r.on_data(&seg(s, false), SimTime::ZERO);
+        }
+        r.on_data(&seg(1, false), SimTime::ZERO);
+        assert_eq!(r.delivered_segs(), 5);
+        assert_eq!(r.buffered(), 0);
+        // …and reclaimed at teardown with its capacity intact.
+        let buf = r.take_ooo_buf();
+        assert_eq!(buf.capacity(), cap);
+        // A second take is idempotent: capacity-0, which pools ignore.
+        assert_eq!(r.take_ooo_buf().capacity(), 0);
+    }
+
+    #[test]
+    fn heal_drains_only_the_contiguous_prefix() {
+        let mut r = rx();
+        // Buffer 1, 2, 5 while 0 is missing.
+        for s in [2, 5, 1] {
+            r.on_data(&seg(s, false), SimTime::ZERO);
+        }
+        assert_eq!(r.buffered(), 3);
+        // 0 arrives: 0-1-2 heal, 5 stays buffered.
+        let ack = r.on_data(&seg(0, false), SimTime::ZERO);
+        assert_eq!(ack.seq, 3);
+        assert_eq!(r.buffered(), 1);
+        assert!(r.invariant_violation().is_none());
     }
 
     #[test]

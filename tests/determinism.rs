@@ -36,6 +36,20 @@ fn digest(r: &RunReport) -> (u64, String, u64, u64, usize, usize) {
     )
 }
 
+/// Order-sensitive hash of the sampled FEL-occupancy series. The sample
+/// *schedule* is delivery-mode-independent, but the *values* are actual
+/// queue occupancies, which legitimately differ between pipelined and
+/// per-packet delivery — so this is asserted only between runs of the
+/// same delivery mode (backends, dispatch paths, thread counts, reruns).
+fn fel_depth_hash(r: &RunReport) -> u64 {
+    r.fel_depth
+        .samples()
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
+            (h ^ v.to_bits()).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+}
+
 #[test]
 fn all_schemes_are_bit_deterministic() {
     let mut schemes = Scheme::extended_set();
@@ -45,6 +59,11 @@ fn all_schemes_are_bit_deterministic() {
         let a = full_feature_run(scheme.clone(), 99);
         let b = full_feature_run(scheme, 99);
         assert_eq!(digest(&a), digest(&b), "{name} not deterministic");
+        assert_eq!(
+            fel_depth_hash(&a),
+            fel_depth_hash(&b),
+            "{name}: fel_depth series diverged between reruns"
+        );
         // Even the packet traces must match hop for hop.
         assert_eq!(a.traces.len(), b.traces.len());
         for (x, y) in a.traces.iter().zip(&b.traces) {
@@ -80,6 +99,12 @@ fn parallel_execution_matches_serial() {
     );
     for (a, b) in serial.iter().zip(&parallel) {
         assert_eq!(digest(a), digest(b), "{}: parallel != serial", a.scheme);
+        assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across thread counts",
+            a.scheme
+        );
         assert_eq!(
             a.audit, b.audit,
             "{}: audit counters diverged across thread counts",
@@ -128,6 +153,12 @@ fn fuzz_scenarios_are_digest_stable_across_thread_counts() {
     for (a, b) in serial.iter().zip(&threaded) {
         assert_eq!(digest(a), digest(b), "{}: 3-thread != serial", a.scheme);
         assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across thread counts",
+            a.scheme
+        );
+        assert_eq!(
             a.audit, b.audit,
             "{}: audit counters diverged across thread counts",
             a.scheme
@@ -165,6 +196,12 @@ fn fel_backends_are_bit_identical_on_fuzz_batch() {
     assert_eq!(heap.len(), calendar.len());
     for (a, b) in heap.iter().zip(&calendar) {
         assert_eq!(digest(a), digest(b), "{}: calendar != heap", a.scheme);
+        assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across FEL backends",
+            a.scheme
+        );
         assert_eq!(
             a.audit, b.audit,
             "{}: audit counters diverged across FEL backends",
@@ -205,6 +242,12 @@ fn fel_backends_are_bit_identical_on_load_sweep() {
     let calendar = run_all(jobs_with(FelKind::Calendar));
     for (a, b) in heap.iter().zip(&calendar) {
         assert_eq!(digest(a), digest(b), "{}: calendar != heap", a.scheme);
+        assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across FEL backends",
+            a.scheme
+        );
         assert_eq!(a.audit, b.audit, "{}: audit diverged", a.scheme);
     }
 }
@@ -266,6 +309,12 @@ fn lb_dispatch_paths_are_bit_identical_on_fuzz_batch() {
     assert_eq!(fast.len(), reference.len());
     for (a, b) in fast.iter().zip(&reference) {
         assert_eq!(digest(a), digest(b), "{}: enum != dyn dispatch", a.scheme);
+        assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across dispatch paths",
+            a.scheme
+        );
         assert_eq!(
             a.audit, b.audit,
             "{}: audit counters diverged across dispatch paths",
