@@ -150,7 +150,8 @@ pub fn high_bdp_jobs(leg: Leg) -> Vec<(SimConfig, Vec<FlowSpec>)> {
             cfg.topo = LeafSpineBuilder::new(2, 4, 8)
                 .link_gbps(10.0)
                 .prop_per_link(SimTime::from_micros(500))
-                .build();
+                .build()
+                .into();
             cfg.horizon = SimTime::from_millis(60);
             leg.pin(&mut cfg);
             let hosts_per_leaf = cfg.topo.hosts_per_leaf() as u32;

@@ -77,6 +77,11 @@ pub struct Tlb {
     updates: u64,
     /// Number of long-flow reroutes performed (diagnostics / Fig. 9).
     long_reroutes: u64,
+    /// Long flows moved because their cached uplink went down. Kept apart
+    /// from `long_reroutes`: these are failure-forced, not the voluntary
+    /// q_th-triggered moves the Fig. 9 accounting (and the fuzzer's
+    /// pinned-TLB zero-reroute oracle) reason about.
+    forced_reroutes: u64,
     /// Seeded bug for the fuzzer's mutation self-check: when set, the
     /// granularity update with this index skips its threshold recompute
     /// (a stale-`q_th` interval). Only exists under `fault-inject`; never
@@ -104,6 +109,7 @@ impl Tlb {
             q_th_bytes: q0,
             updates: 0,
             long_reroutes: 0,
+            forced_reroutes: 0,
             #[cfg(feature = "fault-inject")]
             fault_skip_recompute_at: None,
         }
@@ -154,6 +160,11 @@ impl Tlb {
         self.long_reroutes
     }
 
+    /// How many long flows were moved because their uplink went down.
+    pub fn forced_reroutes(&self) -> u64 {
+        self.forced_reroutes
+    }
+
     /// How many granularity updates have run.
     pub fn updates(&self) -> u64 {
         self.updates
@@ -182,7 +193,9 @@ impl Tlb {
 
     fn recompute_threshold(&mut self, view: PortView<'_>) {
         let params = ModelParams {
-            n_paths: view.n_ports() as f64,
+            // Live paths only: after a failure the model should reason about
+            // the fabric that actually exists. Full mask -> n_ports.
+            n_paths: view.n_live() as f64,
             m_short: self.m_short as f64,
             m_long: self.m_long as f64,
             capacity: view.mean_capacity(),
@@ -290,12 +303,19 @@ impl LoadBalancer for Tlb {
                     became_long = st.counted;
                 }
                 let mut rerouted_long = false;
+                let mut forced = false;
                 let port = if st.is_long {
                     // Forwarding manager, long-flow rule: stick to the
                     // current uplink until its queue reaches q_th, then move
-                    // to the shortest queue.
+                    // to the shortest queue. A dead uplink forces the move
+                    // unconditionally (counted separately from the voluntary
+                    // q_th-triggered reroutes).
                     let cur = st.port % n;
-                    if view.qlen_bytes(cur) >= q_th {
+                    if !view.is_live(cur) {
+                        forced = true;
+                        st.port = shortest;
+                        shortest
+                    } else if view.qlen_bytes(cur) >= q_th {
                         rerouted_long = cur != shortest;
                         st.port = shortest;
                         shortest
@@ -319,6 +339,9 @@ impl LoadBalancer for Tlb {
                 }
                 if rerouted_long {
                     self.long_reroutes += 1;
+                }
+                if forced {
+                    self.forced_reroutes += 1;
                 }
                 port
             }
@@ -369,6 +392,10 @@ impl LoadBalancer for Tlb {
 
     fn long_reroutes(&self) -> Option<u64> {
         Some(self.long_reroutes)
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced_reroutes)
     }
 }
 

@@ -42,7 +42,10 @@ pub mod scenario;
 
 pub use conformance::{expected_q_th, run_conformance};
 pub use oracles::check_report;
-pub use scenario::{scenario_strategy, BuiltScenario, RawScenario, Scenario};
+pub use scenario::{
+    bound_fabric, failure_scenario_strategy, scenario_strategy, BuiltScenario, RawScenario,
+    Scenario,
+};
 
 /// Build, run, and oracle-check one scenario; `Err` carries every
 /// violated oracle. This is the closure body of both the crate's smoke
@@ -61,7 +64,12 @@ mod tests {
 
     #[test]
     fn scenarios_are_deterministic_functions_of_raw_params() {
-        let raw = ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false));
+        let raw = (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        );
         let a = Scenario::from_raw(raw).build();
         let b = Scenario::from_raw(raw).build();
         assert_eq!(a.flows.len(), b.flows.len());
@@ -79,9 +87,24 @@ mod tests {
     #[test]
     fn built_scenarios_validate_and_force_the_audit() {
         for raw in [
-            ((2, 2, 2, 5), (0, 1, 0, 0), (0, false, 99, 50, true)),
-            ((4, 6, 4, 20), (5, 24, 3, 6), (7, true, 10, 0, true)),
-            ((3, 4, 3, 12), (3, 12, 2, 3), (9, true, 40, 25, false)),
+            (
+                (2, 2, 2, 5),
+                (0, 1, 0, 0),
+                (0, false, 99, 50, true),
+                (0, false, 0, 0, false),
+            ),
+            (
+                (4, 6, 4, 20),
+                (5, 24, 3, 6),
+                (7, true, 10, 0, true),
+                (1, true, 400, 700, true),
+            ),
+            (
+                (3, 4, 3, 12),
+                (3, 12, 2, 3),
+                (9, true, 40, 25, false),
+                (0, true, 900, 0, false),
+            ),
         ] {
             let b = Scenario::from_raw(raw).build();
             b.cfg
@@ -102,21 +125,37 @@ mod tests {
 
     #[test]
     fn scheme_space_covers_the_paper_baselines_and_both_tlbs() {
-        let names: Vec<&str> = (0..6u8)
+        let names: Vec<&str> = (0..7u8)
             .map(|i| {
-                let raw = ((2, 2, 2, 10), (i, 2, 1, 0), (1, false, 50, 0, false));
+                let raw = (
+                    (2, 2, 2, 10),
+                    (i, 2, 1, 0),
+                    (1, false, 50, 0, false),
+                    (0, false, 0, 0, false),
+                );
                 Scenario::from_raw(raw).scheme().name()
             })
             .collect();
         assert_eq!(
             names,
-            vec!["ECMP", "RPS", "Presto", "LetFlow", "TLB", "TLB"]
+            vec!["ECMP", "RPS", "Presto", "LetFlow", "TLB", "TLB", "DiffFlow"]
         );
-        // Index 5 is the pinned variant the reroute oracle keys on.
-        assert!(
-            Scenario::from_raw(((2, 2, 2, 10), (5, 2, 1, 0), (1, false, 50, 0, false)))
-                .is_pinned_tlb()
-        );
+        // Index 5 is the pinned variant the reroute oracle keys on; the
+        // DiffFlow slot after it is not.
+        assert!(Scenario::from_raw((
+            (2, 2, 2, 10),
+            (5, 2, 1, 0),
+            (1, false, 50, 0, false),
+            (0, false, 0, 0, false)
+        ))
+        .is_pinned_tlb());
+        assert!(!Scenario::from_raw((
+            (2, 2, 2, 10),
+            (6, 2, 1, 0),
+            (1, false, 50, 0, false),
+            (0, false, 0, 0, false)
+        ))
+        .is_pinned_tlb());
     }
 
     proptest! {
@@ -124,6 +163,17 @@ mod tests {
         /// 256-case pinned-seed sweep lives in `tests/fuzz_scenarios.rs`).
         #[test]
         fn prop_scenario_smoke(raw in scenario_strategy()) {
+            if let Err(v) = run_scenario_checked(raw) {
+                return Err(proptest::TestCaseError::fail(v));
+            }
+        }
+
+        /// Every case carries an active failure schedule (Down, often
+        /// followed by the repair): reconvergence, admission-time drops,
+        /// and forced reroutes all run under the conservation audit and
+        /// the full oracle catalog.
+        #[test]
+        fn prop_failure_scenarios(raw in failure_scenario_strategy()) {
             if let Err(v) = run_scenario_checked(raw) {
                 return Err(proptest::TestCaseError::fail(v));
             }

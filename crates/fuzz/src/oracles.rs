@@ -46,12 +46,14 @@ pub fn check_report(built: &BuiltScenario, r: &RunReport) -> Result<(), String> 
     }
 
     // Oracle 3: no completed flow beats ideal serialization + propagation
-    // on the *undegraded* fabric (degradation only slows links, so the
-    // pristine bound remains a valid lower bound).
-    let capacity = built.pristine.host_link().bytes_per_sec as f64;
+    // on the *best* fabric state the run's schedule ever reaches
+    // (`BuiltScenario::bound`). The pristine fabric is NOT sound here: a
+    // mid-run improvement (link repair with a shorter propagation delay)
+    // legitimately lets late flows beat the pristine bound.
+    let capacity = built.bound.host_link().bytes_per_sec as f64;
     for f in &built.flows {
         if let Some(fct) = r.fct.fct_of(f.id) {
-            let prop = built.pristine.min_one_way_delay(f.src, f.dst).as_secs_f64();
+            let prop = built.bound.min_one_way_delay(f.src, f.dst).as_secs_f64();
             let bound = fct_lower_bound(f.size_bytes as f64, capacity, prop);
             if fct < bound * (1.0 - FCT_REL_TOL) {
                 violations.push(format!(
@@ -109,11 +111,24 @@ pub fn check_report(built: &BuiltScenario, r: &RunReport) -> Result<(), String> 
             "pinned TLB (q_th = MAX) must report Some(0) long reroutes, got {other:?}"
         )),
         (false, Some(_)) if built.scenario.scheme_idx == 4 => {}
-        (false, None) if built.scenario.scheme_idx < 4 => {}
+        (false, None) if built.scenario.scheme_idx != 4 => {}
         (false, other) => violations.push(format!(
             "scheme {} reported unexpected long-reroute counter {other:?}",
             r.scheme
         )),
+    }
+
+    // Oracle 6: forced-reroute discipline. Forced moves exist only when a
+    // link actually went down; a run with no failure schedule must report
+    // zero (schemes that track the counter) or nothing at all.
+    if built.cfg.failure_events.is_empty() {
+        match r.forced_reroutes {
+            None | Some(0) => {}
+            Some(n) => violations.push(format!(
+                "scheme {} reported {n} failure-forced reroutes in a run                  with no failure schedule",
+                r.scheme
+            )),
+        }
     }
 
     if violations.is_empty() {
@@ -141,22 +156,33 @@ mod tests {
 
     #[test]
     fn clean_run_passes_all_oracles() {
-        let (b, r) = run(((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)));
+        let (b, r) = run((
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ));
         check_report(&b, &r).unwrap();
     }
 
     #[test]
     fn fct_oracle_catches_a_faster_than_light_flow() {
-        let (b, r) = run(((2, 2, 2, 10), (0, 3, 0, 0), (5, false, 50, 0, false)));
+        let (b, r) = run((
+            (2, 2, 2, 10),
+            (0, 3, 0, 0),
+            (5, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
         check_report(&b, &r).unwrap();
         // Forge an impossible bound by claiming the fabric is ~10000x
         // slower than the one that actually ran: the serialization term
         // balloons past every real FCT, so the oracle must fire.
         let mut forged = b.clone();
-        forged.pristine = tlb_net::LeafSpineBuilder::new(2, 2, 2)
+        forged.bound = tlb_net::LeafSpineBuilder::new(2, 2, 2)
             .link_gbps(0.0001)
             .target_rtt(tlb_engine::SimTime::from_micros(100))
-            .build();
+            .build()
+            .into();
         let err = check_report(&forged, &r).unwrap_err();
         assert!(
             err.contains("below the serialization+propagation bound"),
@@ -165,8 +191,88 @@ mod tests {
     }
 
     #[test]
+    fn fct_oracle_stays_sound_under_mid_run_improvement() {
+        use tlb_engine::SimTime;
+        use tlb_net::{FlowId, HostId, LeafId, SpineId};
+        use tlb_simnet::LinkEvent;
+        use tlb_workload::FlowSpec;
+
+        // Hand-built scenario with slow uplinks (5 ms one-way) that all
+        // get repaired to 10 µs at t = 1 ms; the single flow starts after
+        // the repair and finishes far sooner than the pristine fabric
+        // could ever deliver it.
+        let raw = (
+            (2, 2, 2, 10),
+            (0, 1, 0, 0),
+            (7, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        );
+        let mut b = crate::Scenario::from_raw(raw).build();
+        let slow = SimTime::from_millis(5);
+        for l in 0..2 {
+            for s in 0..2 {
+                let mut p = b.pristine.uplink_props(l, s);
+                p.prop_delay = slow;
+                b.pristine.set_uplink(l, s, p);
+                b.cfg.link_events.push(LinkEvent {
+                    at: SimTime::from_millis(1),
+                    leaf: LeafId(l as u32),
+                    spine: SpineId(s as u32),
+                    bw_factor: 1.0,
+                    new_prop_delay: Some(SimTime::from_micros(10)),
+                    extra_delay: SimTime::ZERO,
+                });
+            }
+        }
+        b.cfg.topo = b.pristine.clone();
+        b.flows = vec![FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(2), // other leaf: crosses the repaired uplinks
+            size_bytes: 30_000,
+            start: SimTime::from_millis(3),
+            deadline: None,
+        }];
+        b.cfg.trace_flows = vec![FlowId(0)];
+        b.bound = crate::scenario::bound_fabric(&b.pristine, &b.cfg.link_events);
+
+        let r = tlb_simnet::run_one(b.cfg.clone(), b.flows.clone());
+        // With the schedule-aware bound the run is clean...
+        check_report(&b, &r).unwrap();
+        // ...but the old pristine-fabric bound (the pre-fix behavior)
+        // flags the flow as faster-than-light: the repair shaved ~10 ms
+        // off the path, which the pristine fabric says is impossible.
+        let mut old_behavior = b.clone();
+        old_behavior.bound = old_behavior.pristine.clone();
+        let err = check_report(&old_behavior, &r).unwrap_err();
+        assert!(
+            err.contains("below the serialization+propagation bound"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn forced_reroute_oracle_rejects_forced_moves_without_failures() {
+        let (b, mut r) = run((
+            (2, 2, 2, 10),
+            (6, 4, 2, 0),
+            (9, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
+        assert!(b.cfg.failure_events.is_empty(), "precondition");
+        r.forced_reroutes = Some(2);
+        let err = check_report(&b, &r).unwrap_err();
+        assert!(err.contains("no failure schedule"), "{err}");
+    }
+
+    #[test]
     fn completion_oracle_catches_missing_flows() {
-        let (b, mut r) = run(((2, 2, 2, 10), (1, 4, 0, 0), (8, false, 50, 0, false)));
+        let (b, mut r) = run((
+            (2, 2, 2, 10),
+            (1, 4, 0, 0),
+            (8, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
         r.completed -= 1;
         let err = check_report(&b, &r).unwrap_err();
         assert!(err.contains("flows completed by the horizon"), "{err}");
@@ -174,7 +280,12 @@ mod tests {
 
     #[test]
     fn reroute_oracle_catches_a_pinned_tlb_that_reroutes() {
-        let (b, mut r) = run(((2, 2, 2, 10), (5, 4, 2, 0), (9, false, 50, 0, false)));
+        let (b, mut r) = run((
+            (2, 2, 2, 10),
+            (5, 4, 2, 0),
+            (9, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
         assert_eq!(r.tlb_long_reroutes, Some(0), "precondition");
         r.tlb_long_reroutes = Some(3);
         let err = check_report(&b, &r).unwrap_err();
@@ -183,7 +294,12 @@ mod tests {
 
     #[test]
     fn reroute_oracle_catches_a_non_tlb_scheme_reporting_reroutes() {
-        let (b, mut r) = run(((2, 2, 2, 10), (0, 4, 0, 0), (9, false, 50, 0, false)));
+        let (b, mut r) = run((
+            (2, 2, 2, 10),
+            (0, 4, 0, 0),
+            (9, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
         assert_eq!(r.tlb_long_reroutes, None, "precondition");
         r.tlb_long_reroutes = Some(1);
         let err = check_report(&b, &r).unwrap_err();
@@ -192,7 +308,12 @@ mod tests {
 
     #[test]
     fn audit_oracle_catches_a_silently_skipped_audit() {
-        let (b, mut r) = run(((2, 2, 2, 10), (2, 3, 0, 0), (4, false, 50, 0, false)));
+        let (b, mut r) = run((
+            (2, 2, 2, 10),
+            (2, 3, 0, 0),
+            (4, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ));
         r.audit = None;
         let err = check_report(&b, &r).unwrap_err();
         assert!(err.contains("no report"), "{err}");

@@ -26,6 +26,8 @@ struct Flowlet {
 pub struct CongaLite {
     timeout: SimTime,
     flows: FlowMap<Flowlet>,
+    /// Flowlets moved off a dead uplink before any flowlet gap appeared.
+    forced: u64,
 }
 
 impl CongaLite {
@@ -37,6 +39,7 @@ impl CongaLite {
         CongaLite {
             timeout,
             flows: FlowMap::new(),
+            forced: 0,
         }
     }
 
@@ -65,7 +68,12 @@ impl LoadBalancer for CongaLite {
         match self.flows.touch(pkt.flow, now) {
             Some(entry) => {
                 let gap = now.saturating_sub(entry.last_pkt);
-                if gap > timeout {
+                let dead = !view.is_live(entry.port % n);
+                if gap > timeout || dead {
+                    // `shortest` is already restricted to live uplinks.
+                    if dead && gap <= timeout {
+                        self.forced += 1;
+                    }
                     entry.port = shortest;
                 }
                 entry.last_pkt = now;
@@ -91,6 +99,10 @@ impl LoadBalancer for CongaLite {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

@@ -47,7 +47,9 @@ impl LoadBalancer for Drill {
         rng: &mut SimRng,
     ) -> usize {
         let n = view.n_ports();
-        let mut best = rng.index(n);
+        // Sample uniformly over the live uplinks only; a remembered port is
+        // considered only while it stays live.
+        let mut best = view.nth_live(rng.index(view.n_live()));
         let mut best_len = view.qlen_bytes(best);
         let consider = |cand: usize, best: &mut usize, best_len: &mut u64| {
             let l = view.qlen_bytes(cand);
@@ -57,10 +59,14 @@ impl LoadBalancer for Drill {
             }
         };
         for _ in 1..self.d {
-            consider(rng.index(n), &mut best, &mut best_len);
+            consider(
+                view.nth_live(rng.index(view.n_live())),
+                &mut best,
+                &mut best_len,
+            );
         }
         for &cand in &self.memory {
-            if cand < n {
+            if cand < n && view.is_live(cand) {
                 consider(cand, &mut best, &mut best_len);
             }
         }

@@ -44,7 +44,10 @@ impl LoadBalancer for Ecmp {
         _now: SimTime,
         _rng: &mut SimRng,
     ) -> usize {
-        (self.hash(pkt.flow.0) % view.n_ports() as u64) as usize
+        // Hash over the *live* uplinks: with every port up this is the
+        // historical `hash % n_ports`; after a failure the same hash space
+        // redistributes over the survivors (next-hop group shrink).
+        view.nth_live((self.hash(pkt.flow.0) % view.n_live() as u64) as usize)
     }
 
     fn state_bytes(&self) -> usize {

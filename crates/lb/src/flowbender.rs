@@ -36,6 +36,8 @@ pub struct FlowBender {
     /// Observation window in packets (≈ one congestion window).
     window_pkts: u32,
     flows: FlowMap<BenderState>,
+    /// Flows rehashed off a dead uplink without a congestion trigger.
+    forced: u64,
 }
 
 impl FlowBender {
@@ -48,6 +50,7 @@ impl FlowBender {
             frac_threshold,
             window_pkts,
             flows: FlowMap::new(),
+            forced: 0,
         }
     }
 
@@ -71,7 +74,7 @@ impl LoadBalancer for FlowBender {
         rng: &mut SimRng,
     ) -> usize {
         let n = view.n_ports();
-        let initial = rng.index(n);
+        let initial = view.nth_live(rng.index(view.n_live()));
         let st = self
             .flows
             .touch_or_insert_with(pkt.flow, now, || BenderState {
@@ -79,16 +82,27 @@ impl LoadBalancer for FlowBender {
                 marked: 0,
                 total: 0,
             });
-        let port = st.port % n;
+        let mut port = st.port % n;
+        if !view.is_live(port) {
+            // The cached uplink died: rehash immediately onto a live one and
+            // restart the observation window.
+            port = view.nth_live(rng.index(view.n_live()));
+            st.port = port;
+            st.marked = 0;
+            st.total = 0;
+            self.forced += 1;
+        }
         st.total += 1;
         if view.qlen_pkts(port) >= self.mark_threshold_pkts {
             st.marked += 1;
         }
         if st.total >= self.window_pkts {
-            if st.marked as f64 / st.total as f64 > self.frac_threshold && n > 1 {
-                // Rehash: any uplink but the current one.
-                let jump = 1 + rng.index(n - 1);
-                st.port = (port + jump) % n;
+            let live = view.n_live();
+            if st.marked as f64 / st.total as f64 > self.frac_threshold && live > 1 {
+                // Rehash: any live uplink but the current one, expressed in
+                // live-rank space so dead ports are never candidates.
+                let jump = 1 + rng.index(live - 1);
+                st.port = view.nth_live((view.live_rank(port) + jump) % live);
             }
             st.marked = 0;
             st.total = 0;
@@ -106,6 +120,10 @@ impl LoadBalancer for FlowBender {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

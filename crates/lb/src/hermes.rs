@@ -36,6 +36,9 @@ pub struct HermesLite {
     /// `best_qlen * benefit_factor <= cur_qlen`.
     benefit_factor: f64,
     flows: FlowMap<HermesState>,
+    /// Flows moved off a dead uplink, bypassing the size gate and benefit
+    /// check (the old path no longer exists, caution does not apply).
+    forced: u64,
 }
 
 impl HermesLite {
@@ -47,6 +50,7 @@ impl HermesLite {
             congested_pkts,
             benefit_factor,
             flows: FlowMap::new(),
+            forced: 0,
         }
     }
 
@@ -70,16 +74,25 @@ impl LoadBalancer for HermesLite {
         rng: &mut SimRng,
     ) -> usize {
         let n = view.n_ports();
-        let initial = rng.index(n); // new flows start ECMP-like (random)
+        // New flows start ECMP-like: uniform over the live uplinks.
+        let initial = view.nth_live(rng.index(view.n_live()));
         let st = self
             .flows
             .touch_or_insert_with(pkt.flow, now, || HermesState {
                 port: initial,
                 sent_bytes: 0,
             });
-        let cur = st.port % n;
+        let mut cur = st.port % n;
         if pkt.kind == PktKind::Data {
             st.sent_bytes += pkt.payload_bytes as u64;
+        }
+        if !view.is_live(cur) {
+            // Dead uplink: move to the (live) shortest queue regardless of
+            // size gate or benefit — there is nothing to stay cautious about.
+            cur = view.shortest_bytes_rand(rng);
+            st.port = cur;
+            self.forced += 1;
+            return cur;
         }
         // Size gate: young flows never move.
         if st.sent_bytes <= self.reroute_size_bytes {
@@ -110,6 +123,10 @@ impl LoadBalancer for HermesLite {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

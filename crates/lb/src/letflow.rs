@@ -24,6 +24,8 @@ struct Flowlet {
 pub struct LetFlow {
     timeout: SimTime,
     flows: FlowMap<Flowlet>,
+    /// Flowlets moved off a dead uplink before any flowlet gap appeared.
+    forced: u64,
 }
 
 impl LetFlow {
@@ -35,6 +37,7 @@ impl LetFlow {
         LetFlow {
             timeout,
             flows: FlowMap::new(),
+            forced: 0,
         }
     }
 
@@ -66,15 +69,20 @@ impl LoadBalancer for LetFlow {
         match self.flows.touch(pkt.flow, now) {
             Some(entry) => {
                 let gap = now.saturating_sub(entry.last_pkt);
-                if gap > timeout {
-                    // A flowlet boundary: free to pick any path at random.
-                    entry.port = rng.index(n);
+                let dead = !view.is_live(entry.port % n);
+                if gap > timeout || dead {
+                    // A flowlet boundary — natural gap or a dead uplink
+                    // forcing an early one: pick any live path at random.
+                    if dead && gap <= timeout {
+                        self.forced += 1;
+                    }
+                    entry.port = view.nth_live(rng.index(view.n_live()));
                 }
                 entry.last_pkt = now;
                 entry.port % n
             }
             None => {
-                let port = rng.index(n);
+                let port = view.nth_live(rng.index(view.n_live()));
                 self.flows.touch_or_insert_with(pkt.flow, now, || Flowlet {
                     port,
                     last_pkt: now,
@@ -95,6 +103,10 @@ impl LoadBalancer for LetFlow {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

@@ -19,11 +19,14 @@
 //!   contrasts TLB with Hermes directly).
 //! * [`Wcmp`] — capacity-weighted flow hashing: the static (topology-aware,
 //!   traffic-blind) answer to asymmetry (extension).
+//! * [`DiffFlow`] — static short/long split: spray the short flows, pin the
+//!   long ones once they cross a fixed size threshold (extension).
 //!
 //! All of them implement [`tlb_switch::LoadBalancer`]; the TLB scheme itself
 //! lives in the `tlb-core` crate.
 
 pub mod conga;
+pub mod diffflow;
 pub mod drill;
 pub mod ecmp;
 pub mod flowbender;
@@ -34,6 +37,7 @@ pub mod rps;
 pub mod wcmp;
 
 pub use conga::CongaLite;
+pub use diffflow::DiffFlow;
 pub use drill::Drill;
 pub use ecmp::Ecmp;
 pub use flowbender::FlowBender;

@@ -28,6 +28,8 @@ pub struct Presto {
     /// different flows land on different uplinks.
     rr_next: usize,
     idle_timeout: SimTime,
+    /// Cells moved off a dead uplink before their cell boundary.
+    forced: u64,
 }
 
 impl Presto {
@@ -42,6 +44,20 @@ impl Presto {
             flows: FlowMap::new(),
             rr_next: 0,
             idle_timeout: SimTime::from_millis(10),
+            forced: 0,
+        }
+    }
+
+    /// Advance `i` (mod the port count) to the next live uplink. With a full
+    /// mask this returns `i` immediately — the historical behaviour.
+    #[inline]
+    fn next_live(view: &PortView<'_>, mut i: usize) -> usize {
+        let n = view.n_ports();
+        loop {
+            if view.is_live(i) {
+                return i;
+            }
+            i = (i + 1) % n;
         }
     }
 
@@ -64,7 +80,7 @@ impl LoadBalancer for Presto {
         _rng: &mut SimRng,
     ) -> usize {
         let n = view.n_ports();
-        let rr0 = self.rr_next % n;
+        let rr0 = Self::next_live(&view, self.rr_next % n);
         let mut inserted = false;
         let entry = self.flows.touch_or_insert_with(pkt.flow, now, || {
             inserted = true;
@@ -76,10 +92,15 @@ impl LoadBalancer for Presto {
         if inserted {
             // New flow: it consumed the RR cursor for its first cell.
             self.rr_next = (rr0 + 1) % n;
-        } else if entry.cell_bytes >= self.cell_limit {
-            // Cell boundary: move to the next uplink in round-robin order.
+        } else if entry.cell_bytes >= self.cell_limit || !view.is_live(entry.port % n) {
+            // Cell boundary — or the cached uplink died mid-cell, which
+            // forces an early boundary. Either way move to the next live
+            // uplink in round-robin order.
+            if entry.cell_bytes < self.cell_limit {
+                self.forced += 1;
+            }
             entry.cell_bytes = 0;
-            entry.port = self.rr_next % n;
+            entry.port = Self::next_live(&view, self.rr_next % n);
             self.rr_next = (entry.port + 1) % n;
         }
         entry.cell_bytes += pkt.payload_bytes as u64;
@@ -96,6 +117,10 @@ impl LoadBalancer for Presto {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes() + 2 * std::mem::size_of::<usize>()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

@@ -29,7 +29,9 @@ impl LoadBalancer for Rps {
         _now: SimTime,
         rng: &mut SimRng,
     ) -> usize {
-        rng.index(view.n_ports())
+        // Spray over the live uplinks only. With a full mask this draws the
+        // identical random index the unmasked code drew.
+        view.nth_live(rng.index(view.n_live()))
     }
 
     fn state_bytes(&self) -> usize {

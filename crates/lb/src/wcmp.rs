@@ -13,6 +13,8 @@ use tlb_switch::{FlowMap, LoadBalancer, PortView};
 #[derive(Debug)]
 pub struct Wcmp {
     flows: FlowMap<usize>,
+    /// Flows re-drawn because their pinned uplink died.
+    forced: u64,
 }
 
 impl Wcmp {
@@ -20,24 +22,33 @@ impl Wcmp {
     pub fn new() -> Wcmp {
         Wcmp {
             flows: FlowMap::new(),
+            forced: 0,
         }
     }
 
     fn weighted_pick(view: &PortView<'_>, rng: &mut SimRng) -> usize {
         let n = view.n_ports();
-        let total: u64 = (0..n).map(|i| view.link_bytes_per_sec(i)).sum();
+        let total: u64 = (0..n)
+            .filter(|&i| view.is_live(i))
+            .map(|i| view.link_bytes_per_sec(i))
+            .sum();
         if total == 0 {
-            return rng.index(n);
+            return view.nth_live(rng.index(view.n_live()));
         }
         let mut x = rng.gen_range(total);
+        let mut last = 0;
         for i in 0..n {
+            if !view.is_live(i) {
+                continue;
+            }
             let w = view.link_bytes_per_sec(i);
             if x < w {
                 return i;
             }
             x -= w;
+            last = i;
         }
-        n - 1
+        last
     }
 }
 
@@ -60,14 +71,21 @@ impl LoadBalancer for Wcmp {
         rng: &mut SimRng,
     ) -> usize {
         let n = view.n_ports();
-        match self.flows.touch(pkt.flow, now) {
-            Some(&mut port) => port % n,
-            None => {
-                let port = Self::weighted_pick(&view, rng);
-                self.flows.touch_or_insert_with(pkt.flow, now, || port);
-                port
+        if let Some(entry) = self.flows.touch(pkt.flow, now) {
+            let pinned = *entry % n;
+            if view.is_live(pinned) {
+                return pinned;
             }
+            // The pinned uplink died: re-draw from the live capacity
+            // distribution and re-pin.
+            let port = Self::weighted_pick(&view, rng);
+            *entry = port;
+            self.forced += 1;
+            return port;
         }
+        let port = Self::weighted_pick(&view, rng);
+        self.flows.touch_or_insert_with(pkt.flow, now, || port);
+        port
     }
 
     fn on_tick(&mut self, _view: PortView<'_>, now: SimTime) {
@@ -80,6 +98,10 @@ impl LoadBalancer for Wcmp {
 
     fn state_bytes(&self) -> usize {
         self.flows.state_bytes()
+    }
+
+    fn forced_reroutes(&self) -> Option<u64> {
+        Some(self.forced)
     }
 }
 

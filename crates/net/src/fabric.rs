@@ -1,0 +1,614 @@
+//! Production fabrics behind one abstraction: the k-ary fat tree of
+//! "Randomized Load-balanced Routing for Fat-tree Networks" next to the
+//! paper's leaf-spine, unified as [`Fabric`].
+//!
+//! # k-ary fat tree
+//!
+//! For even `k`: `k` pods, each with `k/2` edge switches and `k/2`
+//! aggregation switches, plus `(k/2)²` core switches; every edge switch
+//! serves `k/2` hosts, so the fabric carries `k³/4` hosts (k=4 → 16,
+//! k=8 → 128, k=16 → 1024). Indexing conventions (all 0-based,
+//! `half = k/2`):
+//!
+//! * host `h`: edge `h / half`, slot `h % half`; edge `e`: pod `e / half`.
+//! * aggregation switch `a = p·half + j` (pod `p`, position `j`).
+//! * core switch `c = j·half + m`: reachable from every pod's aggregation
+//!   switch at position `j` via its uplink `m`; its downlink to pod `p`
+//!   lands on aggregation `p·half + j`.
+//!
+//! Equal-cost paths: `half` choices (the aggregation position `j`) for
+//! intra-pod pairs, `half²` choices (`j`, then core uplink `m`) for
+//! inter-pod pairs — both fanning out at the *edge* switch, which is why
+//! edge and aggregation switches all run a load balancer instance while
+//! cores forward deterministically by destination pod.
+//!
+//! Links are stored once per undirected pair (degradation and failure
+//! always apply to both directions in this simulator), unlike
+//! [`LeafSpine`]'s historical split up/down vectors.
+
+use crate::ids::{HostId, LeafId, SpineId};
+use crate::topology::{LeafSpine, LinkProps};
+use tlb_engine::SimTime;
+
+/// A k-ary fat-tree fabric with per-link properties.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    k: usize,
+    /// `hosts[h]`: host NIC <-> edge link.
+    hosts: Vec<LinkProps>,
+    /// `edge_up[e * half + j]`: edge `e` <-> aggregation `(pod(e), j)`.
+    edge_up: Vec<LinkProps>,
+    /// `agg_up[a * half + m]`: aggregation `a = (p, j)` <-> core `(j, m)`.
+    agg_up: Vec<LinkProps>,
+}
+
+impl FatTree {
+    /// Arity `k` (even).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `k / 2`: hosts per edge, edges per pod, uplinks per switch.
+    #[inline]
+    pub fn half(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Number of pods (= `k`).
+    #[inline]
+    pub fn n_pods(&self) -> usize {
+        self.k
+    }
+
+    /// Number of edge switches (`k²/2`).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.k * self.half()
+    }
+
+    /// Number of aggregation switches (`k²/2`).
+    #[inline]
+    pub fn n_aggs(&self) -> usize {
+        self.k * self.half()
+    }
+
+    /// Number of core switches (`(k/2)²`).
+    #[inline]
+    pub fn n_cores(&self) -> usize {
+        self.half() * self.half()
+    }
+
+    /// Total host count (`k³/4`).
+    #[inline]
+    pub fn n_hosts(&self) -> usize {
+        self.n_edges() * self.half()
+    }
+
+    /// The edge switch a host hangs off.
+    #[inline]
+    pub fn edge_of(&self, h: HostId) -> usize {
+        debug_assert!(h.index() < self.n_hosts());
+        h.index() / self.half()
+    }
+
+    /// A host's port index on its edge switch.
+    #[inline]
+    pub fn host_slot(&self, h: HostId) -> usize {
+        h.index() % self.half()
+    }
+
+    /// The pod an edge switch belongs to.
+    #[inline]
+    pub fn pod_of_edge(&self, e: usize) -> usize {
+        e / self.half()
+    }
+
+    /// Aggregation switch index for pod `p`, position `j`.
+    #[inline]
+    pub fn agg_index(&self, p: usize, j: usize) -> usize {
+        p * self.half() + j
+    }
+
+    /// Core switch index reachable via aggregation position `j`, uplink `m`.
+    #[inline]
+    pub fn core_index(&self, j: usize, m: usize) -> usize {
+        j * self.half() + m
+    }
+
+    /// All hosts under an edge switch.
+    pub fn hosts_of_edge(&self, e: usize) -> impl Iterator<Item = HostId> {
+        let start = e * self.half();
+        (start..start + self.half()).map(HostId::from)
+    }
+
+    /// A specific host's NIC <-> edge link.
+    #[inline]
+    pub fn host_link_of(&self, h: HostId) -> LinkProps {
+        self.hosts[h.index()]
+    }
+
+    /// The edge `e` <-> aggregation `(pod(e), j)` link.
+    #[inline]
+    pub fn edge_uplink(&self, e: usize, j: usize) -> LinkProps {
+        self.edge_up[e * self.half() + j]
+    }
+
+    /// The aggregation `a` <-> core link behind uplink `m`.
+    #[inline]
+    pub fn agg_uplink(&self, a: usize, m: usize) -> LinkProps {
+        self.agg_up[a * self.half() + m]
+    }
+
+    /// Set an edge uplink's properties (both directions).
+    pub fn set_edge_uplink(&mut self, e: usize, j: usize, props: LinkProps) {
+        let i = e * self.half() + j;
+        self.edge_up[i] = props;
+    }
+
+    /// Set an aggregation uplink's properties (both directions).
+    pub fn set_agg_uplink(&mut self, a: usize, m: usize, props: LinkProps) {
+        let i = a * self.half() + m;
+        self.agg_up[i] = props;
+    }
+
+    /// Degrade one host's NIC <-> edge link.
+    pub fn degrade_host_link(&mut self, h: HostId, bw_factor: f64, extra_delay: SimTime) {
+        assert!(
+            bw_factor > 0.0 && bw_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        let link = &mut self.hosts[h.index()];
+        link.bytes_per_sec = ((link.bytes_per_sec as f64) * bw_factor).max(1.0) as u64;
+        link.prop_delay += extra_delay;
+    }
+
+    fn min_inter_edge_delay(&self, e1: usize, e2: usize) -> SimTime {
+        let half = self.half();
+        let (p1, p2) = (self.pod_of_edge(e1), self.pod_of_edge(e2));
+        let mut best: Option<SimTime> = None;
+        for j in 0..half {
+            let first = self.edge_uplink(e1, j).prop_delay;
+            let d = if p1 == p2 {
+                first + self.edge_uplink(e2, j).prop_delay
+            } else {
+                let a1 = self.agg_index(p1, j);
+                let a2 = self.agg_index(p2, j);
+                let core_leg = (0..half)
+                    .map(|m| self.agg_uplink(a1, m).prop_delay + self.agg_uplink(a2, m).prop_delay)
+                    .min()
+                    .expect("fat tree has no cores");
+                first + core_leg + self.edge_uplink(e2, j).prop_delay
+            };
+            best = Some(best.map_or(d, |b| b.min(d)));
+        }
+        best.expect("fat tree has no aggregation switches")
+    }
+
+    /// Minimum one-way base propagation delay from `src` to `dst` over all
+    /// equal-cost paths (excludes serialization and queueing) — the
+    /// propagation term of the fuzzer's FCT lower-bound oracle.
+    pub fn min_one_way_delay(&self, src: HostId, dst: HostId) -> SimTime {
+        let nics = self.host_link_of(src).prop_delay + self.host_link_of(dst).prop_delay;
+        let (e1, e2) = (self.edge_of(src), self.edge_of(dst));
+        if e1 == e2 {
+            return nics;
+        }
+        nics + self.min_inter_edge_delay(e1, e2)
+    }
+
+    /// Minimum base RTT over all paths. Links are undirected, so the best
+    /// round trip reuses the best one-way path in both directions.
+    pub fn min_rtt(&self, src: HostId, dst: HostId) -> SimTime {
+        let one_way = self.min_one_way_delay(src, dst);
+        one_way + one_way
+    }
+
+    /// True if any link differs from any other of its tier (diagnostics).
+    pub fn is_asymmetric(&self) -> bool {
+        self.edge_up.windows(2).any(|w| w[0] != w[1])
+            || self.agg_up.windows(2).any(|w| w[0] != w[1])
+            || self.hosts.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// Builder for [`FatTree`] fabrics; defaults mirror [`LeafSpineBuilder`]
+/// (1 Gbit/s links), with per-link propagation spread over the 12 link
+/// traversals of an inter-pod round trip.
+///
+/// [`LeafSpineBuilder`]: crate::topology::LeafSpineBuilder
+///
+/// ```
+/// use tlb_net::{FatTreeBuilder, HostId};
+/// use tlb_engine::SimTime;
+///
+/// let t = FatTreeBuilder::new(4).target_rtt(SimTime::from_micros(120)).build();
+/// assert_eq!(t.n_hosts(), 16);
+/// // Hosts 0 and 15 sit in different pods: the full 6-hop path both ways.
+/// assert_eq!(t.min_rtt(HostId(0), HostId(15)), SimTime::from_micros(120));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FatTreeBuilder {
+    k: usize,
+    link_bytes_per_sec: u64,
+    prop_per_link: SimTime,
+}
+
+impl FatTreeBuilder {
+    /// Start a k-ary fat tree. `k` must be even and ≥ 2.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
+        FatTreeBuilder {
+            k,
+            link_bytes_per_sec: 125_000_000,            // 1 Gbit/s
+            prop_per_link: SimTime::from_nanos(10_000), // 120 us RTT / 12 hops
+        }
+    }
+
+    /// Set every link's capacity in Gbit/s.
+    pub fn link_gbps(mut self, gbps: f64) -> Self {
+        self.link_bytes_per_sec = (gbps * 1e9 / 8.0).round() as u64;
+        self
+    }
+
+    /// Set the per-link one-way propagation delay directly.
+    pub fn prop_per_link(mut self, d: SimTime) -> Self {
+        self.prop_per_link = d;
+        self
+    }
+
+    /// Choose per-link propagation so an *inter-pod* round trip's base
+    /// propagation equals `rtt` (12 traversals of a 6-link path).
+    pub fn target_rtt(mut self, rtt: SimTime) -> Self {
+        self.prop_per_link = rtt / 12;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> FatTree {
+        let link = LinkProps {
+            bytes_per_sec: self.link_bytes_per_sec,
+            prop_delay: self.prop_per_link,
+        };
+        let half = self.k / 2;
+        let n_edges = self.k * half;
+        FatTree {
+            k: self.k,
+            hosts: vec![link; n_edges * half],
+            edge_up: vec![link; n_edges * half],
+            agg_up: vec![link; n_edges * half],
+        }
+    }
+}
+
+/// A fabric the simulator can run on: the paper's leaf-spine or a k-ary
+/// fat tree, with a uniform query surface.
+///
+/// Rack-generic vocabulary: a *leaf* is the host-facing switch tier (edge
+/// switches in a fat tree), so `n_leaves`/`leaf_of`/`hosts_of` keep their
+/// historical names and every workload generator works on both fabrics
+/// unchanged. *LB switches* are the switches that own equal-cost uplinks
+/// and therefore run a load-balancer instance: leaves in leaf-spine,
+/// edge + aggregation switches in a fat tree. Both fabrics have a uniform
+/// uplink count per LB switch (`n_spines` / `k/2`), addressed by
+/// `(LeafId, SpineId)` pairs reinterpreted as (LB switch, uplink).
+#[derive(Clone, Debug)]
+pub enum Fabric {
+    /// Two-tier leaf-spine (the paper's evaluation fabrics).
+    LeafSpine(LeafSpine),
+    /// Three-tier k-ary fat tree.
+    FatTree(FatTree),
+}
+
+impl From<LeafSpine> for Fabric {
+    fn from(t: LeafSpine) -> Fabric {
+        Fabric::LeafSpine(t)
+    }
+}
+
+impl From<FatTree> for Fabric {
+    fn from(t: FatTree) -> Fabric {
+        Fabric::FatTree(t)
+    }
+}
+
+impl Fabric {
+    /// The leaf-spine inside, if that's what this is.
+    pub fn as_leaf_spine(&self) -> Option<&LeafSpine> {
+        match self {
+            Fabric::LeafSpine(t) => Some(t),
+            Fabric::FatTree(_) => None,
+        }
+    }
+
+    /// The fat tree inside, if that's what this is.
+    pub fn as_fat_tree(&self) -> Option<&FatTree> {
+        match self {
+            Fabric::LeafSpine(_) => None,
+            Fabric::FatTree(t) => Some(t),
+        }
+    }
+
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.n_hosts(),
+            Fabric::FatTree(t) => t.n_hosts(),
+        }
+    }
+
+    /// Host-facing switches: leaves, or fat-tree edges.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.n_leaves(),
+            Fabric::FatTree(t) => t.n_edges(),
+        }
+    }
+
+    /// Hosts per host-facing switch.
+    pub fn hosts_per_leaf(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.hosts_per_leaf(),
+            Fabric::FatTree(t) => t.half(),
+        }
+    }
+
+    /// Equal-cost uplinks per LB switch (spines, or `k/2`).
+    pub fn n_spines(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.n_spines(),
+            Fabric::FatTree(t) => t.half(),
+        }
+    }
+
+    /// Switches running a load-balancer instance: leaves, or fat-tree
+    /// edges followed by aggregations (in that index order).
+    pub fn n_lb_switches(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.n_leaves(),
+            Fabric::FatTree(t) => t.n_edges() + t.n_aggs(),
+        }
+    }
+
+    /// All switches: leaves + spines, or edges + aggregations + cores.
+    pub fn n_switches(&self) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.n_leaves() + t.n_spines(),
+            Fabric::FatTree(t) => t.n_edges() + t.n_aggs() + t.n_cores(),
+        }
+    }
+
+    /// The host-facing switch a host hangs off.
+    pub fn leaf_of(&self, h: HostId) -> LeafId {
+        match self {
+            Fabric::LeafSpine(t) => t.leaf_of(h),
+            Fabric::FatTree(t) => LeafId(t.edge_of(h) as u32),
+        }
+    }
+
+    /// A host's port index on its switch.
+    pub fn host_slot(&self, h: HostId) -> usize {
+        match self {
+            Fabric::LeafSpine(t) => t.host_slot(h),
+            Fabric::FatTree(t) => t.host_slot(h),
+        }
+    }
+
+    /// All hosts under a host-facing switch.
+    pub fn hosts_of(&self, l: LeafId) -> impl Iterator<Item = HostId> + '_ {
+        let (start, n) = match self {
+            Fabric::LeafSpine(t) => (l.index() * t.hosts_per_leaf(), t.hosts_per_leaf()),
+            Fabric::FatTree(t) => (l.index() * t.half(), t.half()),
+        };
+        (start..start + n).map(HostId::from)
+    }
+
+    /// The reference host link (host 0's; fabrics start uniform).
+    pub fn host_link(&self) -> LinkProps {
+        self.host_link_of(HostId(0))
+    }
+
+    /// A specific host's NIC link.
+    pub fn host_link_of(&self, h: HostId) -> LinkProps {
+        match self {
+            Fabric::LeafSpine(t) => t.host_link_of(h),
+            Fabric::FatTree(t) => t.host_link_of(h),
+        }
+    }
+
+    /// An LB switch's `up`-th uplink. For leaf-spine this is the
+    /// leaf->spine link; for a fat tree, edge->aggregation for
+    /// `sw < n_edges` and aggregation->core above that.
+    pub fn uplink_props(&self, sw: usize, up: usize) -> LinkProps {
+        match self {
+            Fabric::LeafSpine(t) => t.uplink(LeafId(sw as u32), SpineId(up as u32)),
+            Fabric::FatTree(t) => {
+                if sw < t.n_edges() {
+                    t.edge_uplink(sw, up)
+                } else {
+                    t.agg_uplink(sw - t.n_edges(), up)
+                }
+            }
+        }
+    }
+
+    /// Set an LB switch uplink's properties outright (both directions);
+    /// the repair-capable counterpart of [`degrade_link`](Fabric::degrade_link).
+    pub fn set_uplink(&mut self, sw: usize, up: usize, props: LinkProps) {
+        match self {
+            Fabric::LeafSpine(t) => t.set_link(LeafId(sw as u32), SpineId(up as u32), props),
+            Fabric::FatTree(t) => {
+                if sw < t.n_edges() {
+                    t.set_edge_uplink(sw, up, props);
+                } else {
+                    t.set_agg_uplink(sw - t.n_edges(), up, props);
+                }
+            }
+        }
+    }
+
+    /// Degrade an LB switch uplink (both directions): multiply bandwidth
+    /// by `bw_factor` ∈ (0, 1] and add `extra_delay`. `(l, s)` is
+    /// (LB switch, uplink) — the historical leaf-spine naming.
+    pub fn degrade_link(&mut self, l: LeafId, s: SpineId, bw_factor: f64, extra_delay: SimTime) {
+        assert!(
+            bw_factor > 0.0 && bw_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        let mut p = self.uplink_props(l.index(), s.index());
+        p.bytes_per_sec = ((p.bytes_per_sec as f64) * bw_factor).max(1.0) as u64;
+        p.prop_delay += extra_delay;
+        self.set_uplink(l.index(), s.index(), p);
+    }
+
+    /// Degrade one host's NIC link (both directions).
+    pub fn degrade_host_link(&mut self, h: HostId, bw_factor: f64, extra_delay: SimTime) {
+        match self {
+            Fabric::LeafSpine(t) => t.degrade_host_link(h, bw_factor, extra_delay),
+            Fabric::FatTree(t) => t.degrade_host_link(h, bw_factor, extra_delay),
+        }
+    }
+
+    /// Minimum base RTT over all equal-cost paths.
+    pub fn min_rtt(&self, src: HostId, dst: HostId) -> SimTime {
+        match self {
+            Fabric::LeafSpine(t) => t.min_rtt(src, dst),
+            Fabric::FatTree(t) => t.min_rtt(src, dst),
+        }
+    }
+
+    /// Minimum one-way base propagation delay over all equal-cost paths.
+    pub fn min_one_way_delay(&self, src: HostId, dst: HostId) -> SimTime {
+        match self {
+            Fabric::LeafSpine(t) => t.min_one_way_delay(src, dst),
+            Fabric::FatTree(t) => t.min_one_way_delay(src, dst),
+        }
+    }
+
+    /// True if any same-tier link pair differs (diagnostics).
+    pub fn is_asymmetric(&self) -> bool {
+        match self {
+            Fabric::LeafSpine(t) => t.is_asymmetric(),
+            Fabric::FatTree(t) => t.is_asymmetric(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> FatTree {
+        FatTreeBuilder::new(4)
+            .link_gbps(1.0)
+            .target_rtt(SimTime::from_micros(120))
+            .build()
+    }
+
+    #[test]
+    fn k4_dimensions() {
+        let t = k4();
+        assert_eq!(t.k(), 4);
+        assert_eq!(t.n_pods(), 4);
+        assert_eq!(t.n_edges(), 8);
+        assert_eq!(t.n_aggs(), 8);
+        assert_eq!(t.n_cores(), 4);
+        assert_eq!(t.n_hosts(), 16);
+    }
+
+    #[test]
+    fn scale_dimensions() {
+        assert_eq!(FatTreeBuilder::new(8).build().n_hosts(), 128);
+        assert_eq!(FatTreeBuilder::new(16).build().n_hosts(), 1024);
+        assert_eq!(FatTreeBuilder::new(16).build().n_cores(), 64);
+    }
+
+    #[test]
+    fn host_edge_pod_arithmetic() {
+        let t = k4();
+        assert_eq!(t.edge_of(HostId(0)), 0);
+        assert_eq!(t.edge_of(HostId(3)), 1);
+        assert_eq!(t.edge_of(HostId(15)), 7);
+        assert_eq!(t.pod_of_edge(0), 0);
+        assert_eq!(t.pod_of_edge(3), 1);
+        assert_eq!(t.pod_of_edge(7), 3);
+        assert_eq!(t.host_slot(HostId(5)), 1);
+        let under: Vec<_> = t.hosts_of_edge(2).collect();
+        assert_eq!(under, vec![HostId(4), HostId(5)]);
+    }
+
+    #[test]
+    fn path_delays_by_locality() {
+        let t = k4();
+        let hop = SimTime::from_micros(10); // 120 us / 12
+                                            // Same edge: two NIC hops.
+        assert_eq!(t.min_one_way_delay(HostId(0), HostId(1)), hop + hop);
+        // Same pod, different edge: NIC + edge->agg + agg->edge + NIC.
+        assert_eq!(t.min_one_way_delay(HostId(0), HostId(2)), hop * 4);
+        // Different pod: 6 links.
+        assert_eq!(t.min_one_way_delay(HostId(0), HostId(15)), hop * 6);
+        assert_eq!(t.min_rtt(HostId(0), HostId(15)), SimTime::from_micros(120));
+    }
+
+    #[test]
+    fn degradation_reroutes_the_minimum() {
+        let mut t = k4();
+        let before = t.min_one_way_delay(HostId(0), HostId(15));
+        // Slow down edge 0's uplink j=0; the j=1 plane keeps the old bound.
+        let mut p = t.edge_uplink(0, 0);
+        p.prop_delay += SimTime::from_micros(100);
+        t.set_edge_uplink(0, 0, p);
+        assert!(t.is_asymmetric());
+        assert_eq!(t.min_one_way_delay(HostId(0), HostId(15)), before);
+        // Slowing the other plane too finally moves the bound.
+        let mut q = t.edge_uplink(0, 1);
+        q.prop_delay += SimTime::from_micros(100);
+        t.set_edge_uplink(0, 1, q);
+        assert_eq!(
+            t.min_one_way_delay(HostId(0), HostId(15)),
+            before + SimTime::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn fabric_surface_agrees_across_variants() {
+        let ls: Fabric = crate::topology::LeafSpineBuilder::new(8, 2, 2)
+            .build()
+            .into();
+        let ft: Fabric = k4().into();
+        for f in [&ls, &ft] {
+            assert_eq!(f.n_hosts(), 16);
+            assert_eq!(f.hosts_per_leaf(), 2);
+            assert_eq!(f.n_spines(), 2);
+            assert_eq!(f.leaf_of(HostId(5)).index(), 2);
+            assert_eq!(f.host_slot(HostId(5)), 1);
+            let under: Vec<_> = f.hosts_of(LeafId(1)).collect();
+            assert_eq!(under, vec![HostId(2), HostId(3)]);
+        }
+        assert_eq!(ls.n_leaves(), 8);
+        assert_eq!(ft.n_leaves(), 8);
+        assert_eq!(ls.n_lb_switches(), 8);
+        assert_eq!(ft.n_lb_switches(), 16);
+        assert_eq!(ft.n_switches(), 20);
+    }
+
+    #[test]
+    fn fabric_degrade_targets_the_right_tier() {
+        let mut f: Fabric = k4().into();
+        // LB switch 9 = aggregation 1 (pod 0, j=1); uplink 1 -> core (1,1).
+        f.degrade_link(LeafId(9), SpineId(1), 0.5, SimTime::ZERO);
+        let t = f.as_fat_tree().unwrap();
+        assert_eq!(t.agg_uplink(1, 1).bytes_per_sec, 62_500_000);
+        assert_eq!(t.agg_uplink(1, 0).bytes_per_sec, 125_000_000);
+        assert_eq!(t.edge_uplink(1, 1).bytes_per_sec, 125_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_arity_rejected() {
+        FatTreeBuilder::new(5);
+    }
+}

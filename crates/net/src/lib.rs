@@ -6,11 +6,13 @@
 //! leaf-to-spine links.
 
 pub mod arena;
+pub mod fabric;
 pub mod ids;
 pub mod packet;
 pub mod topology;
 
 pub use arena::{PacketArena, PacketSlot};
+pub use fabric::{Fabric, FatTree, FatTreeBuilder};
 pub use ids::{FlowId, HostId, LeafId, SpineId};
 pub use packet::{Packet, PktKind};
 pub use topology::{LeafSpine, LeafSpineBuilder, LinkProps};

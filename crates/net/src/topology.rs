@@ -50,8 +50,8 @@ pub struct LeafSpine {
     n_leaves: usize,
     n_spines: usize,
     hosts_per_leaf: usize,
-    /// Host NIC -> leaf (and symmetric leaf -> host) link.
-    host_link: LinkProps,
+    /// `hosts[h]`: host NIC <-> leaf link (same both directions).
+    hosts: Vec<LinkProps>,
     /// `up[leaf][spine]`: leaf -> spine.
     up: Vec<LinkProps>,
     /// `down[spine][leaf]`: spine -> leaf.
@@ -102,10 +102,21 @@ impl LeafSpine {
         (start..start + self.hosts_per_leaf).map(HostId::from)
     }
 
-    /// The host NIC <-> leaf link (same both directions).
+    /// The reference host NIC <-> leaf link (host 0's). Fabrics are built
+    /// uniform, so this is every host's link until [`degrade_host_link`]
+    /// touches one; per-host queries go through [`host_link_of`].
+    ///
+    /// [`degrade_host_link`]: LeafSpine::degrade_host_link
+    /// [`host_link_of`]: LeafSpine::host_link_of
     #[inline]
     pub fn host_link(&self) -> LinkProps {
-        self.host_link
+        self.hosts[0]
+    }
+
+    /// A specific host's NIC <-> leaf link (same both directions).
+    #[inline]
+    pub fn host_link_of(&self, h: HostId) -> LinkProps {
+        self.hosts[h.index()]
     }
 
     /// The leaf -> spine uplink.
@@ -125,14 +136,16 @@ impl LeafSpine {
     pub fn rtt_via(&self, src: HostId, spine: SpineId, dst: HostId) -> SimTime {
         let sl = self.leaf_of(src);
         let dl = self.leaf_of(dst);
-        let one_way = self.host_link.prop_delay
+        let src_nic = self.host_link_of(src).prop_delay;
+        let dst_nic = self.host_link_of(dst).prop_delay;
+        let one_way = src_nic
             + self.uplink(sl, spine).prop_delay
             + self.downlink(spine, dl).prop_delay
-            + self.host_link.prop_delay;
-        let back = self.host_link.prop_delay
+            + dst_nic;
+        let back = dst_nic
             + self.uplink(dl, spine).prop_delay
             + self.downlink(spine, sl).prop_delay
-            + self.host_link.prop_delay;
+            + src_nic;
         one_way + back
     }
 
@@ -153,16 +166,14 @@ impl LeafSpine {
     pub fn min_one_way_delay(&self, src: HostId, dst: HostId) -> SimTime {
         let sl = self.leaf_of(src);
         let dl = self.leaf_of(dst);
+        let nics = self.host_link_of(src).prop_delay + self.host_link_of(dst).prop_delay;
         if sl == dl {
-            return self.host_link.prop_delay + self.host_link.prop_delay;
+            return nics;
         }
         (0..self.n_spines)
             .map(|s| {
                 let spine = SpineId(s as u32);
-                self.host_link.prop_delay
-                    + self.uplink(sl, spine).prop_delay
-                    + self.downlink(spine, dl).prop_delay
-                    + self.host_link.prop_delay
+                nics + self.uplink(sl, spine).prop_delay + self.downlink(spine, dl).prop_delay
             })
             .min()
             .expect("topology has no spines")
@@ -184,9 +195,37 @@ impl LeafSpine {
         down.prop_delay += extra_delay;
     }
 
-    /// True if any leaf<->spine link differs from any other (diagnostics).
+    /// Degrade one host's NIC <-> leaf link (both directions): multiply
+    /// bandwidth by `bw_factor` and add `extra_delay` to propagation.
+    pub fn degrade_host_link(&mut self, h: HostId, bw_factor: f64, extra_delay: SimTime) {
+        assert!(
+            bw_factor > 0.0 && bw_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        let link = &mut self.hosts[h.index()];
+        link.bytes_per_sec = ((link.bytes_per_sec as f64) * bw_factor).max(1.0) as u64;
+        link.prop_delay += extra_delay;
+    }
+
+    /// Set the leaf<->spine link pair's properties outright (both
+    /// directions). Unlike [`degrade_link`](LeafSpine::degrade_link) this
+    /// can *improve* a link — it is how repair / flap-up schedules and the
+    /// fuzzer's best-fabric-state tracking are expressed.
+    pub fn set_link(&mut self, l: LeafId, s: SpineId, props: LinkProps) {
+        self.up[l.index() * self.n_spines + s.index()] = props;
+        self.down[s.index() * self.n_leaves + l.index()] = props;
+    }
+
+    /// True if any link differs from any other of its tier (diagnostics).
+    ///
+    /// Checks all three link populations: leaf->spine uplinks,
+    /// spine->leaf downlinks, *and* host NIC links — an earlier version
+    /// only compared the uplink/downlink vectors, so a fabric whose only
+    /// asymmetry was a degraded host link reported itself symmetric.
     pub fn is_asymmetric(&self) -> bool {
-        self.up.windows(2).any(|w| w[0] != w[1]) || self.down.windows(2).any(|w| w[0] != w[1])
+        self.up.windows(2).any(|w| w[0] != w[1])
+            || self.down.windows(2).any(|w| w[0] != w[1])
+            || self.hosts.windows(2).any(|w| w[0] != w[1])
     }
 }
 
@@ -266,7 +305,7 @@ impl LeafSpineBuilder {
             n_leaves: self.n_leaves,
             n_spines: self.n_spines,
             hosts_per_leaf: self.hosts_per_leaf,
-            host_link: link,
+            hosts: vec![link; self.n_leaves * self.hosts_per_leaf],
             up: vec![link; self.n_leaves * self.n_spines],
             down: vec![link; self.n_spines * self.n_leaves],
         }
@@ -410,6 +449,70 @@ mod tests {
             t.degrade_link(LeafId(0), SpineId(0), 0.5, SimTime::from_micros(extra_us));
             prop_assert!(t.min_one_way_delay(a, b) >= one_way);
         }
+    }
+
+    #[test]
+    fn host_link_degradation_is_per_host_and_reported() {
+        let mut t = basic();
+        assert!(!t.is_asymmetric());
+        t.degrade_host_link(HostId(5), 0.25, SimTime::from_micros(10));
+        // The audit bug this pins: a fabric whose only asymmetry is a host
+        // link must still report asymmetric.
+        assert!(t.is_asymmetric(), "host-link asymmetry must be reported");
+        let d = t.host_link_of(HostId(5));
+        assert_eq!(d.bytes_per_sec, 125_000_000 / 4);
+        assert_eq!(
+            d.prop_delay,
+            SimTime::from_nanos(12_500) + SimTime::from_micros(10)
+        );
+        // Every other host — including rack mates — keeps pristine links,
+        // and the reference accessor still reports host 0's.
+        assert_eq!(t.host_link_of(HostId(4)).bytes_per_sec, 125_000_000);
+        assert_eq!(t.host_link_of(HostId(6)).bytes_per_sec, 125_000_000);
+        assert_eq!(t.host_link().bytes_per_sec, 125_000_000);
+    }
+
+    #[test]
+    fn host_link_degradation_slows_every_path_of_that_host() {
+        let mut t = basic();
+        let before_inter = t.min_one_way_delay(HostId(0), HostId(20));
+        let before_intra = t.min_one_way_delay(HostId(0), HostId(1));
+        t.degrade_host_link(HostId(0), 1.0, SimTime::from_micros(50));
+        // Both intra- and inter-rack bounds move by exactly the NIC delta.
+        assert_eq!(
+            t.min_one_way_delay(HostId(0), HostId(20)),
+            before_inter + SimTime::from_micros(50)
+        );
+        assert_eq!(
+            t.min_one_way_delay(HostId(0), HostId(1)),
+            before_intra + SimTime::from_micros(50)
+        );
+        // A pair not involving host 0 is untouched.
+        assert_eq!(t.min_one_way_delay(HostId(1), HostId(2)), before_intra);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn degrade_host_link_rejects_zero_factor() {
+        let mut t = basic();
+        t.degrade_host_link(HostId(0), 0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn set_link_can_improve_and_restores_symmetry() {
+        let mut t = basic();
+        let pristine = t.uplink(LeafId(0), SpineId(0));
+        t.degrade_link(LeafId(0), SpineId(0), 0.5, SimTime::from_micros(40));
+        assert!(t.is_asymmetric());
+        let fast = LinkProps {
+            bytes_per_sec: pristine.bytes_per_sec * 2,
+            prop_delay: pristine.prop_delay / 2,
+        };
+        t.set_link(LeafId(0), SpineId(0), fast);
+        assert_eq!(t.uplink(LeafId(0), SpineId(0)), fast);
+        assert_eq!(t.downlink(SpineId(0), LeafId(0)), fast);
+        t.set_link(LeafId(0), SpineId(0), pristine);
+        assert!(!t.is_asymmetric(), "restoring the link restores symmetry");
     }
 
     #[test]

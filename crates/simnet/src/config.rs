@@ -3,34 +3,86 @@
 use crate::dispatch::LbDispatch;
 use crate::scheme::Scheme;
 use tlb_engine::{FelKind, SimTime};
-use tlb_net::{LeafId, LeafSpine, LeafSpineBuilder, SpineId};
+use tlb_net::{Fabric, LeafId, LeafSpineBuilder, SpineId};
 use tlb_switch::QueueCfg;
 use tlb_transport::TcpConfig;
 
-/// A scheduled mid-run change to one leaf<->spine link pair: at `at`, the
-/// link's bandwidth is multiplied by `bw_factor` (of its *current* value)
-/// and `extra_delay` is added to its propagation delay — in both
-/// directions. Models failures/brownouts (paper §7's asymmetry, but
-/// dynamic).
+/// A scheduled mid-run change to one LB-switch uplink and its reverse
+/// direction: at `at`, the link's bandwidth is multiplied by `bw_factor`
+/// (of its *current* value) and its propagation delay becomes
+/// `new_prop_delay.unwrap_or(current) + extra_delay` — in both directions.
+/// Models failures/brownouts (paper §7's asymmetry, but dynamic), and with
+/// `bw_factor > 1` or a shorter `new_prop_delay`, mid-run *improvements*
+/// (repairs).
 #[derive(Clone, Copy, Debug)]
 pub struct LinkEvent {
     /// When the change takes effect.
     pub at: SimTime,
-    /// The leaf side of the link.
+    /// The LB switch owning the uplink (leaf-spine: leaf; fat tree: edges
+    /// then aggs, in global LB-switch order).
     pub leaf: LeafId,
-    /// The spine side of the link.
+    /// The uplink index within that switch.
     pub spine: SpineId,
-    /// Multiplier on the current bandwidth, in (0, 1].
+    /// Multiplier on the current bandwidth; must be positive. Values above
+    /// 1 model a repair/upgrade.
     pub bw_factor: f64,
+    /// Replace the one-way propagation delay with this value (before
+    /// `extra_delay` is added). `None` keeps the current delay.
+    pub new_prop_delay: Option<SimTime>,
     /// Added one-way propagation delay.
     pub extra_delay: SimTime,
+}
+
+/// What a [`FailureEvent`] acts on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureTarget {
+    /// One LB-switch uplink and its reverse direction (leaf<->spine,
+    /// edge<->agg, or agg<->core).
+    Link {
+        /// The LB switch owning the uplink (same indexing as
+        /// [`LinkEvent::leaf`]).
+        sw: LeafId,
+        /// The uplink index within that switch.
+        up: SpineId,
+    },
+    /// Every port of one switch (and the reverse direction of each), i.e.
+    /// the whole box goes dark.
+    Switch {
+        /// Global switch index in `0..topo.n_switches()`: LB switches
+        /// first (leaves, or edges then aggs), then spines/cores.
+        sw: usize,
+    },
+}
+
+/// Whether a [`FailureEvent`] takes its target down or brings it back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Ports go administratively down: packets already queued or in
+    /// service drain normally; new admissions are dropped (and counted as
+    /// drops). Routing reconverges around the failure immediately.
+    Down,
+    /// Ports come back up and routing reconverges to use them again.
+    Up,
+}
+
+/// A scheduled binary link/switch failure or repair. Unlike [`LinkEvent`]
+/// (which degrades link *quality*), a failure removes capacity outright
+/// and forces the fabric's reachability masks to be recomputed.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureEvent {
+    /// When the failure/repair takes effect.
+    pub at: SimTime,
+    /// What fails or recovers.
+    pub target: FailureTarget,
+    /// Down or up.
+    pub action: FailureAction,
 }
 
 /// Everything needed to run one simulation (besides the flow set).
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// The fabric.
-    pub topo: LeafSpine,
+    /// The fabric (two-tier leaf-spine or three-tier fat tree).
+    pub topo: Fabric,
     /// Transport endpoints' parameters.
     pub tcp: TcpConfig,
     /// Switch output-queue parameters (buffer size, ECN threshold).
@@ -50,6 +102,8 @@ pub struct SimConfig {
     pub series_bucket: SimTime,
     /// Mid-run link degradations (failure injection).
     pub link_events: Vec<LinkEvent>,
+    /// Mid-run binary link/switch failures and repairs.
+    pub failure_events: Vec<FailureEvent>,
     /// Flows whose packets should be path-traced into
     /// [`crate::RunReport::traces`] (diagnostics/tests; keep small — every
     /// hop of every traced packet is recorded).
@@ -172,7 +226,8 @@ impl SimConfig {
             topo: LeafSpineBuilder::new(3, 15, 16)
                 .link_gbps(1.0)
                 .target_rtt(SimTime::from_micros(100))
-                .build(),
+                .build()
+                .into(),
             tcp: TcpConfig::dctcp_default(),
             queue: QueueCfg {
                 capacity_pkts: 256,
@@ -188,6 +243,7 @@ impl SimConfig {
             short_threshold: 100_000,
             series_bucket: SimTime::from_millis(1),
             link_events: Vec::new(),
+            failure_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
             audit: cfg!(debug_assertions),
@@ -208,7 +264,8 @@ impl SimConfig {
             topo: LeafSpineBuilder::new(8, 8, hosts_per_leaf)
                 .link_gbps(1.0)
                 .target_rtt(SimTime::from_micros(100))
-                .build(),
+                .build()
+                .into(),
             tcp: TcpConfig::dctcp_default(),
             queue: QueueCfg {
                 capacity_pkts: 256,
@@ -224,6 +281,7 @@ impl SimConfig {
             short_threshold: 100_000,
             series_bucket: SimTime::from_millis(5),
             link_events: Vec::new(),
+            failure_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
             audit: cfg!(debug_assertions),
@@ -242,7 +300,8 @@ impl SimConfig {
             topo: LeafSpineBuilder::new(2, 10, 12)
                 .link_mbps(20.0)
                 .prop_per_link(SimTime::from_millis(1))
-                .build(),
+                .build()
+                .into(),
             tcp: TcpConfig::testbed_default(),
             queue: QueueCfg {
                 capacity_pkts: 256,
@@ -258,6 +317,7 @@ impl SimConfig {
             short_threshold: 100_000,
             series_bucket: SimTime::from_millis(500),
             link_events: Vec::new(),
+            failure_events: Vec::new(),
             trace_flows: Vec::new(),
             sample_queues: false,
             audit: cfg!(debug_assertions),
@@ -282,11 +342,28 @@ impl SimConfig {
             return Err("series bucket must be positive".into());
         }
         for (i, ev) in self.link_events.iter().enumerate() {
-            if !(ev.bw_factor > 0.0 && ev.bw_factor <= 1.0) {
-                return Err(format!("link event {i}: bw_factor out of (0,1]"));
+            if ev.bw_factor <= 0.0 || ev.bw_factor.is_nan() {
+                return Err(format!("link event {i}: bw_factor must be positive"));
             }
-            if ev.leaf.index() >= self.topo.n_leaves() || ev.spine.index() >= self.topo.n_spines() {
+            if ev.leaf.index() >= self.topo.n_lb_switches()
+                || ev.spine.index() >= self.topo.n_spines()
+            {
                 return Err(format!("link event {i}: link out of range"));
+            }
+        }
+        for (i, ev) in self.failure_events.iter().enumerate() {
+            match ev.target {
+                FailureTarget::Link { sw, up } => {
+                    if sw.index() >= self.topo.n_lb_switches() || up.index() >= self.topo.n_spines()
+                    {
+                        return Err(format!("failure event {i}: link out of range"));
+                    }
+                }
+                FailureTarget::Switch { sw } => {
+                    if sw >= self.topo.n_switches() {
+                        return Err(format!("failure event {i}: switch out of range"));
+                    }
+                }
             }
         }
         Ok(())

@@ -17,7 +17,9 @@
 use crate::Scheme;
 use tlb_core::Tlb;
 use tlb_engine::{SimRng, SimTime};
-use tlb_lb::{CongaLite, Drill, Ecmp, FlowBender, HermesLite, LetFlow, Presto, Rps, Wcmp};
+use tlb_lb::{
+    CongaLite, DiffFlow, Drill, Ecmp, FlowBender, HermesLite, LetFlow, Presto, Rps, Wcmp,
+};
 use tlb_net::Packet;
 use tlb_switch::{LoadBalancer, PortView};
 
@@ -84,6 +86,8 @@ pub enum AnyLb {
     Hermes(HermesLite),
     /// Weighted flow-level hashing.
     Wcmp(Wcmp),
+    /// Static short/long split: spray shorts, pin longs.
+    DiffFlow(DiffFlow),
     /// The paper's scheme: traffic-aware adaptive granularity.
     Tlb(Box<Tlb>),
     /// Virtual-call reference path (`dyn-lb` feature / `TLB_LB_DISPATCH=dyn`).
@@ -104,6 +108,7 @@ macro_rules! dispatch {
             AnyLb::FlowBender($lb) => $body,
             AnyLb::Hermes($lb) => $body,
             AnyLb::Wcmp($lb) => $body,
+            AnyLb::DiffFlow($lb) => $body,
             AnyLb::Tlb($lb) => $body,
             AnyLb::Dyn($lb) => $body,
         }
@@ -162,8 +167,29 @@ impl LoadBalancer for AnyLb {
             AnyLb::FlowBender(lb) => LoadBalancer::long_reroutes(lb),
             AnyLb::Hermes(lb) => LoadBalancer::long_reroutes(lb),
             AnyLb::Wcmp(lb) => LoadBalancer::long_reroutes(lb),
+            AnyLb::DiffFlow(lb) => LoadBalancer::long_reroutes(lb),
             AnyLb::Tlb(lb) => LoadBalancer::long_reroutes(&**lb),
             AnyLb::Dyn(lb) => lb.long_reroutes(),
+        }
+    }
+
+    #[inline]
+    fn forced_reroutes(&self) -> Option<u64> {
+        // Same shadowing situation as `long_reroutes`: `Tlb` has an
+        // inherent `forced_reroutes() -> u64`, so dispatch by hand.
+        match self {
+            AnyLb::Ecmp(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Rps(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Presto(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::LetFlow(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Drill(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::CongaLite(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::FlowBender(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Hermes(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Wcmp(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::DiffFlow(lb) => LoadBalancer::forced_reroutes(lb),
+            AnyLb::Tlb(lb) => LoadBalancer::forced_reroutes(&**lb),
+            AnyLb::Dyn(lb) => lb.forced_reroutes(),
         }
     }
 }
@@ -197,6 +223,9 @@ impl Scheme {
                 *benefit_factor,
             )),
             Scheme::Wcmp => AnyLb::Wcmp(Wcmp::new()),
+            Scheme::DiffFlow { threshold_bytes } => {
+                AnyLb::DiffFlow(DiffFlow::new(*threshold_bytes))
+            }
             Scheme::Tlb(cfg) => AnyLb::Tlb(Box::new(Tlb::new(*cfg))),
         }
     }
@@ -258,6 +287,7 @@ mod tests {
             assert_eq!(fast.state_bytes(), slow.state_bytes());
             assert_eq!(fast.q_threshold(), slow.q_threshold());
             assert_eq!(fast.long_reroutes(), slow.long_reroutes());
+            assert_eq!(fast.forced_reroutes(), slow.forced_reroutes());
 
             let mut rng_a = SimRng::new(11);
             let mut rng_b = SimRng::new(11);

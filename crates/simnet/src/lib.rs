@@ -33,7 +33,7 @@ pub mod runner;
 pub mod scheme;
 
 pub use audit::{AuditReport, KindCounts};
-pub use config::{DeliveryKind, LinkEvent, SimConfig};
+pub use config::{DeliveryKind, FailureAction, FailureEvent, FailureTarget, LinkEvent, SimConfig};
 pub use dispatch::{AnyLb, LbDispatch};
 pub use network::Simulation;
 pub use report::{Hop, RunReport, Summary, TraceEvent};

@@ -7,17 +7,32 @@
 //! host NIC ──> leaf { uplinks[spine] ──> spine { downlinks[leaf] ──> leaf { downlinks[host] ──> host
 //! ```
 //!
-//! The load balancer runs at the *source* leaf: every packet a local host
-//! sends to a remote rack goes through `LoadBalancer::choose_uplink`.
-//! Spine→leaf and leaf→host forwarding are single-path.
+//! A three-tier fat tree adds one more load-balanced tier: edge uplinks
+//! spray over the pod's aggs, agg uplinks spray over their core group, and
+//! cores/aggs/edges route deterministically downward by destination pod /
+//! edge / host slot.
+//!
+//! The load balancers run at the *upstream* switches: every packet headed
+//! to a higher tier goes through `LoadBalancer::choose_uplink` at each
+//! LB switch it climbs. Downward forwarding is single-path.
 //!
 //! ## Hot-path layout
 //!
 //! All output ports live in one flat `Vec<OutPort>` indexed by [`PortId`]
-//! (hosts' NICs, then each leaf's uplinks and downlinks, then the spines'
-//! downlinks — see [`PortMap`]), with the next-hop node precomputed per
-//! port. Load balancers dispatch statically through [`crate::AnyLb`]
-//! unless the run pins [`crate::LbDispatch::Dyn`].
+//! (hosts' NICs, then per switch its uplinks followed by its downlinks —
+//! see [`PortMap`]), with the next-hop node precomputed per port. Load
+//! balancers dispatch statically through [`crate::AnyLb`] unless the run
+//! pins [`crate::LbDispatch::Dyn`].
+//!
+//! ## Failures
+//!
+//! [`crate::config::FailureEvent`]s flip ports administratively down/up at
+//! their scheduled time: queued and in-service packets drain normally,
+//! new admissions drop with ordinary accounting, and per-destination
+//! reachability masks are recomputed so every LB decision sees only the
+//! uplinks that can still reach the packet's destination group. Runs
+//! without failure events never consult the masks and are bit-identical
+//! to the historical static-fabric paths.
 //!
 //! In-flight packets ride **per-link delivery pipes**: a link has constant
 //! propagation delay and its port serializes packets one at a time, so
@@ -41,7 +56,7 @@ use crate::report::{AllocAudit, ClassCounters, RunReport};
 use std::collections::VecDeque;
 use tlb_engine::{alloc_audit, EventQueue, SimRng, SimTime};
 use tlb_metrics::{FctRecorder, FlowClass, SampleSet, TimeSeries};
-use tlb_net::{HostId, LeafId, Packet, PacketArena, PacketSlot, PktKind, SpineId};
+use tlb_net::{Fabric, HostId, LinkProps, Packet, PacketArena, PacketSlot, PktKind};
 use tlb_switch::{Enqueued, LoadBalancer, OutPort, PortView};
 use tlb_transport::{OooPool, SenderOutput, TcpReceiver, TcpSender};
 use tlb_workload::FlowSpec;
@@ -53,61 +68,247 @@ type PortId = u32;
 /// [`PortId`], used for traces and audit labels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PortRef {
-    /// Host `h`'s NIC queue (towards its leaf).
+    /// Host `h`'s NIC queue (towards its leaf/edge).
     HostNic(u32),
-    /// Leaf `leaf`'s uplink to spine `up`.
-    LeafUp { leaf: u16, up: u16 },
-    /// Leaf `leaf`'s downlink to its local host slot `slot`.
-    LeafDown { leaf: u16, slot: u16 },
-    /// Spine `spine`'s downlink to leaf `leaf`.
-    SpineDown { spine: u16, leaf: u16 },
+    /// Switch `sw`'s uplink `up`. Only LB switches have uplinks, so `sw`
+    /// always indexes `PortMap::sw[0..n_lb]`.
+    Up { sw: u16, up: u16 },
+    /// Switch `sw`'s downlink `down` (towards a host, or a lower tier).
+    Down { sw: u16, down: u16 },
 }
 
 /// Where a packet lands after crossing a link.
 #[derive(Clone, Copy, Debug)]
 enum NodeRef {
     Host(u32),
-    Leaf(u16),
-    Spine(u16),
+    Switch(u16),
 }
 
-/// The flat port-table layout: hosts' NICs first, then per leaf its
-/// uplinks followed by its downlinks, then per spine its downlinks. Leaf
-/// uplinks are contiguous, so the load balancer's [`PortView`] is a plain
-/// slice of the table.
+/// One switch's port spans in the flat table: uplinks first, then
+/// downlinks.
 #[derive(Clone, Copy, Debug)]
+struct SwPorts {
+    up_base: u32,
+    n_up: u32,
+    down_base: u32,
+    n_down: u32,
+}
+
+/// Fabric-specific routing constants, resolved once at build.
+#[derive(Clone, Copy, Debug)]
+enum PlanKind {
+    /// Two tiers: leaves (LB) under spines.
+    LeafSpine {
+        n_leaves: u32,
+        n_spines: u32,
+        hpl: u32,
+    },
+    /// Three tiers: edges and aggs (both LB) under cores; `k = 2 * half`.
+    FatTree {
+        half: u32,
+        n_edges: u32,
+        n_aggs: u32,
+    },
+}
+
+/// The flat port-table layout: hosts' NICs first, then per switch its
+/// uplinks followed by its downlinks. Switch order is leaves-then-spines
+/// (leaf-spine) or edges-then-aggs-then-cores (fat tree), so the LB
+/// switches are exactly `sw[0..n_lb]` and their uplinks are contiguous —
+/// the load balancer's [`PortView`] is a plain slice of the table.
 struct PortMap {
-    n_leaves: u32,
-    n_spines: u32,
-    hosts_per_leaf: u32,
-    /// First leaf port (== number of hosts).
-    leaf_base: u32,
-    /// Ports per leaf (`n_spines + hosts_per_leaf`).
-    leaf_stride: u32,
-    /// First spine port.
-    spine_base: u32,
+    /// Hosts' NIC ports occupy `[0, n_hosts)`.
+    n_hosts: u32,
+    /// Per-switch port spans (LB switches first).
+    sw: Vec<SwPorts>,
+    /// Switches that run a load balancer: `sw[0..n_lb]`.
+    n_lb: u32,
+    n_ports: u32,
+    plan: PlanKind,
+    /// Decoded form of every port (traces, audit labels, hop metrics).
+    port_ref: Vec<PortRef>,
+    /// The reverse-direction port of each port's (undirected) link.
+    rev: Vec<PortId>,
 }
 
 impl PortMap {
-    fn new(topo: &tlb_net::LeafSpine) -> PortMap {
-        let n_leaves = topo.n_leaves() as u32;
-        let n_spines = topo.n_spines() as u32;
-        let hosts_per_leaf = topo.hosts_per_leaf() as u32;
-        let leaf_base = topo.n_hosts() as u32;
-        let leaf_stride = n_spines + hosts_per_leaf;
-        PortMap {
-            n_leaves,
-            n_spines,
-            hosts_per_leaf,
-            leaf_base,
-            leaf_stride,
-            spine_base: leaf_base + n_leaves * leaf_stride,
+    fn new(topo: &Fabric) -> PortMap {
+        let n_hosts = topo.n_hosts() as u32;
+        let n_lb = topo.n_lb_switches() as u32;
+        let (plan, shape): (PlanKind, Vec<(u32, u32)>) = match topo {
+            Fabric::LeafSpine(t) => {
+                let (nl, ns) = (t.n_leaves() as u32, t.n_spines() as u32);
+                let hpl = t.hosts_per_leaf() as u32;
+                let mut sh = Vec::with_capacity((nl + ns) as usize);
+                sh.extend((0..nl).map(|_| (ns, hpl)));
+                sh.extend((0..ns).map(|_| (0, nl)));
+                (
+                    PlanKind::LeafSpine {
+                        n_leaves: nl,
+                        n_spines: ns,
+                        hpl,
+                    },
+                    sh,
+                )
+            }
+            Fabric::FatTree(t) => {
+                let half = t.half() as u32;
+                let (ne, na, nc) = (t.n_edges() as u32, t.n_aggs() as u32, t.n_cores() as u32);
+                let mut sh = Vec::with_capacity((ne + na + nc) as usize);
+                sh.extend((0..ne + na).map(|_| (half, half)));
+                sh.extend((0..nc).map(|_| (0, t.k() as u32)));
+                (
+                    PlanKind::FatTree {
+                        half,
+                        n_edges: ne,
+                        n_aggs: na,
+                    },
+                    sh,
+                )
+            }
+        };
+        let mut sw = Vec::with_capacity(shape.len());
+        let mut next = n_hosts;
+        for (n_up, n_down) in shape {
+            sw.push(SwPorts {
+                up_base: next,
+                n_up,
+                down_base: next + n_up,
+                n_down,
+            });
+            next += n_up + n_down;
+        }
+        let mut pm = PortMap {
+            n_hosts,
+            sw,
+            n_lb,
+            n_ports: next,
+            plan,
+            port_ref: Vec::new(),
+            rev: Vec::new(),
+        };
+        pm.port_ref = (0..next).map(|p| pm.decode_arith(p)).collect();
+        // Every downlink is the reverse of exactly one host NIC or uplink;
+        // fill both directions of each pair from the NIC/uplink side.
+        let mut rev = vec![u32::MAX; next as usize];
+        for p in 0..next {
+            let d = match pm.port_ref[p as usize] {
+                PortRef::HostNic(h) => {
+                    let hpl = pm.hosts_per_lb();
+                    pm.sw_down(h / hpl, h % hpl)
+                }
+                PortRef::Up { sw, up } => pm.up_peer_down(sw as u32, up as u32),
+                PortRef::Down { .. } => continue,
+            };
+            rev[p as usize] = d;
+            rev[d as usize] = p;
+        }
+        debug_assert!(rev.iter().all(|&r| r != u32::MAX), "unpaired port");
+        pm.rev = rev;
+        pm
+    }
+
+    /// Hosts attached per LB switch at the bottom tier.
+    #[inline]
+    fn hosts_per_lb(&self) -> u32 {
+        match self.plan {
+            PlanKind::LeafSpine { hpl, .. } => hpl,
+            PlanKind::FatTree { half, .. } => half,
+        }
+    }
+
+    /// The downlink on the far switch that terminates LB switch `s`'s
+    /// uplink `u`.
+    fn up_peer_down(&self, s: u32, u: u32) -> PortId {
+        match self.plan {
+            // leaf s, uplink u <-> spine u's downlink s.
+            PlanKind::LeafSpine { n_leaves, .. } => self.sw_down(n_leaves + u, s),
+            PlanKind::FatTree {
+                half,
+                n_edges,
+                n_aggs,
+            } => {
+                if s < n_edges {
+                    // edge (pod p) uplink j <-> agg (p, j)'s downlink to it.
+                    let p = s / half;
+                    self.sw_down(n_edges + p * half + u, s % half)
+                } else {
+                    // agg (p, j) uplink m <-> core (j, m)'s downlink to pod p.
+                    let a = s - n_edges;
+                    let (p, j) = (a / half, a % half);
+                    self.sw_down(n_edges + n_aggs + j * half + u, p)
+                }
+            }
+        }
+    }
+
+    /// Decode a port id arithmetically (build-time; the hot path uses the
+    /// precomputed `port_ref` table via [`PortMap::decode`]).
+    fn decode_arith(&self, p: PortId) -> PortRef {
+        if p < self.n_hosts {
+            return PortRef::HostNic(p);
+        }
+        let rel = p - self.n_hosts;
+        match self.plan {
+            PlanKind::LeafSpine {
+                n_leaves,
+                n_spines,
+                hpl,
+            } => {
+                let leaf_stride = n_spines + hpl;
+                let leaf_ports = n_leaves * leaf_stride;
+                if rel < leaf_ports {
+                    let (sw, off) = (rel / leaf_stride, rel % leaf_stride);
+                    if off < n_spines {
+                        PortRef::Up {
+                            sw: sw as u16,
+                            up: off as u16,
+                        }
+                    } else {
+                        PortRef::Down {
+                            sw: sw as u16,
+                            down: (off - n_spines) as u16,
+                        }
+                    }
+                } else {
+                    let srel = rel - leaf_ports;
+                    PortRef::Down {
+                        sw: (n_leaves + srel / n_leaves) as u16,
+                        down: (srel % n_leaves) as u16,
+                    }
+                }
+            }
+            PlanKind::FatTree {
+                half,
+                n_edges,
+                n_aggs,
+            } => {
+                // Every fat-tree switch has exactly k = 2*half ports.
+                let k = 2 * half;
+                let (sw, off) = (rel / k, rel % k);
+                if sw < n_edges + n_aggs && off < half {
+                    PortRef::Up {
+                        sw: sw as u16,
+                        up: off as u16,
+                    }
+                } else if sw < n_edges + n_aggs {
+                    PortRef::Down {
+                        sw: sw as u16,
+                        down: (off - half) as u16,
+                    }
+                } else {
+                    PortRef::Down {
+                        sw: sw as u16,
+                        down: off as u16,
+                    }
+                }
+            }
         }
     }
 
     #[inline]
     fn n_ports(&self) -> usize {
-        (self.spine_base + self.n_spines * self.n_leaves) as usize
+        self.n_ports as usize
     }
 
     #[inline]
@@ -116,70 +317,40 @@ impl PortMap {
     }
 
     #[inline]
-    fn leaf_up(&self, leaf: u32, up: u32) -> PortId {
-        self.leaf_base + leaf * self.leaf_stride + up
+    fn sw_up(&self, s: u32, up: u32) -> PortId {
+        self.sw[s as usize].up_base + up
     }
 
     #[inline]
-    fn leaf_down(&self, leaf: u32, slot: u32) -> PortId {
-        self.leaf_base + leaf * self.leaf_stride + self.n_spines + slot
+    fn sw_down(&self, s: u32, down: u32) -> PortId {
+        self.sw[s as usize].down_base + down
+    }
+
+    /// The contiguous slice of LB switch `s`'s uplinks in the port table.
+    #[inline]
+    fn up_range(&self, s: usize) -> std::ops::Range<usize> {
+        let sp = &self.sw[s];
+        sp.up_base as usize..(sp.up_base + sp.n_up) as usize
+    }
+
+    /// Whether `p` is an LB switch's uplink (the queues the balancers
+    /// control — the short-flow qdelay metric samples exactly these).
+    #[inline]
+    fn is_lb_up(&self, p: PortId) -> bool {
+        matches!(self.port_ref[p as usize], PortRef::Up { .. })
     }
 
     #[inline]
-    fn spine_down(&self, spine: u32, leaf: u32) -> PortId {
-        self.spine_base + spine * self.n_leaves + leaf
-    }
-
-    /// The contiguous slice of leaf `leaf`'s uplinks in the port table.
-    #[inline]
-    fn leaf_up_range(&self, leaf: usize) -> std::ops::Range<usize> {
-        let start = self.leaf_up(leaf as u32, 0) as usize;
-        start..start + self.n_spines as usize
-    }
-
-    #[inline]
-    fn is_leaf_up(&self, p: PortId) -> bool {
-        p >= self.leaf_base
-            && p < self.spine_base
-            && (p - self.leaf_base) % self.leaf_stride < self.n_spines
-    }
-
     fn decode(&self, p: PortId) -> PortRef {
-        if p < self.leaf_base {
-            PortRef::HostNic(p)
-        } else if p < self.spine_base {
-            let rel = p - self.leaf_base;
-            let leaf = (rel / self.leaf_stride) as u16;
-            let off = rel % self.leaf_stride;
-            if off < self.n_spines {
-                PortRef::LeafUp {
-                    leaf,
-                    up: off as u16,
-                }
-            } else {
-                PortRef::LeafDown {
-                    leaf,
-                    slot: (off - self.n_spines) as u16,
-                }
-            }
-        } else {
-            let rel = p - self.spine_base;
-            PortRef::SpineDown {
-                spine: (rel / self.n_leaves) as u16,
-                leaf: (rel % self.n_leaves) as u16,
-            }
-        }
+        self.port_ref[p as usize]
     }
 
-    /// The node a packet reaches after crossing port `p`'s link.
-    fn next_node(&self, p: PortId, topo: &tlb_net::LeafSpine) -> NodeRef {
-        match self.decode(p) {
-            PortRef::HostNic(h) => NodeRef::Leaf(topo.leaf_of(HostId(h)).index() as u16),
-            PortRef::LeafUp { up, .. } => NodeRef::Spine(up),
-            PortRef::LeafDown { leaf, slot } => {
-                NodeRef::Host(leaf as u32 * self.hosts_per_leaf + slot as u32)
-            }
-            PortRef::SpineDown { leaf, .. } => NodeRef::Leaf(leaf),
+    /// The node a packet reaches after crossing port `p`'s link: the far
+    /// end of the reverse port's switch, or the host behind a NIC pair.
+    fn next_node(&self, p: PortId) -> NodeRef {
+        match self.port_ref[self.rev[p as usize] as usize] {
+            PortRef::HostNic(h) => NodeRef::Host(h),
+            PortRef::Up { sw, .. } | PortRef::Down { sw, .. } => NodeRef::Switch(sw),
         }
     }
 }
@@ -199,10 +370,12 @@ enum Event {
     Arrive { port: PortId, slot: PacketSlot },
     /// A sender's retransmission timer fires.
     Timer { flow: u32 },
-    /// A leaf balancer's periodic tick.
-    LbTick { leaf: u16 },
+    /// An LB switch balancer's periodic tick.
+    LbTick { sw: u16 },
     /// Apply the `i`-th configured [`crate::config::LinkEvent`].
     LinkChange(u32),
+    /// Apply the `i`-th configured [`crate::config::FailureEvent`].
+    Failure(u32),
     /// Sample leaf-0's uplink queues (Fig. 5 visualization).
     QueueSample,
 }
@@ -215,8 +388,8 @@ struct PipeEntry {
     pkt: Packet,
 }
 
-/// A leaf switch's control state (its ports live in the flat table).
-struct LeafSw {
+/// An LB switch's control state (its ports live in the flat table).
+struct LbSw {
     lb: AnyLb,
     rng: SimRng,
 }
@@ -242,7 +415,25 @@ struct Net<'a> {
     pipes: Vec<VecDeque<PipeEntry>>,
     /// Precomputed next hop per port.
     next_node: Vec<NodeRef>,
-    leaves: Vec<LeafSw>,
+    /// One balancer per LB switch (leaves, or edges then aggs).
+    lb_sws: Vec<LbSw>,
+    /// Whether any failure events are configured (constant per run):
+    /// gates every mask lookup so failure-free runs never touch them.
+    has_failures: bool,
+    /// Per-(LB switch, destination group) usable-uplink masks, indexed
+    /// `sw * n_groups + group`; groups are destination leaves
+    /// (leaf-spine) or destination edges (fat tree). Empty unless
+    /// `has_failures`.
+    reach: Vec<u64>,
+    /// Columns of `reach`.
+    n_groups: usize,
+    /// Per-port FIFO floor: the latest arrival time already scheduled on
+    /// each link. A mid-run propagation-delay *decrease* would otherwise
+    /// let later packets overtake earlier ones on the same wire — links
+    /// are FIFO, so arrivals clamp to this floor (a no-op whenever a
+    /// link's delay never shrinks, which keeps legacy runs bit-identical
+    /// in both delivery modes).
+    link_fifo: Vec<SimTime>,
     senders: Vec<Option<TcpSender>>,
     receivers: Vec<Option<TcpReceiver>>,
     next_flow: Vec<Option<u32>>,
@@ -361,62 +552,88 @@ impl<'a> Net<'a> {
         let mut master_rng = SimRng::new(cfg.seed);
         let pmap = PortMap::new(topo);
 
+        // Every directed port takes its link physics from the undirected
+        // link it serializes onto: host links for NIC pairs, the fabric's
+        // uplink table for switch-to-switch pairs (downlinks read through
+        // the reverse-port table).
+        let uplink_side_props = |r: PortRef| -> LinkProps {
+            match r {
+                PortRef::HostNic(h) => topo.host_link_of(HostId(h)),
+                PortRef::Up { sw, up } => topo.uplink_props(sw as usize, up as usize),
+                PortRef::Down { .. } => unreachable!("downlink paired with a downlink"),
+            }
+        };
         let mut ports = Vec::with_capacity(pmap.n_ports());
-        for _ in 0..topo.n_hosts() {
-            ports.push(OutPort::new(topo.host_link(), cfg.host_queue));
-        }
-        for l in 0..topo.n_leaves() {
-            for s in 0..topo.n_spines() {
-                ports.push(OutPort::new(
-                    topo.uplink(LeafId(l as u32), SpineId(s as u32)),
+        for p in 0..pmap.n_ports() as u32 {
+            let (props, qcfg) = match pmap.decode(p) {
+                r @ PortRef::HostNic(_) => (uplink_side_props(r), cfg.host_queue),
+                r @ PortRef::Up { .. } => (uplink_side_props(r), cfg.queue),
+                PortRef::Down { .. } => (
+                    uplink_side_props(pmap.decode(pmap.rev[p as usize])),
                     cfg.queue,
-                ));
-            }
-            for _ in 0..topo.hosts_per_leaf() {
-                ports.push(OutPort::new(topo.host_link(), cfg.queue));
-            }
-        }
-        for s in 0..topo.n_spines() {
-            for l in 0..topo.n_leaves() {
-                ports.push(OutPort::new(
-                    topo.downlink(SpineId(s as u32), LeafId(l as u32)),
-                    cfg.queue,
-                ));
-            }
+                ),
+            };
+            ports.push(OutPort::new(props, qcfg));
         }
         debug_assert_eq!(ports.len(), pmap.n_ports());
-        let next_node = (0..ports.len() as u32)
-            .map(|p| pmap.next_node(p, topo))
-            .collect();
+        let next_node = (0..ports.len() as u32).map(|p| pmap.next_node(p)).collect();
         // Pre-size each link's delivery pipe from the link's physics: one
         // serializer feeds the pipe, every entry costs at least the
         // smallest packet's serialization time, and entries live exactly
         // one propagation delay — so at most `prop/tx(min_wire) + 1`
-        // packets are ever in flight. Mid-run degradations can stretch
-        // prop_delay (the worst configured extra_delay is folded in);
-        // bandwidth only ever drops, which *lowers* the ceiling. This is
-        // what keeps pipe growth out of the steady-state allocation gate.
-        let max_extra = cfg
-            .link_events
-            .iter()
-            .map(|e| e.extra_delay)
-            .fold(SimTime::ZERO, SimTime::max);
+        // packets are ever in flight. A mid-run [`LinkEvent`] can stretch
+        // prop_delay or (bw_factor > 1) shrink serialization time, either
+        // of which *raises* the ceiling — so replay each port's whole
+        // event schedule in time order and size for the worst state it
+        // ever reaches. This is what keeps pipe growth out of the
+        // steady-state allocation gate ([`Net::refit_pipe`] is the
+        // belt-and-braces check at the event itself).
         let min_wire = cfg.tcp.header_bytes.max(1) as u64;
-        let pipes: Vec<VecDeque<PipeEntry>> = ports
-            .iter()
+        let in_flight_bound = |l: &LinkProps| -> usize {
+            let tx = tlb_engine::time::tx_time(min_wire, l.bytes_per_sec)
+                .as_nanos()
+                .max(1);
+            (l.prop_delay.as_nanos() / tx + 2).min(4096) as usize
+        };
+        let pipe_caps: Vec<usize> = (0..ports.len() as u32)
             .map(|p| {
-                if cfg.delivery != DeliveryKind::Pipelined {
-                    // Per-packet mode never touches the pipes.
-                    return VecDeque::new();
+                let mut link = ports[p as usize].link();
+                let mut worst = in_flight_bound(&link);
+                let mut evs: Vec<&crate::config::LinkEvent> = cfg
+                    .link_events
+                    .iter()
+                    .filter(|ev| {
+                        let up = pmap.sw_up(ev.leaf.index() as u32, ev.spine.index() as u32);
+                        up == p || pmap.rev[up as usize] == p
+                    })
+                    .collect();
+                // Stable by-time sort: same-time events keep config order,
+                // exactly how the FEL applies them.
+                evs.sort_by_key(|ev| ev.at);
+                for ev in evs {
+                    link.bytes_per_sec =
+                        ((link.bytes_per_sec as f64) * ev.bw_factor).max(1.0) as u64;
+                    link.prop_delay = ev.new_prop_delay.unwrap_or(link.prop_delay) + ev.extra_delay;
+                    worst = worst.max(in_flight_bound(&link));
                 }
-                let tx = p.tx_time(min_wire).as_nanos().max(1);
-                let prop = (p.link().prop_delay + max_extra).as_nanos();
-                VecDeque::with_capacity((prop / tx + 2).min(4096) as usize)
+                worst
+            })
+            .collect();
+        let total_pipe: usize = pipe_caps.iter().sum();
+        let pipes: Vec<VecDeque<PipeEntry>> = pipe_caps
+            .iter()
+            .map(|&cap| {
+                if cfg.delivery == DeliveryKind::Pipelined {
+                    VecDeque::with_capacity(cap)
+                } else {
+                    // Per-packet mode never touches the pipes.
+                    VecDeque::new()
+                }
             })
             .collect();
 
-        let leaves = (0..topo.n_leaves())
-            .map(|l| LeafSw {
+        let lb_sws = (0..pmap.n_lb as usize)
+            .map(|l| LbSw {
                 lb: cfg.scheme.build_dispatch(l as u64 + 1, cfg.lb_dispatch),
                 rng: master_rng.fork(l as u64),
             })
@@ -431,7 +648,11 @@ impl<'a> Net<'a> {
         // reserves the overflow tier, which is exactly where the
         // build-time bulk of not-yet-started flows lands.)
         let n_ports = pmap.n_ports();
-        let mut q = EventQueue::with_capacity_and_kind(2 * n + 4 * n_ports + 64, cfg.fel);
+        // `total_pipe` is the schedule-aware sum of per-link in-flight
+        // bounds (≥ 2 per port), so per-packet mode's extra `Arrive`
+        // entries fit too.
+        let fel_cap = 2 * n + 2 * n_ports + total_pipe + 64;
+        let mut q = EventQueue::with_capacity_and_kind(fel_cap, cfg.fel);
         // Only chain heads get their own start event; chained flows are
         // launched by their predecessor's completion.
         let mut is_chained = vec![false; n];
@@ -500,11 +721,27 @@ impl<'a> Net<'a> {
             short_reorder: Self::series_for(cfg),
             long_reorder: Self::series_for(cfg),
             long_goodput: Self::series_for(cfg),
+            has_failures: !cfg.failure_events.is_empty(),
+            reach: {
+                let groups = match pmap.plan {
+                    PlanKind::LeafSpine { n_leaves, .. } => n_leaves as usize,
+                    PlanKind::FatTree { n_edges, .. } => n_edges as usize,
+                };
+                if cfg.failure_events.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0u64; pmap.n_lb as usize * groups]
+                }
+            },
+            n_groups: match pmap.plan {
+                PlanKind::LeafSpine { n_leaves, .. } => n_leaves as usize,
+                PlanKind::FatTree { n_edges, .. } => n_edges as usize,
+            },
             pmap,
             ports,
             pipes,
             next_node,
-            leaves,
+            lb_sws,
             senders: (0..n).map(|_| None).collect(),
             receivers: (0..n).map(|_| None).collect(),
             next_flow,
@@ -516,7 +753,7 @@ impl<'a> Net<'a> {
             // Pipelined mode keeps packets in the link pipes instead and
             // skips the allocation entirely.
             arena: if cfg.delivery == DeliveryKind::PerPacket {
-                PacketArena::with_capacity(2 * n + 4 * n_ports + 64)
+                PacketArena::with_capacity(fel_cap)
             } else {
                 PacketArena::new()
             },
@@ -563,14 +800,15 @@ impl<'a> Net<'a> {
             lb_state_peak: 0,
             lb_decisions: 0,
             events: 0,
+            link_fifo: vec![SimTime::ZERO; n_ports],
             audit: AuditLedger::new(cfg.audit),
             arrive_seen: 0,
             cfg,
             flows,
         };
-        for l in 0..net.leaves.len() {
-            if let Some(iv) = net.leaves[l].lb.tick_interval() {
-                net.q.push(iv, Event::LbTick { leaf: l as u16 });
+        for l in 0..net.lb_sws.len() {
+            if let Some(iv) = net.lb_sws[l].lb.tick_interval() {
+                net.q.push(iv, Event::LbTick { sw: l as u16 });
                 net.misc_pending += 1;
                 // Leaf 0's threshold trace grows by at most one row per
                 // tick; materialize the worst case now (capped like
@@ -584,6 +822,15 @@ impl<'a> Net<'a> {
         for (i, ev) in net.cfg.link_events.iter().enumerate() {
             net.q.push(ev.at, Event::LinkChange(i as u32));
             net.misc_pending += 1;
+        }
+        for (i, ev) in net.cfg.failure_events.iter().enumerate() {
+            net.q.push(ev.at, Event::Failure(i as u32));
+            net.misc_pending += 1;
+        }
+        if net.has_failures {
+            // Seed the reachability masks from the (fully live) fabric so
+            // an `Up`-leading schedule still sees consistent state.
+            net.recompute_reach();
         }
         if net.cfg.sample_queues {
             net.q.push(net.cfg.series_bucket, Event::QueueSample);
@@ -669,13 +916,17 @@ impl<'a> Net<'a> {
                     self.timers_live -= 1;
                     self.on_timer(flow, now);
                 }
-                Event::LbTick { leaf } => {
+                Event::LbTick { sw } => {
                     self.misc_pending -= 1;
-                    self.on_lb_tick(leaf, now);
+                    self.on_lb_tick(sw, now);
                 }
                 Event::LinkChange(i) => {
                     self.misc_pending -= 1;
                     self.on_link_change(i as usize);
+                }
+                Event::Failure(i) => {
+                    self.misc_pending -= 1;
+                    self.on_failure(i as usize);
                 }
                 Event::QueueSample => {
                     self.misc_pending -= 1;
@@ -725,12 +976,31 @@ impl<'a> Net<'a> {
         self.out_buf = out;
     }
 
-    fn on_lb_tick(&mut self, leaf: u16, now: SimTime) {
-        let view = PortView::new(&self.ports[self.pmap.leaf_up_range(leaf as usize)]);
-        let l = &mut self.leaves[leaf as usize];
+    fn on_lb_tick(&mut self, sw: u16, now: SimTime) {
+        let slice = &self.ports[self.pmap.up_range(sw as usize)];
+        let view = if self.has_failures {
+            // Ticks have no destination, so they see the switch's local
+            // uplink liveness rather than a reach row; an all-dead switch
+            // falls back to the full view (nothing routes through it
+            // anyway — see `lb_forward`).
+            let mut mask = 0u64;
+            for (i, p) in slice.iter().enumerate() {
+                if !p.is_down() {
+                    mask |= 1 << i;
+                }
+            }
+            if mask == 0 {
+                PortView::new(slice)
+            } else {
+                PortView::with_mask(slice, mask)
+            }
+        } else {
+            PortView::new(slice)
+        };
+        let l = &mut self.lb_sws[sw as usize];
         l.lb.on_tick(view, now);
         self.lb_state_peak = self.lb_state_peak.max(l.lb.state_bytes());
-        if leaf == 0 {
+        if sw == 0 {
             if let Some(qth) = l.lb.q_threshold() {
                 // Saturate "infinite" to a plottable sentinel.
                 let v = if qth == u64::MAX {
@@ -744,7 +1014,7 @@ impl<'a> Net<'a> {
         if let Some(iv) = l.lb.tick_interval() {
             let next = now + iv;
             if next <= self.cfg.horizon {
-                self.q.push(next, Event::LbTick { leaf });
+                self.q.push(next, Event::LbTick { sw });
                 self.misc_pending += 1;
             }
         }
@@ -774,7 +1044,7 @@ impl<'a> Net<'a> {
 
     /// Record leaf-0's uplink occupancy and re-arm the sampler.
     fn on_queue_sample(&mut self, now: SimTime) {
-        let lens: Vec<u32> = self.ports[self.pmap.leaf_up_range(0)]
+        let lens: Vec<u32> = self.ports[self.pmap.up_range(0)]
             .iter()
             .map(|p| p.len_pkts() as u32)
             .collect();
@@ -786,24 +1056,184 @@ impl<'a> Net<'a> {
         }
     }
 
-    /// Apply a configured mid-run link degradation to both directions of
-    /// the leaf<->spine pair.
+    /// Apply a configured mid-run link change to both directions of the
+    /// targeted uplink pair.
     fn on_link_change(&mut self, i: usize) {
         let ev = self.cfg.link_events[i];
-        let degrade = |port: &mut OutPort| {
+        let change = |port: &mut OutPort| {
             let mut l = port.link();
             l.bytes_per_sec = ((l.bytes_per_sec as f64) * ev.bw_factor).max(1.0) as u64;
-            l.prop_delay += ev.extra_delay;
+            l.prop_delay = ev.new_prop_delay.unwrap_or(l.prop_delay) + ev.extra_delay;
             port.set_link(l);
         };
         let up = self
             .pmap
-            .leaf_up(ev.leaf.index() as u32, ev.spine.index() as u32);
-        degrade(&mut self.ports[up as usize]);
-        let down = self
-            .pmap
-            .spine_down(ev.spine.index() as u32, ev.leaf.index() as u32);
-        degrade(&mut self.ports[down as usize]);
+            .sw_up(ev.leaf.index() as u32, ev.spine.index() as u32);
+        let down = self.pmap.rev[up as usize];
+        change(&mut self.ports[up as usize]);
+        change(&mut self.ports[down as usize]);
+        if self.cfg.delivery == DeliveryKind::Pipelined {
+            self.refit_pipe(up as usize);
+            self.refit_pipe(down as usize);
+        }
+    }
+
+    /// Safety net behind the build-time schedule-aware pipe sizing: after
+    /// a link change, make sure the port's delivery pipe can still hold
+    /// its worst-case in-flight count. Build sizing replays the whole
+    /// schedule, so this normally never grows; if it ever does, the
+    /// growth happens deterministically at the event itself and is
+    /// measured out of the steady-state allocation gate (the audit
+    /// invariant covers the per-packet paths, not a sanctioned
+    /// reconfiguration).
+    fn refit_pipe(&mut self, pi: usize) {
+        let min_wire = self.cfg.tcp.header_bytes.max(1) as u64;
+        let tx = self.ports[pi].tx_time(min_wire).as_nanos().max(1);
+        let prop = self.ports[pi].link().prop_delay.as_nanos();
+        let needed = ((prop / tx + 2).min(4096)) as usize;
+        let pipe = &mut self.pipes[pi];
+        if pipe.capacity() < needed {
+            let before = alloc_audit::counters();
+            let len = pipe.len();
+            pipe.reserve(needed - len);
+            if let Some(base) = self.alloc_at_warmup.as_mut() {
+                // Shift the warmup baseline forward by the resize delta so
+                // the audited window excludes this growth.
+                let d = before.delta(alloc_audit::counters());
+                base.allocs += d.allocs;
+                base.reallocs += d.reallocs;
+                base.deallocs += d.deallocs;
+                base.bytes += d.bytes;
+            }
+        }
+    }
+
+    /// Apply the `i`-th configured failure/repair: flip the admin state
+    /// of the target port(s) and their reverse directions, then
+    /// reconverge routing by recomputing the reachability masks.
+    fn on_failure(&mut self, i: usize) {
+        use crate::config::{FailureAction, FailureTarget};
+        let ev = self.cfg.failure_events[i];
+        let down = ev.action == FailureAction::Down;
+        match ev.target {
+            FailureTarget::Link { sw, up } => {
+                let p = self.pmap.sw_up(sw.index() as u32, up.index() as u32);
+                self.set_link_state(p, down);
+            }
+            FailureTarget::Switch { sw } => {
+                let spans = self.pmap.sw[sw];
+                for p in spans.up_base..spans.up_base + spans.n_up {
+                    self.set_link_state(p, down);
+                }
+                for p in spans.down_base..spans.down_base + spans.n_down {
+                    self.set_link_state(p, down);
+                }
+            }
+        }
+        self.recompute_reach();
+    }
+
+    /// Take one directed port and its reverse down (or back up). Queued
+    /// and in-service packets drain normally; while down, new admissions
+    /// drop at the port with ordinary accounting.
+    fn set_link_state(&mut self, p: PortId, down: bool) {
+        self.ports[p as usize].set_down(down);
+        let r = self.pmap.rev[p as usize];
+        self.ports[r as usize].set_down(down);
+    }
+
+    /// Brute-force recompute of the per-(LB switch, destination group)
+    /// usable-uplink masks from port admin state. Runs only at failure
+    /// events — never on the per-packet path — and writes into the
+    /// preallocated `reach` table (no allocation, so a failure inside an
+    /// allocation-audit window stays clean).
+    fn recompute_reach(&mut self) {
+        let mut reach = std::mem::take(&mut self.reach);
+        let ng = self.n_groups;
+        let pmap = &self.pmap;
+        let ports = &self.ports;
+        let up_ok = |s: u32, u: u32| !ports[pmap.sw_up(s, u) as usize].is_down();
+        let down_ok = |s: u32, d: u32| !ports[pmap.sw_down(s, d) as usize].is_down();
+        match pmap.plan {
+            PlanKind::LeafSpine {
+                n_leaves, n_spines, ..
+            } => {
+                for l in 0..n_leaves {
+                    for d in 0..n_leaves {
+                        let mut m = 0u64;
+                        for sp in 0..n_spines {
+                            if up_ok(l, sp) && down_ok(n_leaves + sp, d) {
+                                m |= 1 << sp;
+                            }
+                        }
+                        reach[l as usize * ng + d as usize] = m;
+                    }
+                }
+            }
+            PlanKind::FatTree {
+                half,
+                n_edges,
+                n_aggs,
+            } => {
+                let full = PortView::full_mask(half as usize);
+                // Phase 1 — aggs: for agg (p, j) and a destination edge in
+                // another pod, uplink m works iff agg->core(j,m) and
+                // core(j,m)->pod(dst) are both live. Intra-pod traffic
+                // descends at the agg, so its row stays full (unused).
+                for a in 0..n_aggs {
+                    let (p, j) = (a / half, a % half);
+                    let g = n_edges + a;
+                    for d in 0..n_edges {
+                        let pd = d / half;
+                        let m = if pd == p {
+                            full
+                        } else {
+                            let mut mm = 0u64;
+                            for mi in 0..half {
+                                let core = n_edges + n_aggs + j * half + mi;
+                                if up_ok(g, mi) && down_ok(core, pd) {
+                                    mm |= 1 << mi;
+                                }
+                            }
+                            mm
+                        };
+                        reach[g as usize * ng + d as usize] = m;
+                    }
+                }
+                // Phase 2 — edges, composing over the aggs' rows: uplink j
+                // works iff edge->agg(pe, j) is live and agg(pe, j) can
+                // complete the path (straight down for intra-pod, through
+                // some core and agg(pd, j)'s downlink otherwise).
+                for e in 0..n_edges {
+                    let pe = e / half;
+                    for d in 0..n_edges {
+                        if d == e {
+                            reach[e as usize * ng + d as usize] = full;
+                            continue;
+                        }
+                        let pd = d / half;
+                        let mut m = 0u64;
+                        for j in 0..half {
+                            if !up_ok(e, j) {
+                                continue;
+                            }
+                            let agg_src = n_edges + pe * half + j;
+                            let ok = if pd == pe {
+                                down_ok(agg_src, d % half)
+                            } else {
+                                reach[agg_src as usize * ng + d as usize] != 0
+                                    && down_ok(n_edges + pd * half + j, d % half)
+                            };
+                            if ok {
+                                m |= 1 << j;
+                            }
+                        }
+                        reach[e as usize * ng + d as usize] = m;
+                    }
+                }
+            }
+        }
+        self.reach = reach;
     }
 
     // ---- forwarding ------------------------------------------------------
@@ -839,7 +1269,7 @@ impl<'a> Net<'a> {
         // Leaf-uplink queueing delay of short-flow data (Fig. 8(b)) — the
         // queues the load balancer controls; NIC and downlink waits are the
         // same for every scheme and would only dilute the comparison.
-        if self.pmap.is_leaf_up(p) && pkt.kind == PktKind::Data && self.is_short[pkt.flow.index()] {
+        if self.pmap.is_lb_up(p) && pkt.kind == PktKind::Data && self.is_short[pkt.flow.index()] {
             let w = now.saturating_sub(pkt.enqueued_at).as_secs_f64();
             self.short_qdelay.push(w);
             self.short_qdelay_series.add(now, w);
@@ -856,7 +1286,10 @@ impl<'a> Net<'a> {
         if more {
             self.start_tx(p, now);
         }
-        let at = now + prop;
+        // FIFO wire: never arrive before a packet that entered the link
+        // earlier (matters only after a prop-delay-shrinking LinkEvent).
+        let at = (now + prop).max(self.link_fifo[pi]);
+        self.link_fifo[pi] = at;
         match self.cfg.delivery {
             DeliveryKind::Pipelined => {
                 // Reserve the seq a per-packet `Arrive` push would have
@@ -903,47 +1336,115 @@ impl<'a> Net<'a> {
     fn on_arrive(&mut self, p: PortId, pkt: Packet, now: SimTime) {
         self.audit.arrived(&pkt);
         match self.next_node[p as usize] {
-            NodeRef::Spine(s) => {
-                let leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u32;
-                self.enqueue(self.pmap.spine_down(s as u32, leaf), pkt, now);
-            }
-            NodeRef::Leaf(l) => {
-                let dst_leaf = self.cfg.topo.leaf_of(pkt.dst).index() as u32;
-                if dst_leaf == l as u32 {
+            NodeRef::Host(h) => self.deliver_to_host(h, pkt, now),
+            NodeRef::Switch(sw) => self.forward_at_switch(sw, pkt, now),
+        }
+    }
+
+    /// Route `pkt` at switch `sw`: descend when the destination sits below
+    /// this switch, otherwise hand the choice to the switch's balancer.
+    fn forward_at_switch(&mut self, sw: u16, pkt: Packet, now: SimTime) {
+        let s = sw as u32;
+        let dst = pkt.dst.0;
+        match self.pmap.plan {
+            PlanKind::LeafSpine { n_leaves, hpl, .. } => {
+                let dl = dst / hpl;
+                if s >= n_leaves {
+                    // Spine: one downlink per leaf.
+                    self.enqueue(self.pmap.sw_down(s, dl), pkt, now);
+                } else if dl == s {
                     // Downstream (or intra-rack): single path to the host.
-                    let slot = self.cfg.topo.host_slot(pkt.dst) as u32;
-                    self.enqueue(self.pmap.leaf_down(l as u32, slot), pkt, now);
+                    self.enqueue(self.pmap.sw_down(s, dst % hpl), pkt, now);
                 } else {
-                    // Upstream: the load balancer picks the uplink.
-                    self.lb_decisions += 1;
-                    let range = self.pmap.leaf_up_range(l as usize);
-                    let view = PortView::new(&self.ports[range.clone()]);
-                    let leaf = &mut self.leaves[l as usize];
-                    let up = leaf.lb.choose_uplink(&pkt, view, now, &mut leaf.rng) as u32;
-                    debug_assert!((up as usize) < range.len());
-                    // Fig. 3(a): queue length experienced at enqueue.
-                    if pkt.kind == PktKind::Data {
-                        let qlen = self.ports[range.start + up as usize].len_pkts() as f64;
-                        if self.is_short[pkt.flow.index()] {
-                            self.short_qlen.push(qlen);
-                        } else {
-                            self.long_qlen.push(qlen);
-                        }
-                    }
-                    self.enqueue(self.pmap.leaf_up(l as u32, up), pkt, now);
+                    self.lb_forward(sw, dl, pkt, now);
                 }
             }
-            NodeRef::Host(h) => self.deliver_to_host(h, pkt, now),
+            PlanKind::FatTree {
+                half,
+                n_edges,
+                n_aggs,
+            } => {
+                let de = dst / half;
+                if s < n_edges {
+                    if de == s {
+                        self.enqueue(self.pmap.sw_down(s, dst % half), pkt, now);
+                    } else {
+                        self.lb_forward(sw, de, pkt, now);
+                    }
+                } else if s < n_edges + n_aggs {
+                    let a = s - n_edges;
+                    if de / half == a / half {
+                        // Same pod: straight down to the destination edge.
+                        self.enqueue(self.pmap.sw_down(s, de % half), pkt, now);
+                    } else {
+                        self.lb_forward(sw, de, pkt, now);
+                    }
+                } else {
+                    // Core: one downlink per pod.
+                    self.enqueue(self.pmap.sw_down(s, de / half), pkt, now);
+                }
+            }
         }
+    }
+
+    /// LB switch `sw`'s balancer picks among its uplinks toward
+    /// destination group (leaf/edge) `group`.
+    fn lb_forward(&mut self, sw: u16, group: u32, pkt: Packet, now: SimTime) {
+        self.lb_decisions += 1;
+        let range = self.pmap.up_range(sw as usize);
+        let slice = &self.ports[range.clone()];
+        let view = if self.has_failures {
+            let m = self.reach[sw as usize * self.n_groups + group as usize];
+            if m & PortView::full_mask(slice.len()) == 0 {
+                // Destination unreachable from here: fall back to the full
+                // view so the packet drops at a dead port with ordinary
+                // accounting instead of vanishing untracked.
+                PortView::new(slice)
+            } else {
+                PortView::with_mask(slice, m)
+            }
+        } else {
+            PortView::new(slice)
+        };
+        let l = &mut self.lb_sws[sw as usize];
+        let up = l.lb.choose_uplink(&pkt, view, now, &mut l.rng) as u32;
+        debug_assert!((up as usize) < range.len());
+        // Fig. 3(a): queue length experienced at enqueue.
+        if pkt.kind == PktKind::Data {
+            let qlen = self.ports[range.start + up as usize].len_pkts() as f64;
+            if self.is_short[pkt.flow.index()] {
+                self.short_qlen.push(qlen);
+            } else {
+                self.long_qlen.push(qlen);
+            }
+        }
+        self.enqueue(self.pmap.sw_up(sw as u32, up), pkt, now);
     }
 
     fn trace(&mut self, p: PortId, pkt: &Packet, now: SimTime) {
         use crate::report::{Hop, TraceEvent};
-        let hop = match self.pmap.decode(p) {
-            PortRef::HostNic(h) => Hop::HostNic { host: h },
-            PortRef::LeafUp { leaf, up } => Hop::LeafUplink { leaf, spine: up },
-            PortRef::LeafDown { leaf, slot } => Hop::LeafDownlink { leaf, slot },
-            PortRef::SpineDown { spine, leaf } => Hop::SpineDownlink { spine, leaf },
+        let hop = match (self.pmap.decode(p), self.pmap.plan) {
+            (PortRef::HostNic(h), _) => Hop::HostNic { host: h },
+            // Leaf-spine keeps its historical hop names.
+            (PortRef::Up { sw, up }, PlanKind::LeafSpine { .. }) => Hop::LeafUplink {
+                leaf: sw,
+                spine: up,
+            },
+            (PortRef::Down { sw, down }, PlanKind::LeafSpine { n_leaves, .. }) => {
+                if (sw as u32) < n_leaves {
+                    Hop::LeafDownlink {
+                        leaf: sw,
+                        slot: down,
+                    }
+                } else {
+                    Hop::SpineDownlink {
+                        spine: sw - n_leaves as u16,
+                        leaf: down,
+                    }
+                }
+            }
+            (PortRef::Up { sw, up }, PlanKind::FatTree { .. }) => Hop::FabricUp { sw, up },
+            (PortRef::Down { sw, down }, PlanKind::FatTree { .. }) => Hop::FabricDown { sw, down },
         };
         self.traces.push(TraceEvent {
             flow: pkt.flow,
@@ -1085,9 +1586,9 @@ impl<'a> Net<'a> {
             }
         }
 
-        let uplink_utilization = (0..self.pmap.n_leaves as usize)
+        let uplink_utilization = (0..self.pmap.n_lb as usize)
             .map(|l| {
-                self.ports[self.pmap.leaf_up_range(l)]
+                self.ports[self.pmap.up_range(l)]
                     .iter()
                     .map(|p| p.stats().busy.as_secs_f64() / dur)
                     .collect()
@@ -1102,7 +1603,7 @@ impl<'a> Net<'a> {
         }
 
         let lb_state_final = self
-            .leaves
+            .lb_sws
             .iter()
             .map(|l| l.lb.state_bytes())
             .max()
@@ -1111,9 +1612,17 @@ impl<'a> Net<'a> {
         // Long-flow reroute total: present iff the scheme reports one
         // (TLB); `None` keeps non-TLB reports unambiguous.
         let tlb_long_reroutes = self
-            .leaves
+            .lb_sws
             .iter()
             .filter_map(|l| l.lb.long_reroutes())
+            .fold(None, |acc: Option<u64>, n| Some(acc.unwrap_or(0) + n));
+
+        // Failure-forced reroute total, same shape: present iff the scheme
+        // distinguishes forced moves from voluntary ones.
+        let forced_reroutes = self
+            .lb_sws
+            .iter()
+            .filter_map(|l| l.lb.forced_reroutes())
             .fold(None, |acc: Option<u64>, n| Some(acc.unwrap_or(0) + n));
 
         RunReport {
@@ -1143,6 +1652,7 @@ impl<'a> Net<'a> {
             queue_series: self.queue_series,
             lb_decisions: self.lb_decisions,
             tlb_long_reroutes,
+            forced_reroutes,
             events: self.events,
             audit,
             alloc_audit: self.alloc_report,
@@ -1165,11 +1675,41 @@ impl<'a> Net<'a> {
         }
 
         let labels: Vec<String> = (0..self.ports.len() as u32)
-            .map(|p| match self.pmap.decode(p) {
-                PortRef::HostNic(h) => format!("host{h}.nic"),
-                PortRef::LeafUp { leaf, up } => format!("leaf{leaf}.up{up}"),
-                PortRef::LeafDown { leaf, slot } => format!("leaf{leaf}.down{slot}"),
-                PortRef::SpineDown { spine, leaf } => format!("spine{spine}.down{leaf}"),
+            .map(|p| match (self.pmap.decode(p), self.pmap.plan) {
+                (PortRef::HostNic(h), _) => format!("host{h}.nic"),
+                // Leaf-spine keeps its historical labels (tests match them).
+                (PortRef::Up { sw, up }, PlanKind::LeafSpine { .. }) => {
+                    format!("leaf{sw}.up{up}")
+                }
+                (PortRef::Down { sw, down }, PlanKind::LeafSpine { n_leaves, .. }) => {
+                    if (sw as u32) < n_leaves {
+                        format!("leaf{sw}.down{down}")
+                    } else {
+                        format!("spine{}.down{down}", sw as u32 - n_leaves)
+                    }
+                }
+                (PortRef::Up { sw, up }, PlanKind::FatTree { n_edges, .. }) => {
+                    if (sw as u32) < n_edges {
+                        format!("edge{sw}.up{up}")
+                    } else {
+                        format!("agg{}.up{up}", sw as u32 - n_edges)
+                    }
+                }
+                (
+                    PortRef::Down { sw, down },
+                    PlanKind::FatTree {
+                        n_edges, n_aggs, ..
+                    },
+                ) => {
+                    let sw = sw as u32;
+                    if sw < n_edges {
+                        format!("edge{sw}.down{down}")
+                    } else if sw < n_edges + n_aggs {
+                        format!("agg{}.down{down}", sw - n_edges)
+                    } else {
+                        format!("core{}.down{down}", sw - n_edges - n_aggs)
+                    }
+                }
             })
             .collect();
 

@@ -3,7 +3,7 @@
 
 use super::*;
 use crate::scheme::Scheme;
-use tlb_net::FlowId;
+use tlb_net::{FlowId, LeafId, SpineId};
 use tlb_workload::FlowSpec;
 
 fn one_flow(size: u64) -> Vec<FlowSpec> {
@@ -375,11 +375,13 @@ fn mid_run_link_change_applies() {
     cfg.topo = tlb_net::LeafSpineBuilder::new(2, 1, 2)
         .link_gbps(1.0)
         .target_rtt(SimTime::from_micros(100))
-        .build();
+        .build()
+        .into();
     cfg.link_events.push(LinkEvent {
         at: SimTime::from_millis(1),
         leaf: LeafId(0),
         spine: SpineId(0),
+        new_prop_delay: None,
         bw_factor: 0.5,
         extra_delay: SimTime::ZERO,
     });

@@ -33,6 +33,21 @@ pub enum Hop {
         /// Destination leaf index.
         leaf: u16,
     },
+    /// Entered a fat-tree switch's uplink queue (edge→agg or agg→core).
+    FabricUp {
+        /// Global LB-switch index (edges then aggs).
+        sw: u16,
+        /// Chosen uplink index within the switch.
+        up: u16,
+    },
+    /// Entered a fat-tree switch's downlink queue (edge→host, agg→edge,
+    /// or core→agg).
+    FabricDown {
+        /// Global switch index (LB switches first, then cores).
+        sw: u16,
+        /// Downlink index within the switch.
+        down: u16,
+    },
     /// Delivered to the destination host's endpoint.
     Delivered {
         /// Receiving host index.
@@ -229,6 +244,11 @@ pub struct RunReport {
     /// The fuzzer's reroute oracle reads this: a TLB pinned at
     /// `q_th = u64::MAX` must report zero.
     pub tlb_long_reroutes: Option<u64>,
+    /// Failure-forced reroutes summed over LB switches, for schemes that
+    /// report them ([`tlb_switch::LoadBalancer::forced_reroutes`]);
+    /// `None` otherwise. Kept separate from `tlb_long_reroutes` so the
+    /// voluntary-reroute oracle stays strict under link failures.
+    pub forced_reroutes: Option<u64>,
     /// Path traces for [`crate::SimConfig::trace_flows`] (in time order).
     pub traces: Vec<TraceEvent>,
     /// With [`crate::SimConfig::sample_queues`]: `(time_s, qlen_pkts per

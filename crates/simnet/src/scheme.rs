@@ -2,7 +2,9 @@
 
 use tlb_core::{Tlb, TlbConfig};
 use tlb_engine::SimTime;
-use tlb_lb::{CongaLite, Drill, Ecmp, FlowBender, HermesLite, LetFlow, Presto, Rps, Wcmp};
+use tlb_lb::{
+    CongaLite, DiffFlow, Drill, Ecmp, FlowBender, HermesLite, LetFlow, Presto, Rps, Wcmp,
+};
 use tlb_switch::LoadBalancer;
 
 /// A load-balancing scheme plus its parameters. One balancer instance is
@@ -55,6 +57,12 @@ pub enum Scheme {
     },
     /// Capacity-weighted flow hashing (extension).
     Wcmp,
+    /// Static short/long split: spray short flows, pin long ones
+    /// (extension).
+    DiffFlow {
+        /// Byte threshold after which a flow is pinned.
+        threshold_bytes: u64,
+    },
     /// The paper's contribution.
     Tlb(TlbConfig),
 }
@@ -72,6 +80,7 @@ impl Scheme {
             Scheme::FlowBender { .. } => "FlowBender",
             Scheme::Hermes { .. } => "Hermes-lite",
             Scheme::Wcmp => "WCMP",
+            Scheme::DiffFlow { .. } => "DiffFlow",
             Scheme::Tlb(_) => "TLB",
         }
     }
@@ -108,6 +117,13 @@ impl Scheme {
         }
     }
 
+    /// DiffFlow with the conventional 100 kB short/long boundary.
+    pub fn diffflow_default() -> Scheme {
+        Scheme::DiffFlow {
+            threshold_bytes: DiffFlow::DEFAULT_THRESHOLD_BYTES,
+        }
+    }
+
     /// TLB with the paper's NS2 parameters.
     pub fn tlb_default() -> Scheme {
         Scheme::Tlb(TlbConfig::paper_default())
@@ -127,6 +143,7 @@ impl Scheme {
         s.insert(6, Scheme::flowbender_default());
         s.insert(7, Scheme::hermes_default());
         s.insert(8, Scheme::Wcmp);
+        s.insert(9, Scheme::diffflow_default());
         s
     }
 
@@ -170,6 +187,7 @@ impl Scheme {
                 *benefit_factor,
             )),
             Scheme::Wcmp => Box::new(Wcmp::new()),
+            Scheme::DiffFlow { threshold_bytes } => Box::new(DiffFlow::new(*threshold_bytes)),
             Scheme::Tlb(cfg) => Box::new(Tlb::new(*cfg)),
         }
     }
@@ -231,6 +249,7 @@ mod tests {
                 "FlowBender",
                 "Hermes-lite",
                 "WCMP",
+                "DiffFlow",
                 "TLB"
             ]
         );

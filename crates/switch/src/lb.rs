@@ -12,18 +12,88 @@ use tlb_net::Packet;
 
 /// A read-only view of a leaf switch's uplink ports, handed to the balancer
 /// for each decision. Borrow-based: no per-packet allocation.
+///
+/// The `mask` (bit `i` set ⇔ uplink `i` is *live*) reflects route
+/// reconvergence after failures: a dead uplink stays addressable (indices
+/// are stable) but every `shortest_*` helper skips it, and schemes consult
+/// [`PortView::is_live`] before sticking to a cached port. With all bits
+/// set — the only state a failure-free run ever sees — each helper visits
+/// ports in exactly the historical order, so masked and unmasked fabrics
+/// produce bit-identical decisions and RNG consumption.
 #[derive(Clone, Copy)]
 pub struct PortView<'a> {
     ports: &'a [OutPort],
+    mask: u64,
 }
 
 impl<'a> PortView<'a> {
-    /// Wrap a slice of uplink ports.
+    /// Wrap a slice of uplink ports, all live.
     pub fn new(ports: &'a [OutPort]) -> PortView<'a> {
-        PortView { ports }
+        PortView {
+            ports,
+            mask: Self::full_mask(ports.len()),
+        }
     }
 
-    /// Number of uplinks (= equal-cost paths from this leaf).
+    /// Wrap a slice of uplink ports with an explicit liveness mask. Bits
+    /// above `ports.len()` are ignored; at least one in-range bit must be
+    /// set (callers resolve the no-live-path case before the balancer).
+    pub fn with_mask(ports: &'a [OutPort], mask: u64) -> PortView<'a> {
+        let mask = mask & Self::full_mask(ports.len());
+        assert!(mask != 0, "PortView::with_mask with no live uplink");
+        PortView { ports, mask }
+    }
+
+    /// The all-live mask for `n` uplinks (`n` ≤ 64).
+    #[inline]
+    pub fn full_mask(n: usize) -> u64 {
+        debug_assert!(n <= 64, "at most 64 uplinks per LB switch");
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// The liveness mask (bit `i` set ⇔ uplink `i` usable).
+    #[inline]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// True if uplink `i` is live.
+    #[inline]
+    pub fn is_live(&self, i: usize) -> bool {
+        self.mask & (1u64 << i) != 0
+    }
+
+    /// Number of live uplinks.
+    #[inline]
+    pub fn n_live(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// The index of the `k`-th live uplink (0-based, ascending index
+    /// order). Panics if fewer than `k + 1` uplinks are live.
+    #[inline]
+    pub fn nth_live(&self, k: usize) -> usize {
+        let mut m = self.mask;
+        for _ in 0..k {
+            m &= m - 1; // clear lowest set bit
+        }
+        debug_assert!(m != 0, "nth_live past the live count");
+        m.trailing_zeros() as usize
+    }
+
+    /// Rank of live uplink `i` among the live uplinks (inverse of
+    /// [`nth_live`](Self::nth_live)). With a full mask this is `i` itself.
+    #[inline]
+    pub fn live_rank(&self, i: usize) -> usize {
+        debug_assert!(self.is_live(i), "live_rank of a dead uplink");
+        (self.mask & ((1u64 << i) - 1)).count_ones() as usize
+    }
+
+    /// Number of uplinks (= equal-cost paths from this leaf), live or not.
     #[inline]
     pub fn n_ports(&self) -> usize {
         self.ports.len()
@@ -55,9 +125,13 @@ impl<'a> PortView<'a> {
             "PortView::shortest_bytes on a leaf with no uplink ports \
              (build the topology with at least one spine)"
         );
-        let mut best = 0;
-        let mut best_bytes = self.ports[0].len_bytes();
-        for (i, p) in self.ports.iter().enumerate().skip(1) {
+        let first = self.nth_live(0);
+        let mut best = first;
+        let mut best_bytes = self.ports[first].len_bytes();
+        for (i, p) in self.ports.iter().enumerate().skip(first + 1) {
+            if !self.is_live(i) {
+                continue;
+            }
             let b = p.len_bytes();
             if b < best_bytes {
                 best = i;
@@ -78,10 +152,14 @@ impl<'a> PortView<'a> {
             "PortView::shortest_bytes_rand on a leaf with no uplink ports \
              (build the topology with at least one spine)"
         );
-        let mut best = 0;
-        let mut best_bytes = self.ports[0].len_bytes();
+        let first = self.nth_live(0);
+        let mut best = first;
+        let mut best_bytes = self.ports[first].len_bytes();
         let mut ties = 1u64;
-        for (i, p) in self.ports.iter().enumerate().skip(1) {
+        for (i, p) in self.ports.iter().enumerate().skip(first + 1) {
+            if !self.is_live(i) {
+                continue;
+            }
             let b = p.len_bytes();
             if b < best_bytes {
                 best = i;
@@ -105,9 +183,13 @@ impl<'a> PortView<'a> {
             "PortView::shortest_pkts on a leaf with no uplink ports \
              (build the topology with at least one spine)"
         );
-        let mut best = 0;
-        let mut best_len = self.ports[0].len_pkts();
-        for (i, p) in self.ports.iter().enumerate().skip(1) {
+        let first = self.nth_live(0);
+        let mut best = first;
+        let mut best_len = self.ports[first].len_pkts();
+        for (i, p) in self.ports.iter().enumerate().skip(first + 1) {
+            if !self.is_live(i) {
+                continue;
+            }
             let l = p.len_pkts();
             if l < best_len {
                 best = i;
@@ -117,11 +199,17 @@ impl<'a> PortView<'a> {
         best
     }
 
-    /// Mean uplink capacity (bytes/s); TLB's model term `C` under (possibly
-    /// asymmetric) heterogeneous uplinks.
+    /// Mean *live* uplink capacity (bytes/s); TLB's model term `C` under
+    /// (possibly asymmetric) heterogeneous uplinks.
     pub fn mean_capacity(&self) -> f64 {
-        let sum: u64 = self.ports.iter().map(|p| p.link().bytes_per_sec).sum();
-        sum as f64 / self.ports.len() as f64
+        let sum: u64 = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.is_live(*i))
+            .map(|(_, p)| p.link().bytes_per_sec)
+            .sum();
+        sum as f64 / self.n_live() as f64
     }
 }
 
@@ -173,6 +261,16 @@ pub trait LoadBalancer: Send {
     /// their current uplink's queue crosses `q_th`). `None` for schemes
     /// without the notion. The scenario fuzzer's reroute oracle reads this.
     fn long_reroutes(&self) -> Option<u64> {
+        None
+    }
+
+    /// How many times the scheme was *forced* off a cached port because a
+    /// failure took it down (the liveness mask cleared its bit), for
+    /// schemes that cache per-flow/flowlet ports. Kept separate from
+    /// [`LoadBalancer::long_reroutes`] so the fuzzer's pinned-TLB
+    /// zero-*voluntary*-reroute oracle stays strict under failure
+    /// schedules. `None` for schemes without cached ports.
+    fn forced_reroutes(&self) -> Option<u64> {
         None
     }
 }
@@ -243,6 +341,50 @@ mod tests {
     fn shortest_bytes_rand_rejects_empty_view() {
         let mut rng = tlb_engine::SimRng::new(1);
         PortView::new(&[]).shortest_bytes_rand(&mut rng);
+    }
+
+    #[test]
+    fn mask_skips_dead_ports() {
+        let ps = ports(&[3, 1, 2, 0]);
+        // Ports 1 and 3 dead: shortest must come from {0, 2}.
+        let v = PortView::with_mask(&ps, 0b0101);
+        assert_eq!(v.n_live(), 2);
+        assert!(v.is_live(0) && !v.is_live(1) && v.is_live(2) && !v.is_live(3));
+        assert_eq!(v.nth_live(0), 0);
+        assert_eq!(v.nth_live(1), 2);
+        assert_eq!(v.shortest_bytes(), 2);
+        assert_eq!(v.shortest_pkts(), 2);
+        let mut rng = tlb_engine::SimRng::new(7);
+        assert_eq!(v.shortest_bytes_rand(&mut rng), 2);
+        // Dead port 0: the first-live seed moves off index 0 and the
+        // empty live port 3 wins.
+        let w = PortView::with_mask(&ps, 0b1010);
+        assert_eq!(w.shortest_bytes(), 3);
+    }
+
+    #[test]
+    fn full_mask_matches_unmasked() {
+        let ps = ports(&[5, 2, 7, 2, 2]);
+        let a = PortView::new(&ps);
+        let b = PortView::with_mask(&ps, PortView::full_mask(ps.len()));
+        assert_eq!(a.mask(), b.mask());
+        assert_eq!(a.shortest_bytes(), b.shortest_bytes());
+        // Identical RNG consumption on the randomized tie-break.
+        let mut r1 = tlb_engine::SimRng::new(9);
+        let mut r2 = tlb_engine::SimRng::new(9);
+        for _ in 0..200 {
+            assert_eq!(
+                a.shortest_bytes_rand(&mut r1),
+                b.shortest_bytes_rand(&mut r2)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no live uplink")]
+    fn all_dead_mask_rejected() {
+        let ps = ports(&[1, 2]);
+        PortView::with_mask(&ps, 0b100); // only out-of-range bit set
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct OutPort {
     /// a mid-service [`OutPort::set_link`] neither reschedules the packet
     /// nor mis-accounts its busy time.
     service_tx: SimTime,
+    /// Administratively down (failure injection): new packets are dropped
+    /// at admission while anything already queued or in flight drains
+    /// normally — the counters stay on the same `stats.dropped` path the
+    /// conservation audit cross-checks per port.
+    down: bool,
     stats: PortStats,
 }
 
@@ -95,6 +100,7 @@ impl OutPort {
             queued_bytes: 0,
             in_service: None,
             service_tx: SimTime::ZERO,
+            down: false,
             stats: PortStats::default(),
         }
     }
@@ -110,6 +116,21 @@ impl OutPort {
     /// currently on the wire keeps its old timing.
     pub fn set_link(&mut self, link: LinkProps) {
         self.link = link;
+    }
+
+    /// Administratively bring the port down or back up (failure
+    /// injection). A down port rejects new packets at admission
+    /// ([`OutPort::enqueue`] returns [`Enqueued::Dropped`]) but drains
+    /// whatever is already queued or in service, so every packet's fate
+    /// stays accounted.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// True while the port is administratively down.
+    #[inline]
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Queue length in packets (excluding the packet in service).
@@ -140,7 +161,7 @@ impl OutPort {
     /// `enqueued_at`, and reports whether the caller must kick off
     /// serialization (`was_idle`).
     pub fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueued {
-        if self.queue.len() >= self.cfg.capacity_pkts {
+        if self.down || self.queue.len() >= self.cfg.capacity_pkts {
             self.stats.dropped += 1;
             return Enqueued::Dropped;
         }
@@ -460,6 +481,30 @@ mod tests {
         assert_eq!(p.service_tx_time(), SimTime::from_micros(24));
         p.finish_service();
         assert_eq!(p.stats().busy, SimTime::from_micros(36));
+    }
+
+    #[test]
+    fn down_port_drops_at_admission_but_drains() {
+        let mut p = OutPort::new(link(), cfg(16, None));
+        p.enqueue(data(0), SimTime::ZERO);
+        p.enqueue(data(1), SimTime::ZERO);
+        p.set_down(true);
+        assert!(p.is_down());
+        // New arrivals are rejected and counted like drop-tail drops.
+        assert_eq!(p.enqueue(data(2), SimTime::ZERO), Enqueued::Dropped);
+        assert_eq!(p.stats().dropped, 1);
+        // What was admitted before the failure still drains.
+        assert_eq!(p.start_service().unwrap().seq, 0);
+        p.finish_service();
+        assert_eq!(p.start_service().unwrap().seq, 1);
+        p.finish_service();
+        assert!(p.is_idle());
+        // Repair restores admission.
+        p.set_down(false);
+        assert!(matches!(
+            p.enqueue(data(3), SimTime::ZERO),
+            Enqueued::Queued { was_idle: true, .. }
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::sizes::{SizeDist, UniformBytes};
 use crate::spec::FlowSpec;
 use tlb_engine::{SimRng, SimTime};
-use tlb_net::{FlowId, HostId, LeafSpine};
+use tlb_net::{Fabric, FlowId, HostId};
 
 /// Configuration of the basic §6.1/§4.2 mix.
 #[derive(Clone, Copy, Debug)]
@@ -54,7 +54,7 @@ impl BasicMixConfig {
 /// (so its uplinks are the shared bottleneck the paper's Fig. 1 describes),
 /// receivers are spread over the other leaves. Long flows start at t = 0,
 /// short flows arrive Poisson across the window.
-pub fn basic_mix(topo: &LeafSpine, cfg: &BasicMixConfig, rng: &mut SimRng) -> Vec<FlowSpec> {
+pub fn basic_mix(topo: &Fabric, cfg: &BasicMixConfig, rng: &mut SimRng) -> Vec<FlowSpec> {
     assert!(topo.n_leaves() >= 2, "basic mix needs at least 2 leaves");
     let senders: Vec<HostId> = topo.hosts_of(tlb_net::LeafId(0)).collect();
     let receivers: Vec<HostId> = (1..topo.n_leaves())
@@ -115,7 +115,7 @@ pub fn basic_mix(topo: &LeafSpine, cfg: &BasicMixConfig, rng: &mut SimRng) -> Ve
 ///
 /// [`Simulation::new_chained`]: https://docs.rs/tlb-simnet
 pub fn sustained_mix(
-    topo: &LeafSpine,
+    topo: &Fabric,
     cfg: &BasicMixConfig,
     rounds: usize,
     rng: &mut SimRng,
@@ -191,8 +191,8 @@ mod tests {
     use crate::spec::validate_specs;
     use tlb_net::LeafSpineBuilder;
 
-    fn topo() -> LeafSpine {
-        LeafSpineBuilder::new(3, 15, 16).build()
+    fn topo() -> Fabric {
+        LeafSpineBuilder::new(3, 15, 16).build().into()
     }
 
     #[test]

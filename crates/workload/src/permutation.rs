@@ -7,12 +7,12 @@
 use crate::sizes::SizeDist;
 use crate::spec::FlowSpec;
 use tlb_engine::{SimRng, SimTime};
-use tlb_net::{FlowId, HostId, LeafSpine};
+use tlb_net::{Fabric, FlowId, HostId};
 
 /// Generate a random inter-rack permutation: each host sends exactly one
 /// flow of `dist`-sampled size to a host in another rack, and each host
 /// receives at most one flow. All flows start at t = 0.
-pub fn permutation(topo: &LeafSpine, dist: &impl SizeDist, rng: &mut SimRng) -> Vec<FlowSpec> {
+pub fn permutation(topo: &Fabric, dist: &impl SizeDist, rng: &mut SimRng) -> Vec<FlowSpec> {
     assert!(topo.n_leaves() >= 2, "permutation needs at least 2 racks");
     let n = topo.n_hosts();
     // Random derangement-ish matching: shuffle receivers until every pair
@@ -48,7 +48,7 @@ mod tests {
 
     #[test]
     fn is_a_valid_inter_rack_matching() {
-        let topo = LeafSpineBuilder::new(4, 4, 8).build();
+        let topo: Fabric = LeafSpineBuilder::new(4, 4, 8).build().into();
         let mut rng = SimRng::new(3);
         let flows = permutation(&topo, &FixedBytes(1_000_000), &mut rng);
         assert_eq!(flows.len(), 32);
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let topo = LeafSpineBuilder::new(2, 4, 8).build();
+        let topo: Fabric = LeafSpineBuilder::new(2, 4, 8).build().into();
         let a = permutation(&topo, &FixedBytes(1000), &mut SimRng::new(9));
         let b = permutation(&topo, &FixedBytes(1000), &mut SimRng::new(9));
         for (x, y) in a.iter().zip(&b) {
@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn two_rack_permutation_crosses_racks() {
-        let topo = LeafSpineBuilder::new(2, 2, 4).build();
+        let topo: Fabric = LeafSpineBuilder::new(2, 2, 4).build().into();
         let mut rng = SimRng::new(1);
         let flows = permutation(&topo, &FixedBytes(1000), &mut rng);
         for f in &flows {

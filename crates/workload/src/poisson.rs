@@ -4,7 +4,7 @@
 use crate::sizes::SizeDist;
 use crate::spec::FlowSpec;
 use tlb_engine::{SimRng, SimTime};
-use tlb_net::{FlowId, HostId, LeafSpine};
+use tlb_net::{Fabric, FlowId, HostId};
 
 /// Poisson flow generator over a leaf-spine fabric.
 ///
@@ -33,18 +33,18 @@ impl<'a, D: SizeDist> PoissonWorkload<'a, D> {
     /// Flow arrival rate (flows/second) for this load on `topo`:
     /// `λ = load · C_host · n_hosts / E[size]`. Single source of truth for
     /// both [`Self::expected_flows`] and [`Self::generate`].
-    fn arrival_rate(&self, topo: &LeafSpine) -> f64 {
+    fn arrival_rate(&self, topo: &Fabric) -> f64 {
         let c_host = topo.host_link().bytes_per_sec as f64;
         self.load * c_host * topo.n_hosts() as f64 / self.dist.mean()
     }
 
     /// The expected number of flows this configuration generates.
-    pub fn expected_flows(&self, topo: &LeafSpine) -> f64 {
+    pub fn expected_flows(&self, topo: &Fabric) -> f64 {
         self.arrival_rate(topo) * self.duration.as_secs_f64()
     }
 
     /// Generate the flow set.
-    pub fn generate(&self, topo: &LeafSpine, rng: &mut SimRng) -> Vec<FlowSpec> {
+    pub fn generate(&self, topo: &Fabric, rng: &mut SimRng) -> Vec<FlowSpec> {
         assert!(self.load > 0.0 && self.load <= 1.5, "unreasonable load");
         assert!(
             !self.inter_leaf_only || topo.n_leaves() >= 2,
@@ -108,8 +108,8 @@ mod tests {
     use crate::spec::validate_specs;
     use tlb_net::LeafSpineBuilder;
 
-    fn topo() -> LeafSpine {
-        LeafSpineBuilder::new(4, 4, 4).build()
+    fn topo() -> Fabric {
+        LeafSpineBuilder::new(4, 4, 4).build().into()
     }
 
     fn workload(dist: &impl SizeDist, load: f64) -> PoissonWorkload<'_, impl SizeDist + '_> {

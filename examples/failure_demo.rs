@@ -32,6 +32,7 @@ fn main() {
                 leaf: LeafId(0),
                 spine: SpineId(spine),
                 bw_factor: 0.10,
+                new_prop_delay: None,
                 extra_delay: SimTime::ZERO,
             });
         }

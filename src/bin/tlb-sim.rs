@@ -18,7 +18,7 @@ USAGE:
 
 OPTIONS:
     --scheme <s>          ecmp | rps | presto | letflow | drill | conga |
-                          flowbender | hermes | wcmp | tlb                      [tlb]
+                          flowbender | hermes | wcmp | diffflow | tlb          [tlb]
     --workload <w>        websearch | datamining | mix                    [websearch]
     --load <f>            offered load fraction for Poisson workloads           [0.6]
     --shorts <n>          short flows for the 'mix' workload                    [100]
@@ -26,11 +26,17 @@ OPTIONS:
     --leaves <n>          leaf switches                                           [8]
     --spines <n>          spine switches (= equal-cost paths)                     [8]
     --hosts-per-leaf <n>  hosts per rack                                         [16]
+    --fat-tree <k>        use a k-ary fat tree instead of leaf-spine (k even,
+                          k^3/4 hosts); overrides the three knobs above
     --gbps <f>            link rate in Gbit/s                                   [1.0]
     --duration-ms <n>     Poisson traffic window                                 [50]
     --seed <n>            RNG seed (runs are deterministic per seed)              [1]
     --degrade l:s:bw:us   degrade uplink leaf l -> spine s to bw x bandwidth
                           with +us microseconds delay (repeatable)
+    --fail sw:up:at_us    take LB switch sw's uplink up down at_us microseconds
+                          into the run (repeatable)
+    --repair sw:up:at_us  bring the same uplink back up at_us microseconds in
+                          (repeatable)
     --json                machine-readable output
     --help                this text
 ";
@@ -77,6 +83,7 @@ fn scheme_from(name: &str) -> Scheme {
         "conga" => Scheme::CongaLite {
             timeout: SimTime::from_micros(500),
         },
+        "diffflow" => Scheme::diffflow_default(),
         "tlb" => Scheme::tlb_default(),
         other => {
             eprintln!("unknown scheme: {other}\n{HELP}");
@@ -101,10 +108,20 @@ fn main() {
     let seed: u64 = args.parse("--seed", 1);
 
     let mut cfg = SimConfig::basic_paper(scheme);
-    cfg.topo = LeafSpineBuilder::new(leaves, spines, hosts_per_leaf)
-        .link_gbps(gbps)
-        .target_rtt(SimTime::from_micros(100))
-        .build();
+    cfg.topo = if let Some(k) = args.value_of("--fat-tree") {
+        let k: usize = k.parse().expect("fat-tree arity");
+        FatTreeBuilder::new(k)
+            .link_gbps(gbps)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+            .into()
+    } else {
+        LeafSpineBuilder::new(leaves, spines, hosts_per_leaf)
+            .link_gbps(gbps)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+            .into()
+    };
     cfg.seed = seed;
 
     for spec in args.values_of("--degrade") {
@@ -120,6 +137,31 @@ fn main() {
         cfg.topo
             .degrade_link(LeafId(l), SpineId(s), bw, SimTime::from_micros(us));
     }
+
+    for (key, action) in [
+        ("--fail", FailureAction::Down),
+        ("--repair", FailureAction::Up),
+    ] {
+        for spec in args.values_of(key) {
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() != 3 {
+                eprintln!("bad {key} '{spec}', expected sw:up:at_us");
+                std::process::exit(2);
+            }
+            let sw: u32 = parts[0].parse().expect("LB switch index");
+            let up: u32 = parts[1].parse().expect("uplink index");
+            let at: u64 = parts[2].parse().expect("event time (us)");
+            cfg.failure_events.push(FailureEvent {
+                at: SimTime::from_micros(at),
+                target: FailureTarget::Link {
+                    sw: LeafId(sw),
+                    up: SpineId(up),
+                },
+                action,
+            });
+        }
+    }
+    cfg.failure_events.sort_by_key(|e| e.at);
 
     let workload = args.value_of("--workload").unwrap_or("websearch");
     let mut rng = SimRng::new(seed ^ 0xABCD);

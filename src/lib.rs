@@ -54,10 +54,14 @@ pub mod prelude {
     pub use tlb_engine::{SimRng, SimTime};
     pub use tlb_metrics::{FlowClass, SampleSet};
     pub use tlb_model::{q_th_min, ModelParams, QTh};
-    pub use tlb_net::{FlowId, HostId, LeafId, LeafSpine, LeafSpineBuilder, SpineId};
+    pub use tlb_net::{
+        Fabric, FatTree, FatTreeBuilder, FlowId, HostId, LeafId, LeafSpine, LeafSpineBuilder,
+        SpineId,
+    };
     pub use tlb_simnet::{
-        run_all, run_all_ref, run_one, run_one_ref, AuditReport, DeliveryKind, LbDispatch,
-        RunReport, Scheme, SimConfig, Simulation,
+        run_all, run_all_ref, run_one, run_one_ref, AuditReport, DeliveryKind, FailureAction,
+        FailureEvent, FailureTarget, LbDispatch, LinkEvent, RunReport, Scheme, SimConfig,
+        Simulation,
     };
     pub use tlb_switch::{LoadBalancer, PortView, QueueCfg};
     pub use tlb_transport::TcpConfig;

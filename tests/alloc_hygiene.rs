@@ -104,18 +104,91 @@ fn steady_state_is_allocation_free() {
         }
     }
 
+    // --- mid-audit flap on a 10 Gb/s link: pipe-capacity regression ------
+    // Two stacked LinkEvents land INSIDE the audit window on one 10 Gb/s
+    // uplink: a bandwidth improvement (shorter tx time) plus extra
+    // propagation delay, each growing the worst-case number of packets in
+    // flight on the wire. Before build-time pipe sizing replayed the
+    // link-event schedule, the pipelined delivery pipe's ring buffer grew
+    // mid-window and the realloc tripped the gate; `refit_pipe` also
+    // shifts the warmup baseline if growth ever does happen at the event.
+    {
+        let dist = web_search();
+        let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        cfg.topo = LeafSpineBuilder::new(4, 4, 8)
+            .link_gbps(10.0)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+            .into();
+        cfg.delivery = DeliveryKind::Pipelined;
+        for (at_us, extra_us) in [(1_300, 150), (1_600, 150)] {
+            cfg.link_events.push(tlb::simnet::LinkEvent {
+                at: SimTime::from_micros(at_us),
+                leaf: LeafId(0),
+                spine: SpineId(1),
+                bw_factor: 1.25,
+                new_prop_delay: None,
+                extra_delay: SimTime::from_micros(extra_us),
+            });
+        }
+        let wl = PoissonWorkload {
+            load: 0.4,
+            dist: &dist,
+            duration: SimTime::from_millis(2),
+            deadline_lo: SimTime::from_millis(5),
+            deadline_hi: SimTime::from_millis(25),
+            short_threshold: 100_000,
+            inter_leaf_only: true,
+        };
+        let flows = wl.generate(&cfg.topo, &mut SimRng::new(77));
+        let e = learn_events(cfg.clone(), flows.clone());
+        assert!(e > 100_000, "flap job too small for a steady state: {e}");
+        for fel in [FelKind::Calendar, FelKind::Heap] {
+            let mut c = cfg.clone();
+            c.fel = fel;
+            let r = audited(c, flows.clone(), e / 2);
+            assert_eq!(r.events, e, "FEL backend changed the event count");
+            assert_zero_alloc(&r, &format!("10G mid-audit flap {fel:?}"));
+        }
+    }
+
     // --- the fuzzer's 16-job differential batch, run serially ------------
     // Same raw tuples as tests/determinism.rs: they span schemes, incast,
     // and static + mid-run degradation.
     let raws: [tlb_fuzz::RawScenario; 4] = [
-        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
-        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
-        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
-        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
     ];
-    for &(topo, traffic, (seed, degrade, bw, extra, mid)) in &raws {
+    for &(topo, traffic, (seed, degrade, bw, extra, mid), failure) in &raws {
         for k in 0..4u64 {
-            let raw = (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid));
+            let raw = (
+                topo,
+                traffic,
+                (seed + k * 1000, degrade, bw, extra, mid),
+                failure,
+            );
             let b = tlb_fuzz::Scenario::from_raw(raw).build();
             let e = learn_events(b.cfg.clone(), b.flows.clone());
             let r = audited(b.cfg, b.flows, e / 2);

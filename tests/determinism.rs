@@ -14,6 +14,7 @@ fn full_feature_run(scheme: Scheme, seed: u64) -> RunReport {
         leaf: LeafId(0),
         spine: SpineId(7),
         bw_factor: 0.5,
+        new_prop_delay: None,
         extra_delay: SimTime::from_micros(50),
     });
     let mut mix = BasicMixConfig::paper_default();
@@ -121,19 +122,48 @@ fn fuzz_scenarios_are_digest_stable_across_thread_counts() {
     // race on the environment). Fixed raw tuples span schemes, incast,
     // and static + mid-run degradation.
     let raws: [tlb_fuzz::RawScenario; 4] = [
-        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
-        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
-        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
-        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
     ];
     // Fan each tuple out over four workload seeds: 16 jobs gives the
     // 3-thread pool enough queue depth that the worker probe below is not
     // racing a single fast worker draining the whole batch.
     let jobs: Vec<_> = raws
         .iter()
-        .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
-            (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
-        })
+        .flat_map(
+            |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                (0..4).map(move |k| {
+                    (
+                        topo,
+                        traffic,
+                        (seed + k * 1000, degrade, bw, extra, mid),
+                        failure,
+                    )
+                })
+            },
+        )
         .map(|raw| {
             let b = tlb_fuzz::Scenario::from_raw(raw).build();
             (b.cfg, b.flows)
@@ -174,16 +204,45 @@ fn fel_backends_are_bit_identical_on_fuzz_batch() {
     // 16-job fuzz batch the thread-count test uses.
     use tlb::engine::FelKind;
     let raws: [tlb_fuzz::RawScenario; 4] = [
-        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
-        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
-        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
-        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
     ];
     let jobs_with = |kind: FelKind| -> Vec<_> {
         raws.iter()
-            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
-                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
-            })
+            .flat_map(
+                |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                    (0..4).map(move |k| {
+                        (
+                            topo,
+                            traffic,
+                            (seed + k * 1000, degrade, bw, extra, mid),
+                            failure,
+                        )
+                    })
+                },
+            )
             .map(|raw| {
                 let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
                 b.cfg.fel = kind;
@@ -254,7 +313,7 @@ fn fel_backends_are_bit_identical_on_load_sweep() {
 
 #[test]
 fn workload_generators_are_seed_stable() {
-    let topo = LeafSpineBuilder::new(4, 4, 8).build();
+    let topo = LeafSpineBuilder::new(4, 4, 8).build().into();
     // Regression pin: the first web-search Poisson flow for seed 1. If this
     // changes, the RNG stream or generator logic changed and all recorded
     // results need regeneration.
@@ -287,16 +346,45 @@ fn lb_dispatch_paths_are_bit_identical_on_fuzz_batch() {
     // batch the FEL-backend test uses.
     use tlb::simnet::LbDispatch;
     let raws: [tlb_fuzz::RawScenario; 4] = [
-        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
-        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
-        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
-        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
     ];
     let jobs_with = |dispatch: LbDispatch| -> Vec<_> {
         raws.iter()
-            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
-                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
-            })
+            .flat_map(
+                |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                    (0..4).map(move |k| {
+                        (
+                            topo,
+                            traffic,
+                            (seed + k * 1000, degrade, bw, extra, mid),
+                            failure,
+                        )
+                    })
+                },
+            )
             .map(|raw| {
                 let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
                 b.cfg.lb_dispatch = dispatch;
@@ -334,16 +422,45 @@ fn delivery_modes_are_bit_identical_on_fuzz_batch() {
     // pipelined mode by `fel_bound_peak` (itself mode-independent).
     use tlb::simnet::DeliveryKind;
     let raws: [tlb_fuzz::RawScenario; 4] = [
-        ((2, 3, 2, 10), (4, 6, 1, 2), (42, true, 50, 10, false)),
-        ((3, 4, 3, 15), (5, 10, 2, 3), (7, true, 25, 40, true)),
-        ((2, 2, 4, 5), (1, 8, 1, 0), (99, false, 50, 0, false)),
-        ((4, 6, 2, 20), (3, 12, 3, 5), (1234, true, 75, 5, true)),
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
     ];
     let jobs_with = |delivery: DeliveryKind| -> Vec<_> {
         raws.iter()
-            .flat_map(|&(topo, traffic, (seed, degrade, bw, extra, mid))| {
-                (0..4).map(move |k| (topo, traffic, (seed + k * 1000, degrade, bw, extra, mid)))
-            })
+            .flat_map(
+                |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                    (0..4).map(move |k| {
+                        (
+                            topo,
+                            traffic,
+                            (seed + k * 1000, degrade, bw, extra, mid),
+                            failure,
+                        )
+                    })
+                },
+            )
             .map(|raw| {
                 let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
                 b.cfg.delivery = delivery;

@@ -2,6 +2,7 @@
 //! two uplinks' capacity while traffic is in flight; adaptive schemes must
 //! keep delivering.
 
+use tlb::engine::FelKind;
 use tlb::prelude::*;
 use tlb::simnet::config::LinkEvent;
 
@@ -24,6 +25,7 @@ fn run_with_failure(scheme: Scheme, seed: u64) -> RunReport {
             leaf: LeafId(0),
             spine: SpineId(spine),
             bw_factor: 0.05,
+            new_prop_delay: None,
             extra_delay: SimTime::from_millis(1),
         });
     }
@@ -65,6 +67,7 @@ fn link_event_validation() {
         leaf: LeafId(0),
         spine: SpineId(99), // out of range
         bw_factor: 0.5,
+        new_prop_delay: None,
         extra_delay: SimTime::ZERO,
     });
     assert!(cfg.validate().is_err());
@@ -73,6 +76,138 @@ fn link_event_validation() {
     assert!(cfg.validate().is_err());
     cfg.link_events[0].bw_factor = 0.5;
     cfg.validate().unwrap();
+}
+
+/// Delivery-mode-safe run fingerprint (excludes `fel_depth`, whose values
+/// legitimately differ between pipelined and per-packet delivery).
+fn digest(r: &RunReport) -> (u64, String, u64, u64, usize, usize) {
+    (
+        r.events,
+        format!("{:.12}/{:.12}", r.fct_short.afct, r.fct_long.mean_goodput),
+        r.drops,
+        r.marks,
+        r.traces.len(),
+        r.completed,
+    )
+}
+
+fn pinned_tlb() -> Scheme {
+    let mut t = TlbConfig::paper_default();
+    t.threshold_mode = ThresholdMode::Fixed(u64::MAX);
+    Scheme::Tlb(t)
+}
+
+/// Hard flap: a leaf uplink goes fully dark mid-run and is repaired while
+/// traffic is still flowing. Reconvergence must be clean — every flow
+/// completes, the packet-conservation ledger balances (drops at the dead
+/// port are accounted, not leaked), a TLB pinned at `q_th = ∞` performs
+/// zero *voluntary* long-flow reroutes (forced evacuations off the dead
+/// uplink are tallied separately), and the whole run is bit-identical
+/// across both FEL backends and both delivery modes.
+#[test]
+fn flap_and_repair_reconverge_cleanly() {
+    let run = |fel: FelKind, delivery: DeliveryKind| {
+        let mut cfg = SimConfig::basic_paper(pinned_tlb());
+        cfg.audit = true;
+        cfg.fel = fel;
+        cfg.delivery = delivery;
+        for (at_ms, action) in [(5, FailureAction::Down), (12, FailureAction::Up)] {
+            cfg.failure_events.push(FailureEvent {
+                at: SimTime::from_millis(at_ms),
+                target: FailureTarget::Link {
+                    sw: LeafId(0),
+                    up: SpineId(3),
+                },
+                action,
+            });
+        }
+        let flows = basic_mix(&cfg.topo, &mix(), &mut SimRng::new(11));
+        Simulation::new(cfg, flows).run()
+    };
+
+    let base = run(FelKind::Calendar, DeliveryKind::Pipelined);
+    assert_eq!(
+        base.completed, base.total_flows,
+        "flows stranded by the flap/repair cycle"
+    );
+    assert!(base.audit.is_some(), "conservation audit did not run");
+    assert_eq!(
+        base.tlb_long_reroutes,
+        Some(0),
+        "pinned TLB made voluntary long-flow reroutes around the flap"
+    );
+    assert!(
+        base.forced_reroutes.is_some(),
+        "failure schedule present but forced-reroute accounting missing"
+    );
+
+    for fel in [FelKind::Calendar, FelKind::Heap] {
+        for delivery in [DeliveryKind::Pipelined, DeliveryKind::PerPacket] {
+            let r = run(fel, delivery);
+            assert_eq!(
+                digest(&r),
+                digest(&base),
+                "{fel:?}/{delivery:?} diverged from Calendar/Pipelined"
+            );
+        }
+    }
+}
+
+/// Acceptance matrix: a k=8 fat tree (128 hosts, 80 switches) with a
+/// mid-run edge-uplink flap completes with the conservation audit on and
+/// produces bit-identical digests across FelKind x LbDispatch x
+/// DeliveryKind.
+#[test]
+fn fat_tree_k8_flap_matrix_is_bit_identical() {
+    let run = |fel: FelKind, dispatch: LbDispatch, delivery: DeliveryKind| {
+        let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        cfg.topo = FatTreeBuilder::new(8)
+            .link_gbps(1.0)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+            .into();
+        cfg.audit = true;
+        cfg.fel = fel;
+        cfg.lb_dispatch = dispatch;
+        cfg.delivery = delivery;
+        for (at_ms, action) in [(2, FailureAction::Down), (6, FailureAction::Up)] {
+            cfg.failure_events.push(FailureEvent {
+                at: SimTime::from_millis(at_ms),
+                target: FailureTarget::Link {
+                    sw: LeafId(0), // edge 0
+                    up: SpineId(1),
+                },
+                action,
+            });
+        }
+        let mut m = mix();
+        m.n_short = 40;
+        m.n_long = 2;
+        m.long_lo = 1_500_000;
+        m.long_hi = 2_500_000;
+        let flows = basic_mix(&cfg.topo, &m, &mut SimRng::new(23));
+        Simulation::new(cfg, flows).run()
+    };
+
+    let base = run(FelKind::Calendar, LbDispatch::Enum, DeliveryKind::Pipelined);
+    assert_eq!(
+        base.completed, base.total_flows,
+        "fat-tree flap stranded flows"
+    );
+    assert!(base.audit.is_some(), "conservation audit did not run");
+
+    for fel in [FelKind::Calendar, FelKind::Heap] {
+        for dispatch in [LbDispatch::Enum, LbDispatch::Dyn] {
+            for delivery in [DeliveryKind::Pipelined, DeliveryKind::PerPacket] {
+                let r = run(fel, dispatch, delivery);
+                assert_eq!(
+                    digest(&r),
+                    digest(&base),
+                    "{fel:?}/{dispatch:?}/{delivery:?} diverged"
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -84,13 +219,15 @@ fn degradation_actually_bites() {
         cfg.topo = LeafSpineBuilder::new(2, 1, 2) // exactly one path
             .link_gbps(1.0)
             .target_rtt(SimTime::from_micros(100))
-            .build();
+            .build()
+            .into();
         if with_failure {
             cfg.link_events.push(LinkEvent {
                 at: SimTime::from_millis(5),
                 leaf: LeafId(0),
                 spine: SpineId(0),
                 bw_factor: 0.1,
+                new_prop_delay: None,
                 extra_delay: SimTime::ZERO,
             });
         }

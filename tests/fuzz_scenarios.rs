@@ -28,6 +28,11 @@ fn fuzz_scenarios() {
 /// (legitimate multipath reordering — must stay green).
 #[test]
 fn regression_duplicate_straggler_after_fin() {
-    let raw = ((2, 2, 2, 5), (4, 4, 3, 2), (549_721, true, 52, 46, false));
+    let raw = (
+        (2, 2, 2, 5),
+        (4, 4, 3, 2),
+        (549_721, true, 52, 46, false),
+        (0, false, 0, 0, false),
+    );
     run_scenario_checked(raw).unwrap();
 }
