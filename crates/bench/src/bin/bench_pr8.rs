@@ -1,0 +1,180 @@
+//! `BENCH_PR8.json` emitter: the hybrid fluid/packet fidelity tier,
+//! measured (see `tlb_bench::perf8` for the leg definitions).
+//!
+//! ```sh
+//! cargo run --release -p tlb-bench --bin bench_pr8              # quick
+//! TLB_SCALE=full TLB_BENCH_ASSERT=1 \
+//!     cargo run --release -p tlb-bench --bin bench_pr8
+//! ```
+//!
+//! Three legs: the packet-vs-hybrid sustained-mix comparison (the ≥ 10×
+//! long-work reduction gate), the same comparison on the k=16 fat tree,
+//! and the ≥ 1M-flow hybrid endurance run (Full scale) with its memory
+//! evidence (`VmHWM` + FEL occupancy bound peak). All legs run serial —
+//! the comparison is fidelity-vs-fidelity on one core, not a scaling
+//! study. Output: `results/BENCH_PR8.json` (schema `tlb-bench-pr8/v1`).
+
+use tlb_bench::perf8::{self, FidelityEntry, Pr8Report};
+use tlb_bench::Scale;
+use tlb_simnet::FidelityKind;
+
+fn print_entry(e: &FidelityEntry) {
+    println!(
+        "  {:<9} {:<7} {:>2} jobs  {:>7} flows  {:>10} events  {:>8.0} ms  \
+         {:>9} long-work  {:>5} migrations",
+        e.workload,
+        e.fidelity,
+        e.jobs,
+        e.flows,
+        e.events,
+        e.wall_ms,
+        e.long_work,
+        e.fluid_migrations
+    );
+}
+
+fn reduction(packet: &FidelityEntry, hybrid: &FidelityEntry) -> f64 {
+    packet.long_work as f64 / (hybrid.long_work.max(1)) as f64
+}
+
+fn main() {
+    let mut report = Pr8Report::new();
+    println!(
+        "bench_pr8: {} scale, seed {}, {} host core(s)",
+        report.scale, report.seed, report.host_cores
+    );
+
+    let (rounds, seeds, k16_short, k16_long, endurance_rounds) = match Scale::from_env() {
+        // 103 flows per sustained round; 10 000 rounds = 1.03M flows.
+        Scale::Full => (10usize, vec![1u64, 2, 3], 300usize, 10usize, 10_000usize),
+        Scale::Quick => (3, vec![1, 2, 3], 60, 3, 600),
+    };
+
+    // --- sustained mix, packet vs hybrid (best of TLB_BENCH_REPS) ------
+    let reps: usize = std::env::var("TLB_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1);
+    let mut best_p: Option<FidelityEntry> = None;
+    let mut best_h: Option<FidelityEntry> = None;
+    for rep in 0..reps {
+        let (p, h) = if rep % 2 == 0 {
+            let p = perf8::sustained_leg(FidelityKind::Packet, rounds, &seeds);
+            let h = perf8::sustained_leg(FidelityKind::Hybrid, rounds, &seeds);
+            (p, h)
+        } else {
+            let h = perf8::sustained_leg(FidelityKind::Hybrid, rounds, &seeds);
+            let p = perf8::sustained_leg(FidelityKind::Packet, rounds, &seeds);
+            (p, h)
+        };
+        println!(
+            "  rep {}/{reps}: sustained packet {:>8.0} ms / hybrid {:>8.0} ms",
+            rep + 1,
+            p.wall_ms,
+            h.wall_ms
+        );
+        if best_p.as_ref().is_none_or(|b| p.wall_ms < b.wall_ms) {
+            best_p = Some(p);
+        }
+        if best_h.as_ref().is_none_or(|b| h.wall_ms < b.wall_ms) {
+            best_h = Some(h);
+        }
+    }
+    let (sus_p, sus_h) = (best_p.unwrap(), best_h.unwrap());
+    print_entry(&sus_p);
+    print_entry(&sus_h);
+    report.long_work_reduction_sustained = reduction(&sus_p, &sus_h);
+    report.wall_speedup_sustained = sus_p.wall_ms / sus_h.wall_ms.max(1e-9);
+    println!(
+        "sustained: long-work reduction {:.1}x, wall speedup {:.2}x",
+        report.long_work_reduction_sustained, report.wall_speedup_sustained
+    );
+
+    // --- k=16 fat tree, packet vs hybrid --------------------------------
+    let k16_p = perf8::k16_leg(FidelityKind::Packet, k16_short, k16_long);
+    let k16_h = perf8::k16_leg(FidelityKind::Hybrid, k16_short, k16_long);
+    print_entry(&k16_p);
+    print_entry(&k16_h);
+    report.long_work_reduction_k16 = reduction(&k16_p, &k16_h);
+    println!(
+        "k16: long-work reduction {:.1}x",
+        report.long_work_reduction_k16
+    );
+
+    // --- hybrid endurance ------------------------------------------------
+    let end = perf8::endurance_leg(endurance_rounds);
+    println!(
+        "  endurance {:>7} flows / {} rounds: {}/{} completed, {} events, \
+         {:>8.0} ms, fel bound peak {}, VmHWM {} KiB, {} migrations",
+        end.flows,
+        end.rounds,
+        end.completed,
+        end.flows,
+        end.events,
+        end.wall_ms,
+        end.fel_bound_peak,
+        end.vm_hwm_kb,
+        end.fluid_migrations
+    );
+
+    if std::env::var("TLB_BENCH_ASSERT").as_deref() == Ok("1") {
+        for (p, h) in [(&sus_p, &sus_h), (&k16_p, &k16_h)] {
+            assert_eq!(
+                p.completed, p.flows,
+                "[{}] packet leg stranded flows",
+                p.workload
+            );
+            assert_eq!(
+                h.completed, h.flows,
+                "[{}] hybrid leg stranded flows",
+                h.workload
+            );
+            assert_eq!(
+                p.fluid_migrations, 0,
+                "[{}] packet fidelity used the fluid tier",
+                p.workload
+            );
+            assert!(
+                h.fluid_migrations > 0,
+                "[{}] hybrid leg never migrated a flow",
+                h.workload
+            );
+            let r = reduction(p, h);
+            assert!(
+                r >= 10.0,
+                "[{}] long-flow work reduction {:.1}x below the 10x floor \
+                 (packet {} vs hybrid {}) — see results/BENCH_PR8.json",
+                p.workload,
+                r,
+                p.long_work,
+                h.long_work
+            );
+        }
+        assert_eq!(
+            end.completed, end.flows,
+            "endurance run stranded flows — see results/BENCH_PR8.json"
+        );
+        if matches!(Scale::from_env(), Scale::Full) {
+            assert!(
+                end.flows >= 1_000_000,
+                "Full-scale endurance must cover >= 1M flows (got {})",
+                end.flows
+            );
+        }
+        assert!(end.fel_bound_peak > 0, "endurance recorded no FEL bound");
+        // Bounded memory: the whole process (including the packet legs
+        // above) must stay far below anything resembling a leak at 1M
+        // flows. 8 GiB is generous; a fluid-tier leak would blow past it.
+        assert!(
+            end.vm_hwm_kb == 0 || end.vm_hwm_kb < 8 * 1024 * 1024,
+            "endurance VmHWM {} KiB exceeds the 8 GiB bound",
+            end.vm_hwm_kb
+        );
+        println!("TLB_BENCH_ASSERT: hybrid work-reduction, completion, and memory bounds hold");
+    }
+
+    report.runs = vec![sus_p, sus_h, k16_p, k16_h];
+    report.endurance = Some(end);
+    report.save();
+}

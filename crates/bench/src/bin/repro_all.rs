@@ -35,6 +35,7 @@ fn main() {
         "bench_pr4",
         "bench_pr5",
         "bench_pr6",
+        "bench_pr8",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -1,0 +1,345 @@
+//! `BENCH_PR8.json` — the hybrid fluid/packet fidelity tier, measured.
+//! Tracked from PR 8 on.
+//!
+//! Three claims back the tier, and each gets its own leg:
+//!
+//! * **Work reduction** — on a sustained paper mix (100 shorts + 3
+//!   10–20 MB longs per chained round) the long-flow population's packet
+//!   work (`long.data_sent + long.retransmits`) collapses under hybrid
+//!   fidelity: only the ~100 KB packet prefix of each long flow is ever
+//!   segmented, the tail rides the fair-share rate model. The
+//!   `TLB_BENCH_ASSERT=1` gate pins the reduction at ≥ 10×. Wall-clock
+//!   for the same batch is recorded alongside (informative, not gated —
+//!   short flows dominate the event count, so the wall ratio is smaller
+//!   than the long-work ratio by construction).
+//! * **Scale endurance** — a ≥ 1M-flow chained hybrid run (Full scale;
+//!   Quick runs the same shape smaller) completes with bounded memory:
+//!   the report records the FEL occupancy bound peak and the process's
+//!   `VmHWM` from `/proc/self/status` as evidence.
+//! * **k=16 coverage** — the same packet-vs-hybrid comparison on the
+//!   1024-host fat tree, exercising the fluid tier's deepest path shape
+//!   (edge → agg → core → agg → edge).
+
+use tlb_engine::SimRng;
+use tlb_simnet::{FidelityKind, RunReport, Scheme, SimConfig, Simulation};
+use tlb_workload::{sustained_mix, BasicMixConfig};
+
+/// One timed packet-vs-hybrid leg.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FidelityEntry {
+    /// `sustained` (leaf-spine chained mix) or `k16` (fat-tree).
+    pub workload: String,
+    /// `packet` or `hybrid`.
+    pub fidelity: String,
+    /// Independent chained jobs in the batch (distinct seeds).
+    pub jobs: usize,
+    /// Flows launched, summed over the batch.
+    pub flows: usize,
+    /// Flows completed, summed over the batch.
+    pub completed: usize,
+    /// Engine events processed, summed over the batch.
+    pub events: u64,
+    /// Wall-clock of the batch (milliseconds, serial).
+    pub wall_ms: f64,
+    /// `events / wall`.
+    pub events_per_sec: f64,
+    /// Long-class segment transmissions: `long.data_sent +
+    /// long.retransmits`, summed — the quantity the ≥ 10× gate divides.
+    pub long_work: u64,
+    /// Flows that handed their tail to the fluid tier (0 under packet).
+    pub fluid_migrations: u64,
+    /// Bytes the fluid tier carried (0 under packet).
+    pub fluid_bytes: u64,
+}
+
+/// The ≥ 1M-flow hybrid endurance leg.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EnduranceEntry {
+    /// Chained rounds of the sustained mix.
+    pub rounds: usize,
+    /// Flows launched.
+    pub flows: usize,
+    /// Flows completed.
+    pub completed: usize,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock (milliseconds).
+    pub wall_ms: f64,
+    /// `events / wall`.
+    pub events_per_sec: f64,
+    /// Peak of the mode-independent FEL occupancy bound over the run.
+    pub fel_bound_peak: u64,
+    /// `VmHWM` (peak resident set, KiB) from `/proc/self/status` after
+    /// the run; 0 when the file is unavailable (non-Linux).
+    pub vm_hwm_kb: u64,
+    /// Long flows migrated to the fluid tier.
+    pub fluid_migrations: u64,
+    /// Fluid flows demoted back to packets (no failures here, so 0).
+    pub fluid_demotions: u64,
+    /// Bytes the fluid tier carried.
+    pub fluid_bytes: u64,
+}
+
+/// The whole `BENCH_PR8.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pr8Report {
+    /// Format tag for downstream tooling (`tlb-bench-pr8/v1`).
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the runs.
+    pub seed: u64,
+    /// Pool threads (the timed legs here run serial; recorded for parity
+    /// with the other bench reports).
+    pub threads: usize,
+    /// `available_parallelism()` of the host.
+    pub host_cores: usize,
+    /// Packet and hybrid legs per workload.
+    pub runs: Vec<FidelityEntry>,
+    /// Sustained-mix `long_work` packet ÷ hybrid — the headline number.
+    pub long_work_reduction_sustained: f64,
+    /// Same ratio on the k=16 fat tree.
+    pub long_work_reduction_k16: f64,
+    /// Sustained-mix wall-clock packet ÷ hybrid (informative).
+    pub wall_speedup_sustained: f64,
+    /// The ≥ 1M-flow hybrid endurance leg.
+    pub endurance: Option<EnduranceEntry>,
+}
+
+/// Chained sustained-mix job on the basic paper fabric, one seed.
+fn sustained_job(
+    fidelity: FidelityKind,
+    rounds: usize,
+    seed: u64,
+) -> (SimConfig, Vec<tlb_workload::FlowSpec>, Vec<Option<u32>>) {
+    let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+    cfg.fidelity = fidelity;
+    cfg.audit = false;
+    // Chained rounds run back-to-back in sim time; give long chains room.
+    cfg.horizon = tlb_engine::SimTime::from_secs(100_000);
+    let mix = BasicMixConfig::paper_default();
+    let (flows, next) = sustained_mix(&cfg.topo, &mix, rounds, &mut SimRng::new(seed));
+    (cfg, flows, next)
+}
+
+/// k=16 fat-tree job (same mix shape, single burst — the fat-tree leg
+/// measures path-shape coverage, not endurance).
+fn k16_job(
+    fidelity: FidelityKind,
+    n_short: usize,
+    n_long: usize,
+    seed: u64,
+) -> (SimConfig, Vec<tlb_workload::FlowSpec>) {
+    let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+    cfg.topo = tlb_net::FatTreeBuilder::new(16)
+        .link_gbps(1.0)
+        .target_rtt(tlb_engine::SimTime::from_micros(100))
+        .build()
+        .into();
+    cfg.fidelity = fidelity;
+    cfg.audit = false;
+    cfg.horizon = tlb_engine::SimTime::from_secs(100_000);
+    let mut mix = BasicMixConfig::paper_default();
+    mix.n_short = n_short;
+    mix.n_long = n_long;
+    let flows = tlb_workload::basic_mix(&cfg.topo, &mix, &mut SimRng::new(seed));
+    (cfg, flows)
+}
+
+fn fold(
+    workload: &str,
+    fidelity: FidelityKind,
+    reports: &[RunReport],
+    wall_ms: f64,
+) -> FidelityEntry {
+    FidelityEntry {
+        workload: workload.to_string(),
+        fidelity: fidelity_name(fidelity).to_string(),
+        jobs: reports.len(),
+        flows: reports.iter().map(|r| r.total_flows).sum(),
+        completed: reports.iter().map(|r| r.completed).sum(),
+        events: reports.iter().map(|r| r.events).sum(),
+        wall_ms,
+        events_per_sec: reports.iter().map(|r| r.events).sum::<u64>() as f64
+            / (wall_ms / 1e3).max(1e-9),
+        long_work: reports
+            .iter()
+            .map(|r| r.long.data_sent + r.long.retransmits)
+            .sum(),
+        fluid_migrations: reports.iter().map(|r| r.fluid_migrations).sum(),
+        fluid_bytes: reports.iter().map(|r| r.fluid_bytes).sum(),
+    }
+}
+
+/// JSON name of a fidelity.
+pub fn fidelity_name(f: FidelityKind) -> &'static str {
+    match f {
+        FidelityKind::Packet => "packet",
+        FidelityKind::Hybrid => "hybrid",
+    }
+}
+
+/// Run the sustained comparison leg for one fidelity: `seeds.len()`
+/// chained jobs, serial, timed as a batch.
+pub fn sustained_leg(fidelity: FidelityKind, rounds: usize, seeds: &[u64]) -> FidelityEntry {
+    let jobs: Vec<_> = seeds
+        .iter()
+        .map(|&s| sustained_job(fidelity, rounds, s))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let reports: Vec<_> = jobs
+        .into_iter()
+        .map(|(cfg, flows, next)| Simulation::new_chained(cfg, flows, next).run())
+        .collect();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    fold("sustained", fidelity, &reports, wall_ms)
+}
+
+/// Run the k=16 comparison leg for one fidelity.
+pub fn k16_leg(fidelity: FidelityKind, n_short: usize, n_long: usize) -> FidelityEntry {
+    let (cfg, flows) = k16_job(fidelity, n_short, n_long, crate::scale::base_seed());
+    let t0 = std::time::Instant::now();
+    let r = Simulation::new(cfg, flows).run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    fold("k16", fidelity, &[r], wall_ms)
+}
+
+/// `VmHWM` in KiB from `/proc/self/status`, or 0 when unavailable.
+pub fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The endurance leg: one chained hybrid run of `rounds` sustained-mix
+/// rounds (103 flows per round — ≥ 1M flows at the Full-scale 10 000).
+pub fn endurance_leg(rounds: usize) -> EnduranceEntry {
+    let (cfg, flows, next) = sustained_job(FidelityKind::Hybrid, rounds, crate::scale::base_seed());
+    let n = flows.len();
+    let t0 = std::time::Instant::now();
+    let r = Simulation::new_chained(cfg, flows, next).run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    EnduranceEntry {
+        rounds,
+        flows: n,
+        completed: r.completed,
+        events: r.events,
+        wall_ms,
+        events_per_sec: r.events as f64 / (wall_ms / 1e3).max(1e-9),
+        fel_bound_peak: r.fel_bound_peak,
+        vm_hwm_kb: vm_hwm_kb(),
+        fluid_migrations: r.fluid_migrations,
+        fluid_demotions: r.fluid_demotions,
+        fluid_bytes: r.fluid_bytes,
+    }
+}
+
+impl Pr8Report {
+    /// An empty report stamped with this process's scale/seed/threads.
+    pub fn new() -> Pr8Report {
+        Pr8Report {
+            schema: "tlb-bench-pr8/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            threads: rayon::current_num_threads(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs: Vec::new(),
+            long_work_reduction_sustained: 1.0,
+            long_work_reduction_k16: 1.0,
+            wall_speedup_sustained: 1.0,
+            endurance: None,
+        }
+    }
+
+    /// Write the report to `results/BENCH_PR8.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR8.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for Pr8Report {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Pr8Report::new();
+        r.runs.push(FidelityEntry {
+            workload: "sustained".into(),
+            fidelity: "hybrid".into(),
+            jobs: 3,
+            flows: 1236,
+            completed: 1236,
+            events: 1_000_000,
+            wall_ms: 120.0,
+            events_per_sec: 8.3e6,
+            long_work: 900,
+            fluid_migrations: 36,
+            fluid_bytes: 500_000_000,
+        });
+        r.long_work_reduction_sustained = 42.0;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Pr8Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr8/v1");
+        assert_eq!(back.runs[0].fidelity, "hybrid");
+        assert_eq!(back.long_work_reduction_sustained, 42.0);
+    }
+
+    #[test]
+    fn vm_hwm_parses_on_linux() {
+        // On Linux the probe must see a positive peak (this test process
+        // has certainly touched memory); elsewhere 0 is the contract.
+        let hwm = vm_hwm_kb();
+        if cfg!(target_os = "linux") {
+            assert!(hwm > 0, "VmHWM unavailable on Linux");
+        }
+    }
+
+    #[test]
+    fn sustained_leg_reduces_long_work() {
+        // One tiny round, both fidelities: the hybrid leg must complete
+        // the same flows with a fraction of the long-flow segment work.
+        let p = sustained_leg(FidelityKind::Packet, 1, &[7]);
+        let h = sustained_leg(FidelityKind::Hybrid, 1, &[7]);
+        assert_eq!(p.flows, h.flows);
+        assert_eq!(p.completed, p.flows, "packet leg stranded flows");
+        assert_eq!(h.completed, h.flows, "hybrid leg stranded flows");
+        assert_eq!(p.fluid_migrations, 0);
+        assert!(h.fluid_migrations > 0);
+        assert!(
+            p.long_work >= 10 * h.long_work.max(1),
+            "expected >=10x long-work reduction even on one round: {} vs {}",
+            p.long_work,
+            h.long_work
+        );
+    }
+}

@@ -41,7 +41,7 @@ pub mod oracles;
 pub mod scenario;
 
 pub use conformance::{expected_q_th, run_conformance};
-pub use oracles::check_report;
+pub use oracles::{check_report, check_report_with, OracleSet};
 pub use scenario::{
     bound_fabric, failure_scenario_strategy, scenario_strategy, BuiltScenario, RawScenario,
     Scenario,
@@ -55,6 +55,76 @@ pub fn run_scenario_checked(raw: RawScenario) -> Result<tlb_simnet::RunReport, S
     let report = tlb_simnet::run_one_ref(&built.cfg, &built.flows);
     check_report(&built, &report)?;
     Ok(report)
+}
+
+/// FCT agreement band for the hybrid differential oracle. Deliberately
+/// generous: fuzzed scenarios hit extreme corners (near-empty fabrics,
+/// heavy degradation) where the fluid approximation strays furthest, and
+/// this oracle exists to catch *wrong* hybrid runs (stalls, double
+/// counting, broken migration), not modeling drift. The paper-figure
+/// operating points get tight bands in `tests/fidelity.rs`.
+const HYBRID_FCT_BAND: (f64, f64) = (0.05, 20.0);
+
+/// The hybrid differential: run one scenario at packet fidelity, then
+/// again at hybrid fidelity, oracle-check both (hybrid skips the FCT
+/// lower bound — a migrated flow's packet prefix and fluid tail overlap
+/// in time), and compare the runs. Exact across fidelities: completion
+/// counts and a pinned TLB's zero voluntary reroutes. Banded: per-class
+/// mean FCT within [`HYBRID_FCT_BAND`].
+pub fn run_scenario_checked_hybrid(raw: RawScenario) -> Result<(), String> {
+    let built = Scenario::from_raw(raw).build();
+    let packet = tlb_simnet::run_one_ref(&built.cfg, &built.flows);
+    check_report(&built, &packet)?;
+
+    let mut cfg = built.cfg.clone();
+    cfg.fidelity = tlb_simnet::FidelityKind::Hybrid;
+    let hybrid = tlb_simnet::run_one(cfg, built.flows.clone());
+    check_report_with(&built, &hybrid, OracleSet::for_hybrid())?;
+
+    let mut violations: Vec<String> = Vec::new();
+    if hybrid.completed != packet.completed {
+        violations.push(format!(
+            "completion diverged: packet {}/{} vs hybrid {}/{}",
+            packet.completed, packet.total_flows, hybrid.completed, hybrid.total_flows
+        ));
+    }
+    if packet.fluid_migrations != 0 {
+        violations.push(format!(
+            "packet fidelity used the fluid tier ({} migrations)",
+            packet.fluid_migrations
+        ));
+    }
+    if built.scenario.is_pinned_tlb() && hybrid.tlb_long_reroutes != packet.tlb_long_reroutes {
+        violations.push(format!(
+            "pinned-TLB reroute counters diverged: packet {:?} vs hybrid {:?}",
+            packet.tlb_long_reroutes, hybrid.tlb_long_reroutes
+        ));
+    }
+    let (lo, hi) = HYBRID_FCT_BAND;
+    for (class, p, h) in [
+        ("short", packet.fct_short.afct, hybrid.fct_short.afct),
+        ("long", packet.fct_long.afct, hybrid.fct_long.afct),
+    ] {
+        if p > 0.0 && h > 0.0 {
+            let ratio = h / p;
+            if !(lo..=hi).contains(&ratio) {
+                violations.push(format!(
+                    "{class} mean FCT ratio hybrid/packet = {ratio:.3} outside [{lo}, {hi}] \
+                     (packet {p:.6}, hybrid {h:.6})"
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "hybrid differential on scenario {:?} violated {} oracle(s):\n  - {}",
+            built.scenario,
+            violations.len(),
+            violations.join("\n  - ")
+        ))
+    }
 }
 
 #[cfg(test)]

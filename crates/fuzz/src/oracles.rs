@@ -17,9 +17,44 @@ use tlb_simnet::{Hop, RunReport};
 /// bound itself (the simulator's own timestamps are integer nanoseconds).
 const FCT_REL_TOL: f64 = 1e-9;
 
+/// Which oracles to run. The default (`for_packet`) enables everything;
+/// hybrid-fidelity runs must skip the FCT lower bound — a migrated flow's
+/// packet prefix and fluid tail overlap in time, so its FCT can
+/// legitimately undercut the sequential serialization bound.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleSet {
+    /// Check completed FCTs against the serialization+propagation bound.
+    pub fct_lower_bound: bool,
+}
+
+impl OracleSet {
+    /// Every oracle, the packet-fidelity catalog.
+    pub fn for_packet() -> Self {
+        OracleSet {
+            fct_lower_bound: true,
+        }
+    }
+
+    /// The hybrid-fidelity catalog: everything except the FCT bound.
+    pub fn for_hybrid() -> Self {
+        OracleSet {
+            fct_lower_bound: false,
+        }
+    }
+}
+
 /// Check every report-level oracle; `Err` lists all violations at once so
 /// a shrunk failure prints the full picture.
 pub fn check_report(built: &BuiltScenario, r: &RunReport) -> Result<(), String> {
+    check_report_with(built, r, OracleSet::for_packet())
+}
+
+/// [`check_report`] with an explicit oracle selection.
+pub fn check_report_with(
+    built: &BuiltScenario,
+    r: &RunReport,
+    oracles: OracleSet,
+) -> Result<(), String> {
     let mut violations: Vec<String> = Vec::new();
 
     // Oracle 1: the audit must have actually run (the in-run checks are
@@ -51,7 +86,7 @@ pub fn check_report(built: &BuiltScenario, r: &RunReport) -> Result<(), String> 
     // mid-run improvement (link repair with a shorter propagation delay)
     // legitimately lets late flows beat the pristine bound.
     let capacity = built.bound.host_link().bytes_per_sec as f64;
-    for f in &built.flows {
+    for f in built.flows.iter().filter(|_| oracles.fct_lower_bound) {
         if let Some(fct) = r.fct.fct_of(f.id) {
             let prop = built.bound.min_one_way_delay(f.src, f.dst).as_secs_f64();
             let bound = fct_lower_bound(f.size_bytes as f64, capacity, prop);

@@ -7,12 +7,14 @@
 
 pub mod arena;
 pub mod fabric;
+pub mod fluid;
 pub mod ids;
 pub mod packet;
 pub mod topology;
 
 pub use arena::{PacketArena, PacketSlot};
 pub use fabric::{Fabric, FatTree, FatTreeBuilder};
+pub use fluid::{FluidNet, RateChange, MAX_FLUID_PATH};
 pub use ids::{FlowId, HostId, LeafId, SpineId};
 pub use packet::{Packet, PktKind};
 pub use topology::{LeafSpine, LeafSpineBuilder, LinkProps};

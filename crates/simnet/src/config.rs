@@ -144,6 +144,13 @@ pub struct SimConfig {
     /// bit-identical in results — this only selects how arrivals sit in
     /// the future-event list.
     pub delivery: DeliveryKind,
+    /// Simulation fidelity. Presets take the process default
+    /// (`TLB_FIDELITY` env var, else full packet fidelity). Unlike the
+    /// other differential knobs, [`FidelityKind::Hybrid`] is a *modeling*
+    /// change: long-flow tails ride a fluid fair-share rate model, so
+    /// results agree with [`FidelityKind::Packet`] within tolerance bands
+    /// (`tests/fidelity.rs`) rather than bit-for-bit.
+    pub fidelity: FidelityKind,
     /// `Some(W)`: snapshot the process allocation counters when the run
     /// loop has processed `W` events and report the steady-state delta in
     /// [`crate::RunReport::alloc_audit`]. Only meaningful when the binary
@@ -217,6 +224,45 @@ impl DeliveryKind {
     }
 }
 
+/// Which traffic runs at packet-level fidelity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FidelityKind {
+    /// Everything is simulated packet by packet — the reference mode, and
+    /// the default. Bit-identical to the pre-hybrid simulator.
+    Packet,
+    /// Long flows (past the 100 KB reclassification boundary, i.e.
+    /// [`SimConfig::short_threshold`]) migrate their unsent bytes to a
+    /// per-link fair-share rate model ([`tlb_net::FluidNet`]) whose rates
+    /// are recomputed only on flow arrival/departure/reroute/failure
+    /// events. Short flows, SYN/FIN handshakes, the packet prefix of every
+    /// long flow, and all queue/ECN dynamics stay packet-level. Validated
+    /// against [`FidelityKind::Packet`] by tolerance bands (see
+    /// `tests/fidelity.rs`), not bit-equality.
+    Hybrid,
+}
+
+impl FidelityKind {
+    /// The fidelity selected by the environment: `TLB_FIDELITY=packet` or
+    /// `=hybrid`, defaulting to [`FidelityKind::Packet`].
+    pub fn from_env() -> FidelityKind {
+        match std::env::var("TLB_FIDELITY") {
+            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "packet" => FidelityKind::Packet,
+                "hybrid" => FidelityKind::Hybrid,
+                "" => FidelityKind::Packet,
+                other => {
+                    eprintln!(
+                        "warning: ignoring unknown TLB_FIDELITY={other:?} \
+                         (want `packet` or `hybrid`)"
+                    );
+                    FidelityKind::Packet
+                }
+            },
+            Err(_) => FidelityKind::Packet,
+        }
+    }
+}
+
 impl SimConfig {
     /// The paper's basic NS2 setup (§4.2/§6.1): one sending rack and two
     /// receiving racks behind 15 spines, 1 Gbit/s links, 100 µs RTT,
@@ -251,6 +297,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
         }
     }
@@ -289,6 +336,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
         }
     }
@@ -325,6 +373,7 @@ impl SimConfig {
             fel: FelKind::from_env(),
             lb_dispatch: LbDispatch::from_env(),
             delivery: DeliveryKind::from_env(),
+            fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
         }
     }

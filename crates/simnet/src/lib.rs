@@ -33,7 +33,9 @@ pub mod runner;
 pub mod scheme;
 
 pub use audit::{AuditReport, KindCounts};
-pub use config::{DeliveryKind, FailureAction, FailureEvent, FailureTarget, LinkEvent, SimConfig};
+pub use config::{
+    DeliveryKind, FailureAction, FailureEvent, FailureTarget, FidelityKind, LinkEvent, SimConfig,
+};
 pub use dispatch::{AnyLb, LbDispatch};
 pub use network::Simulation;
 pub use report::{Hop, RunReport, Summary, TraceEvent};

@@ -50,13 +50,16 @@
 //! audit is on.
 
 use crate::audit::{AuditLedger, PortAudit};
-use crate::config::{DeliveryKind, SimConfig};
+use crate::config::{DeliveryKind, FidelityKind, SimConfig};
 use crate::dispatch::AnyLb;
 use crate::report::{AllocAudit, ClassCounters, RunReport};
 use std::collections::VecDeque;
 use tlb_engine::{alloc_audit, EventQueue, SimRng, SimTime};
 use tlb_metrics::{FctRecorder, FlowClass, SampleSet, TimeSeries};
-use tlb_net::{Fabric, HostId, LinkProps, Packet, PacketArena, PacketSlot, PktKind};
+use tlb_net::{
+    Fabric, FluidNet, HostId, LinkProps, Packet, PacketArena, PacketSlot, PktKind, RateChange,
+    MAX_FLUID_PATH,
+};
 use tlb_switch::{Enqueued, LoadBalancer, OutPort, PortView};
 use tlb_transport::{OooPool, SenderOutput, TcpReceiver, TcpSender};
 use tlb_workload::FlowSpec;
@@ -378,6 +381,11 @@ enum Event {
     Failure(u32),
     /// Sample leaf-0's uplink queues (Fig. 5 visualization).
     QueueSample,
+    /// A fluid-tier flow's projected completion time arrived (hybrid
+    /// fidelity only). The FEL has no removal, so superseded projections
+    /// stay queued and are filtered at the pop by the flow's fluid
+    /// generation counter.
+    FluidDone { flow: u32, gen: u32 },
 }
 
 /// One in-flight packet parked in a link's delivery pipe: its arrival
@@ -488,6 +496,33 @@ struct Net<'a> {
     audit: AuditLedger,
     /// Arrival events seen, for [`SimConfig::fault_drop_nth`].
     arrive_seen: u64,
+    // Hybrid fidelity (long-flow fluid tails). `fluid` is `Some` iff the
+    // run uses [`FidelityKind::Hybrid`]; every hybrid code path is gated
+    // on it, so packet-fidelity runs execute the historical per-packet
+    // paths bit-for-bit.
+    fluid: Option<FluidNet>,
+    /// Per-flow: has migrated packet→fluid. Set at most once per flow — a
+    /// flow demoted by a failure finishes at packet fidelity.
+    migrated: Vec<bool>,
+    /// Per-flow: fluid tail still in flight (completion waits for it).
+    fluid_pend: Vec<bool>,
+    /// Per-flow payload bytes handed to the fluid tier at migration.
+    /// Allocated only under hybrid fidelity.
+    fluid_tail_bytes: Vec<u64>,
+    /// Per-flow payload bytes the fluid tier actually delivered — equal to
+    /// `fluid_tail_bytes` unless the flow was demoted mid-tail. Allocated
+    /// only under hybrid fidelity.
+    fluid_credit: Vec<u64>,
+    /// `FluidDone` events pending in the FEL, stale ones included (part of
+    /// the FEL occupancy bound).
+    fluid_events_pending: u64,
+    fluid_migrations: u64,
+    fluid_demotions: u64,
+    fluid_bytes: u64,
+    /// Scratch for draining [`FluidNet::take_changes`].
+    rate_changes: Vec<RateChange>,
+    /// Scratch for collecting failure-demoted fluid flows.
+    demote_scratch: Vec<u32>,
 }
 
 impl Simulation {
@@ -803,9 +838,35 @@ impl<'a> Net<'a> {
             link_fifo: vec![SimTime::ZERO; n_ports],
             audit: AuditLedger::new(cfg.audit),
             arrive_seen: 0,
+            fluid: None,
+            migrated: vec![false; n],
+            fluid_pend: vec![false; n],
+            fluid_tail_bytes: Vec::new(),
+            fluid_credit: Vec::new(),
+            fluid_events_pending: 0,
+            fluid_migrations: 0,
+            fluid_demotions: 0,
+            fluid_bytes: 0,
+            rate_changes: Vec::new(),
+            demote_scratch: Vec::new(),
             cfg,
             flows,
         };
+        if cfg.fidelity == FidelityKind::Hybrid {
+            // The fluid tier's per-link capacity is the link's payload
+            // goodput: wire rate scaled by MSS/(MSS+header), i.e. what a
+            // saturating packet flow can actually deliver end to end.
+            let frac = cfg.tcp.mss as f64 / (cfg.tcp.mss as f64 + cfg.tcp.header_bytes as f64);
+            let mut fluid = FluidNet::new(net.ports.len(), n);
+            for (i, p) in net.ports.iter().enumerate() {
+                fluid.set_capacity(i as u32, p.link().bytes_per_sec as f64 * frac);
+            }
+            net.fluid = Some(fluid);
+            net.fluid_tail_bytes = vec![0; n];
+            net.fluid_credit = vec![0; n];
+            net.rate_changes = Vec::with_capacity(64);
+            net.demote_scratch = Vec::with_capacity(64);
+        }
         for l in 0..net.lb_sws.len() {
             if let Some(iv) = net.lb_sws[l].lb.tick_interval() {
                 net.q.push(iv, Event::LbTick { sw: l as u16 });
@@ -854,12 +915,18 @@ impl<'a> Net<'a> {
     const FEL_DEPTH_SAMPLE_EVERY: u64 = 4096;
 
     /// The pipelined-delivery FEL occupancy bound: at most one `TxDone`
-    /// and one `Deliver` per port, plus every pending flow start, timer
-    /// and housekeeping event. Computed from counters that are identical
-    /// across delivery modes, so its peak is digest-stable.
+    /// and one `Deliver` per port, plus every pending flow start, timer,
+    /// housekeeping and fluid-completion event. Computed from counters
+    /// that are identical across delivery modes, so its peak is
+    /// digest-stable (`fluid_events_pending` is zero under packet
+    /// fidelity).
     #[inline]
     fn fel_bound(&self) -> u64 {
-        2 * self.ports.len() as u64 + self.starts_pending + self.timers_live + self.misc_pending
+        2 * self.ports.len() as u64
+            + self.starts_pending
+            + self.timers_live
+            + self.misc_pending
+            + self.fluid_events_pending
     }
 
     fn run_loop(&mut self) {
@@ -922,15 +989,19 @@ impl<'a> Net<'a> {
                 }
                 Event::LinkChange(i) => {
                     self.misc_pending -= 1;
-                    self.on_link_change(i as usize);
+                    self.on_link_change(i as usize, now);
                 }
                 Event::Failure(i) => {
                     self.misc_pending -= 1;
-                    self.on_failure(i as usize);
+                    self.on_failure(i as usize, now);
                 }
                 Event::QueueSample => {
                     self.misc_pending -= 1;
                     self.on_queue_sample(now);
+                }
+                Event::FluidDone { flow, gen } => {
+                    self.fluid_events_pending -= 1;
+                    self.on_fluid_done(flow, gen, now);
                 }
             }
         }
@@ -1058,7 +1129,7 @@ impl<'a> Net<'a> {
 
     /// Apply a configured mid-run link change to both directions of the
     /// targeted uplink pair.
-    fn on_link_change(&mut self, i: usize) {
+    fn on_link_change(&mut self, i: usize, now: SimTime) {
         let ev = self.cfg.link_events[i];
         let change = |port: &mut OutPort| {
             let mut l = port.link();
@@ -1075,6 +1146,9 @@ impl<'a> Net<'a> {
         if self.cfg.delivery == DeliveryKind::Pipelined {
             self.refit_pipe(up as usize);
             self.refit_pipe(down as usize);
+        }
+        if self.fluid.is_some() {
+            self.fluid_link_update(up, down, now);
         }
     }
 
@@ -1111,7 +1185,7 @@ impl<'a> Net<'a> {
     /// Apply the `i`-th configured failure/repair: flip the admin state
     /// of the target port(s) and their reverse directions, then
     /// reconverge routing by recomputing the reachability masks.
-    fn on_failure(&mut self, i: usize) {
+    fn on_failure(&mut self, i: usize, now: SimTime) {
         use crate::config::{FailureAction, FailureTarget};
         let ev = self.cfg.failure_events[i];
         let down = ev.action == FailureAction::Down;
@@ -1131,15 +1205,23 @@ impl<'a> Net<'a> {
             }
         }
         self.recompute_reach();
+        if self.fluid.is_some() {
+            self.demote_failed(now);
+        }
     }
 
     /// Take one directed port and its reverse down (or back up). Queued
     /// and in-service packets drain normally; while down, new admissions
     /// drop at the port with ordinary accounting.
     fn set_link_state(&mut self, p: PortId, down: bool) {
-        self.ports[p as usize].set_down(down);
-        let r = self.pmap.rev[p as usize];
-        self.ports[r as usize].set_down(down);
+        // Explicitly idempotent: a failure targeting an already-dead port
+        // (duplicate schedule entries, or a switch failure overlapping a
+        // dead link) is a deterministic no-op, never a second drain.
+        for q in [p, self.pmap.rev[p as usize]] {
+            if self.ports[q as usize].is_down() != down {
+                self.ports[q as usize].set_down(down);
+            }
+        }
     }
 
     /// Brute-force recompute of the per-(LB switch, destination group)
@@ -1387,12 +1469,15 @@ impl<'a> Net<'a> {
         }
     }
 
-    /// LB switch `sw`'s balancer picks among its uplinks toward
-    /// destination group (leaf/edge) `group`.
-    fn lb_forward(&mut self, sw: u16, group: u32, pkt: Packet, now: SimTime) {
+    /// One balancer decision at LB switch `sw` toward destination group
+    /// (leaf/edge) `group`: build the (failure-aware) port view and ask
+    /// the switch's balancer. Factored out of [`Net::lb_forward`] so
+    /// hybrid migration routes fluid tails through the exact same hooks —
+    /// TLB/DiffFlow see a migrated flow like any other.
+    fn choose_up(&mut self, sw: u16, group: u32, pkt: &Packet, now: SimTime) -> u32 {
         self.lb_decisions += 1;
         let range = self.pmap.up_range(sw as usize);
-        let slice = &self.ports[range.clone()];
+        let slice = &self.ports[range];
         let view = if self.has_failures {
             let m = self.reach[sw as usize * self.n_groups + group as usize];
             if m & PortView::full_mask(slice.len()) == 0 {
@@ -1407,7 +1492,14 @@ impl<'a> Net<'a> {
             PortView::new(slice)
         };
         let l = &mut self.lb_sws[sw as usize];
-        let up = l.lb.choose_uplink(&pkt, view, now, &mut l.rng) as u32;
+        l.lb.choose_uplink(pkt, view, now, &mut l.rng) as u32
+    }
+
+    /// LB switch `sw`'s balancer picks among its uplinks toward
+    /// destination group (leaf/edge) `group`.
+    fn lb_forward(&mut self, sw: u16, group: u32, pkt: Packet, now: SimTime) {
+        let up = self.choose_up(sw, group, &pkt, now);
+        let range = self.pmap.up_range(sw as usize);
         debug_assert!((up as usize) < range.len());
         // Fig. 3(a): queue length experienced at enqueue.
         if pkt.kind == PktKind::Data {
@@ -1506,16 +1598,11 @@ impl<'a> Net<'a> {
                     }
                 }
 
-                // Completion: every segment delivered in order.
-                if after >= self.total_segs[fi] && !self.completed[fi] {
-                    self.completed[fi] = true;
-                    self.n_completed += 1;
-                    self.fct.flow_completed(pkt.flow, now);
-                    // Closed-loop chain: launch the successor back-to-back.
-                    if let Some(nf) = self.next_flow[fi] {
-                        self.q.push(now, Event::FlowStart(nf));
-                        self.starts_pending += 1;
-                    }
+                // Completion: every packet-path segment delivered in
+                // order and — under hybrid fidelity — no fluid tail still
+                // in flight.
+                if after >= self.total_segs[fi] && !self.fluid_pend[fi] && !self.completed[fi] {
+                    self.complete(fi, now);
                 }
                 self.audit.emitted(&ack);
                 self.enqueue(self.pmap.host_nic(h), ack, now);
@@ -1527,6 +1614,9 @@ impl<'a> Net<'a> {
                 }
                 self.process_outputs(pkt.flow.0, &mut out, now);
                 self.out_buf = out;
+                if self.fluid.is_some() {
+                    self.maybe_migrate(fi, now);
+                }
             }
             PktKind::Fin => {
                 // Connection teardown carries no data; flow counting
@@ -1541,6 +1631,281 @@ impl<'a> Net<'a> {
                 }
             }
         }
+    }
+
+    /// A flow delivered its last byte — the packet-path prefix at the
+    /// receiver and, under hybrid fidelity, the fluid tail: record the
+    /// FCT and launch any chained successor.
+    fn complete(&mut self, fi: usize, now: SimTime) {
+        debug_assert!(!self.completed[fi]);
+        if self.cfg.audit && self.migrated[fi] {
+            // Byte conservation across the migration seam: the packet
+            // path's segment plan (shrunk at migration, possibly regrown
+            // at demotion) plus what the fluid tier delivered must
+            // reconstruct the flow exactly.
+            let sender_bytes = self.senders[fi]
+                .as_ref()
+                .map_or(0, |s| s.payload_bytes_total());
+            assert_eq!(
+                sender_bytes + self.fluid_credit[fi],
+                self.flows[fi].size_bytes,
+                "flow {fi}: packet-path bytes + fluid credit disagree with the flow size"
+            );
+        }
+        self.completed[fi] = true;
+        self.n_completed += 1;
+        self.fct.flow_completed(self.flows[fi].id, now);
+        // Closed-loop chain: launch the successor back-to-back.
+        if let Some(nf) = self.next_flow[fi] {
+            self.q.push(now, Event::FlowStart(nf));
+            self.starts_pending += 1;
+        }
+    }
+
+    // ---- hybrid fidelity (fluid long-flow tails) -------------------------
+
+    /// Consider moving flow `fi`'s unsent tail onto the fluid tier.
+    /// Called after every processed ACK under hybrid fidelity; fires at
+    /// most once per flow, at the first ACK where the cumulatively
+    /// acknowledged bytes cross the short/long threshold (the same 100 KB
+    /// reclassification boundary TLB itself uses) while unsent data
+    /// remains. Handshakes, short flows, retransmissions of the already
+    /// emitted prefix, and all queue/ECN dynamics stay packet-level.
+    fn maybe_migrate(&mut self, fi: usize, now: SimTime) {
+        if self.is_short[fi] || self.migrated[fi] || self.completed[fi] {
+            return;
+        }
+        let mss = self.cfg.tcp.mss as u64;
+        let Some(sender) = self.senders[fi].as_ref() else {
+            return;
+        };
+        if !sender.is_established()
+            || sender.in_fluid()
+            || (sender.acked_segs() as u64) * mss < self.cfg.short_threshold
+            || sender.snd_nxt() >= sender.total_segs()
+        {
+            return;
+        }
+        // Route the tail once, through the same balancer hooks the packet
+        // path uses. If any chosen hop is administratively down, stay
+        // packet-level for now and let a later ACK retry — drops at the
+        // dead port would only round-trip through retransmission anyway.
+        let mut path = [0u32; MAX_FLUID_PATH];
+        let len = self.fluid_route(fi, now, &mut path);
+        if path[..len]
+            .iter()
+            .any(|&l| self.ports[l as usize].is_down())
+        {
+            return;
+        }
+        let sender = self.senders[fi].as_mut().expect("checked above");
+        let tail = sender.hybrid_truncate();
+        self.total_segs[fi] = sender.total_segs();
+        self.migrated[fi] = true;
+        self.fluid_pend[fi] = true;
+        self.fluid_tail_bytes[fi] = tail;
+        self.fluid_migrations += 1;
+        self.fluid_bytes += tail;
+        self.fluid
+            .as_mut()
+            .expect("hybrid path without FluidNet")
+            .join(fi as u32, &path[..len], tail as f64, now.as_secs_f64());
+        self.flush_fluid_changes(now);
+    }
+
+    /// The directed links flow `fi`'s fluid tail would occupy, chosen via
+    /// [`Net::choose_up`] at each LB switch on the way — so the balancers
+    /// count and track the migrated flow exactly like a packet-level one.
+    /// Writes into `path` and returns the path length (1–6 links: NIC,
+    /// up to two upward hops, and the downward hops to the host).
+    fn fluid_route(&mut self, fi: usize, now: SimTime, path: &mut [u32; MAX_FLUID_PATH]) -> usize {
+        let spec = self.flows[fi];
+        let (src, dst) = (spec.src.0, spec.dst.0);
+        // A representative data segment for the balancer hooks (flow and
+        // flowlet tables key on the flow id).
+        let probe = Packet::data(
+            spec.id,
+            spec.src,
+            spec.dst,
+            self.senders[fi].as_ref().map_or(0, |s| s.snd_nxt()),
+            self.cfg.tcp.mss,
+            self.cfg.tcp.header_bytes,
+            now,
+        );
+        let mut len = 0;
+        path[len] = self.pmap.host_nic(src);
+        len += 1;
+        match self.pmap.plan {
+            PlanKind::LeafSpine { n_leaves, hpl, .. } => {
+                let (sl, dl) = (src / hpl, dst / hpl);
+                if sl == dl {
+                    path[len] = self.pmap.sw_down(sl, dst % hpl);
+                    len += 1;
+                } else {
+                    let up = self.choose_up(sl as u16, dl, &probe, now);
+                    path[len] = self.pmap.sw_up(sl, up);
+                    len += 1;
+                    path[len] = self.pmap.sw_down(n_leaves + up, dl);
+                    len += 1;
+                    path[len] = self.pmap.sw_down(dl, dst % hpl);
+                    len += 1;
+                }
+            }
+            PlanKind::FatTree {
+                half,
+                n_edges,
+                n_aggs,
+            } => {
+                let (se, de) = (src / half, dst / half);
+                if se == de {
+                    path[len] = self.pmap.sw_down(se, dst % half);
+                    len += 1;
+                } else {
+                    let j = self.choose_up(se as u16, de, &probe, now);
+                    path[len] = self.pmap.sw_up(se, j);
+                    len += 1;
+                    let agg_src = n_edges + (se / half) * half + j;
+                    if de / half == se / half {
+                        // Same pod: the agg descends straight to the edge.
+                        path[len] = self.pmap.sw_down(agg_src, de % half);
+                        len += 1;
+                    } else {
+                        let m = self.choose_up(agg_src as u16, de, &probe, now);
+                        path[len] = self.pmap.sw_up(agg_src, m);
+                        len += 1;
+                        let core = n_edges + n_aggs + j * half + m;
+                        path[len] = self.pmap.sw_down(core, de / half);
+                        len += 1;
+                        let agg_dst = n_edges + (de / half) * half + j;
+                        path[len] = self.pmap.sw_down(agg_dst, de % half);
+                        len += 1;
+                    }
+                    path[len] = self.pmap.sw_down(de, dst % half);
+                    len += 1;
+                }
+            }
+        }
+        len
+    }
+
+    /// Propagate a mid-run link-quality change into the fluid tier:
+    /// refresh both directions' capacities and rerate every fluid flow
+    /// crossing either of them.
+    fn fluid_link_update(&mut self, up: PortId, down: PortId, now: SimTime) {
+        let frac =
+            self.cfg.tcp.mss as f64 / (self.cfg.tcp.mss as f64 + self.cfg.tcp.header_bytes as f64);
+        let now_s = now.as_secs_f64();
+        let fluid = self.fluid.as_mut().expect("hybrid path without FluidNet");
+        for p in [up, down] {
+            let cap = self.ports[p as usize].link().bytes_per_sec as f64 * frac;
+            fluid.set_capacity(p, cap);
+            fluid.touch_link(p, now_s);
+        }
+        self.flush_fluid_changes(now);
+    }
+
+    /// Drain the fluid model's rate changes into `FluidDone` events. Each
+    /// rerate projects a new completion time; older projections for the
+    /// same flow go stale via the generation counter. The ceil keeps the
+    /// integer event time at-or-after the real completion instant, so the
+    /// pop-side residual is ≤ one rate·nanosecond of bytes.
+    fn flush_fluid_changes(&mut self, now: SimTime) {
+        let mut changes = std::mem::take(&mut self.rate_changes);
+        if let Some(fluid) = self.fluid.as_mut() {
+            fluid.take_changes(&mut changes);
+        }
+        for ch in changes.drain(..) {
+            let at = SimTime::from_nanos((ch.done_at_s * 1e9).ceil() as u64).max(now);
+            self.q.push(
+                at,
+                Event::FluidDone {
+                    flow: ch.flow,
+                    gen: ch.gen,
+                },
+            );
+            self.fluid_events_pending += 1;
+        }
+        self.rate_changes = changes;
+    }
+
+    /// A fluid tail's projected completion time arrived. Stale unless the
+    /// flow is still in the fluid tier at the same generation (reroutes,
+    /// demotions and rerates all bump it).
+    fn on_fluid_done(&mut self, flow: u32, gen: u32, now: SimTime) {
+        let Some(fluid) = self.fluid.as_mut() else {
+            return;
+        };
+        if !fluid.is_active(flow) || fluid.gen(flow) != gen {
+            return;
+        }
+        let fi = flow as usize;
+        let rem = fluid.leave(flow, now.as_secs_f64());
+        // The event time was ceiled past the projected instant, so at most
+        // one rate·nanosecond of bytes can remain; with caps ≤ 100 Gb/s
+        // that is well under a byte.
+        debug_assert!(rem < 16.0, "FluidDone fired with {rem} bytes left");
+        self.flush_fluid_changes(now);
+        self.fluid_pend[fi] = false;
+        self.fluid_credit[fi] = self.fluid_tail_bytes[fi];
+        let mut out = std::mem::take(&mut self.out_buf);
+        if let Some(sender) = self.senders[fi].as_mut() {
+            sender.fluid_done(now, &mut out);
+        }
+        self.process_outputs(flow, &mut out, now);
+        self.out_buf = out;
+        // If the receiver already delivered the whole packet prefix, the
+        // tail was the last outstanding byte range — complete here (no
+        // further data arrivals would re-run the receiver-side check).
+        let prefix_done = self.receivers[fi]
+            .as_ref()
+            .is_some_and(|r| r.delivered_segs() >= self.total_segs[fi]);
+        if prefix_done && !self.completed[fi] {
+            self.complete(fi, now);
+        }
+    }
+
+    /// After a failure reconverged routing: demote every fluid tail whose
+    /// path lost a link back to the packet path. The sender's segment plan
+    /// regrows by the undelivered remainder and resumes ordinary
+    /// (re)transmission — the reroute happens at packet fidelity, exactly
+    /// like a never-migrated flow, and the flow never re-migrates.
+    fn demote_failed(&mut self, now: SimTime) {
+        let mut victims = std::mem::take(&mut self.demote_scratch);
+        victims.clear();
+        if let Some(fluid) = self.fluid.as_ref() {
+            let ports = &self.ports;
+            fluid.for_each_active(|f, path| {
+                if path.iter().any(|&l| ports[l as usize].is_down()) {
+                    victims.push(f);
+                }
+            });
+        }
+        let now_s = now.as_secs_f64();
+        for &f in &victims {
+            let fi = f as usize;
+            let rem = self
+                .fluid
+                .as_mut()
+                .expect("demotion without FluidNet")
+                .leave(f, now_s);
+            // Round the fluid remainder up to whole bytes for the packet
+            // path; the clamp guards the f64 bookkeeping's edges (a tail
+            // is ≥ 1 byte by construction).
+            let rem_bytes = (rem.ceil() as u64).clamp(1, self.fluid_tail_bytes[fi]);
+            self.fluid_pend[fi] = false;
+            self.fluid_credit[fi] = self.fluid_tail_bytes[fi] - rem_bytes;
+            self.fluid_demotions += 1;
+            let mut out = std::mem::take(&mut self.out_buf);
+            let add = self.senders[fi]
+                .as_mut()
+                .expect("demoted flow without a sender")
+                .fluid_demote(rem_bytes, now, &mut out);
+            self.total_segs[fi] += add;
+            self.process_outputs(f, &mut out, now);
+            self.out_buf = out;
+        }
+        self.demote_scratch = victims;
+        self.flush_fluid_changes(now);
     }
 
     // ---- reporting ---------------------------------------------------
@@ -1651,6 +2016,9 @@ impl<'a> Net<'a> {
             traces: self.traces,
             queue_series: self.queue_series,
             lb_decisions: self.lb_decisions,
+            fluid_migrations: self.fluid_migrations,
+            fluid_demotions: self.fluid_demotions,
+            fluid_bytes: self.fluid_bytes,
             tlb_long_reroutes,
             forced_reroutes,
             events: self.events,

@@ -249,6 +249,17 @@ pub struct RunReport {
     /// `None` otherwise. Kept separate from `tlb_long_reroutes` so the
     /// voluntary-reroute oracle stays strict under link failures.
     pub forced_reroutes: Option<u64>,
+    /// Hybrid fidelity only ([`crate::FidelityKind::Hybrid`]): long-flow
+    /// tails migrated from the packet path onto the fluid tier. Always 0
+    /// under packet fidelity.
+    pub fluid_migrations: u64,
+    /// Hybrid fidelity only: fluid tails handed back to the packet path
+    /// because a failure took down a link on their route.
+    pub fluid_demotions: u64,
+    /// Hybrid fidelity only: payload bytes handed to the fluid tier at
+    /// migration (demotions return the undelivered remainder to the
+    /// packet path, tracked separately in the conservation check).
+    pub fluid_bytes: u64,
     /// Path traces for [`crate::SimConfig::trace_flows`] (in time order).
     pub traces: Vec<TraceEvent>,
     /// With [`crate::SimConfig::sample_queues`]: `(time_s, qlen_pkts per

@@ -46,6 +46,12 @@ enum Phase {
     Handshake,
     /// Transferring data.
     Established,
+    /// Hybrid fidelity only: the packet-mode prefix is fully acknowledged
+    /// and the rest of the flow is in flight as a fluid transfer. The
+    /// sender is quiescent (no retransmissions, no FIN) until the driver
+    /// reports the fluid tail done ([`TcpSender::fluid_done`]) or reroutes
+    /// the flow back to packets ([`TcpSender::fluid_demote`]).
+    FluidWait,
     /// All data acknowledged; FIN emitted.
     Closed,
 }
@@ -60,6 +66,10 @@ pub struct TcpSender {
     peer: HostId,
     total_segs: u32,
     last_payload: u32,
+    /// Hybrid fidelity: bytes beyond the truncated packet prefix are being
+    /// delivered by the fluid tier. While set, finishing the prefix parks
+    /// the sender in [`Phase::FluidWait`] instead of emitting the FIN.
+    fluid_tail: bool,
 
     phase: Phase,
     snd_una: u32,
@@ -117,6 +127,7 @@ impl TcpSender {
             peer,
             total_segs,
             last_payload,
+            fluid_tail: false,
             phase: Phase::Handshake,
             snd_una: 0,
             snd_nxt: 0,
@@ -171,6 +182,25 @@ impl TcpSender {
     /// True once every byte has been acknowledged.
     pub fn is_finished(&self) -> bool {
         self.phase == Phase::Closed
+    }
+
+    /// True while the flow's tail is being delivered by the fluid tier
+    /// (hybrid fidelity only).
+    pub fn in_fluid(&self) -> bool {
+        self.fluid_tail
+    }
+
+    /// True once the handshake completed and while unacked packet-path
+    /// data remains (the only phase [`TcpSender::hybrid_truncate`] accepts).
+    pub fn is_established(&self) -> bool {
+        self.phase == Phase::Established
+    }
+
+    /// Total payload bytes the packet path is responsible for under the
+    /// current segment plan (shrinks at [`TcpSender::hybrid_truncate`],
+    /// grows back at [`TcpSender::fluid_demote`]).
+    pub fn payload_bytes_total(&self) -> u64 {
+        (self.total_segs as u64 - 1) * self.cfg.mss as u64 + self.last_payload as u64
     }
 
     /// True while in NewReno fast recovery.
@@ -259,7 +289,9 @@ impl TcpSender {
     /// The retransmission timer fired.
     pub fn on_timer(&mut self, now: SimTime, out: &mut Vec<SenderOutput>) {
         self.timer_pending = false;
-        if self.phase == Phase::Closed {
+        if self.phase == Phase::Closed || self.phase == Phase::FluidWait {
+            // FluidWait: the prefix is fully acknowledged, so there is
+            // nothing to retransmit; the fluid tier owns the rest.
             return;
         }
         if now < self.deadline {
@@ -295,9 +327,84 @@ impl TcpSender {
                 self.in_recovery = false;
                 self.retransmit(self.snd_una, now, out);
             }
-            Phase::Closed => unreachable!(),
+            Phase::Closed | Phase::FluidWait => unreachable!(),
         }
         self.arm(now, out);
+    }
+
+    // ---- hybrid fidelity (fluid tail) ------------------------------------
+
+    /// Hand every not-yet-sent byte to the fluid tier: truncate the
+    /// segment plan at `snd_nxt` so the in-flight packet prefix drains (and
+    /// retransmits) normally, and return the tail bytes the fluid model
+    /// now owns. The FIN is deferred until [`TcpSender::fluid_done`] (or
+    /// the flow re-enters packet mode via [`TcpSender::fluid_demote`]), so
+    /// SYN/FIN handshakes stay packet-level in both fidelities.
+    ///
+    /// Callable once per flow, while established with unsent data; every
+    /// segment in the remaining prefix carries a full MSS payload (the
+    /// original short tail segment moved to the fluid side).
+    pub fn hybrid_truncate(&mut self) -> u64 {
+        assert_eq!(
+            self.phase,
+            Phase::Established,
+            "truncate needs an open flow"
+        );
+        assert!(!self.fluid_tail, "flow already migrated to the fluid tier");
+        assert!(
+            self.snd_nxt < self.total_segs,
+            "truncate with nothing unsent"
+        );
+        let unsent = (self.total_segs - self.snd_nxt) as u64;
+        let tail = (unsent - 1) * self.cfg.mss as u64 + self.last_payload as u64;
+        self.total_segs = self.snd_nxt;
+        self.last_payload = self.cfg.mss;
+        self.fluid_tail = true;
+        if self.snd_una >= self.total_segs {
+            // The surviving prefix is already fully acknowledged: go
+            // quiescent immediately (no ACKs are due to wake us).
+            self.phase = Phase::FluidWait;
+        }
+        tail
+    }
+
+    /// The fluid tier delivered the flow's tail. If the packet prefix is
+    /// already acknowledged this emits the FIN now; otherwise the FIN
+    /// follows naturally when the last prefix ACK arrives.
+    pub fn fluid_done(&mut self, now: SimTime, out: &mut Vec<SenderOutput>) {
+        debug_assert!(self.fluid_tail, "fluid_done without a fluid tail");
+        self.fluid_tail = false;
+        if self.phase == Phase::FluidWait {
+            self.finish(now, out);
+        }
+    }
+
+    /// A failure broke the fluid flow's path: re-enter packet mode with
+    /// `rem_bytes` still to deliver. The tail bytes re-join the segment
+    /// plan after the prefix; if the prefix was already drained, sending
+    /// resumes immediately (the load balancer reroutes the new packets
+    /// around the failure like any others). Returns the segments added.
+    pub fn fluid_demote(
+        &mut self,
+        rem_bytes: u64,
+        now: SimTime,
+        out: &mut Vec<SenderOutput>,
+    ) -> u32 {
+        debug_assert!(self.fluid_tail, "demote without a fluid tail");
+        debug_assert!(rem_bytes > 0, "demote with nothing left to send");
+        self.fluid_tail = false;
+        let add = rem_bytes.div_ceil(self.cfg.mss as u64) as u32;
+        self.last_payload = (rem_bytes - (add as u64 - 1) * self.cfg.mss as u64) as u32;
+        self.total_segs += add;
+        if self.phase == Phase::FluidWait {
+            self.phase = Phase::Established;
+        }
+        if self.phase == Phase::Established {
+            self.send_available(now, out);
+            self.deadline = now + self.rto;
+            self.arm(now, out);
+        }
+        add
     }
 
     // ---- internals -------------------------------------------------------
@@ -352,6 +459,12 @@ impl TcpSender {
             }
 
             if self.snd_una >= self.total_segs {
+                if self.fluid_tail {
+                    // Prefix drained but the fluid tail is still in
+                    // flight: go quiescent, FIN waits for fluid_done.
+                    self.phase = Phase::FluidWait;
+                    return;
+                }
                 self.finish(now, out);
                 return;
             }

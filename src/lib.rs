@@ -60,8 +60,8 @@ pub mod prelude {
     };
     pub use tlb_simnet::{
         run_all, run_all_ref, run_one, run_one_ref, AuditReport, DeliveryKind, FailureAction,
-        FailureEvent, FailureTarget, LbDispatch, LinkEvent, RunReport, Scheme, SimConfig,
-        Simulation,
+        FailureEvent, FailureTarget, FidelityKind, LbDispatch, LinkEvent, RunReport, Scheme,
+        SimConfig, Simulation,
     };
     pub use tlb_switch::{LoadBalancer, PortView, QueueCfg};
     pub use tlb_transport::TcpConfig;

@@ -490,3 +490,99 @@ fn delivery_modes_are_bit_identical_on_fuzz_batch() {
         );
     }
 }
+
+#[test]
+fn hybrid_fuzz_batch_is_digest_stable_across_thread_counts() {
+    // The hybrid fluid tier (PR 8) must be exactly as deterministic as
+    // packet fidelity: same 16-job fuzz batch as the packet test above,
+    // run at `FidelityKind::Hybrid`, serial vs a 3-thread pool. Hybrid
+    // digests are their own stable baseline — they are never compared to
+    // packet digests (that comparison is banded, in `tests/fidelity.rs`),
+    // only to themselves across worker counts.
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
+    ];
+    let jobs: Vec<_> = raws
+        .iter()
+        .flat_map(
+            |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                (0..4).map(move |k| {
+                    (
+                        topo,
+                        traffic,
+                        (seed + k * 1000, degrade, bw, extra, mid),
+                        failure,
+                    )
+                })
+            },
+        )
+        .map(|raw| {
+            let b = tlb_fuzz::Scenario::from_raw(raw).build();
+            let mut cfg = b.cfg;
+            cfg.fidelity = FidelityKind::Hybrid;
+            (cfg, b.flows)
+        })
+        .collect();
+    let serial: Vec<_> = jobs
+        .iter()
+        .cloned()
+        .map(|(cfg, flows)| run_one(cfg, flows))
+        .collect();
+    assert!(
+        serial.iter().any(|r| r.fluid_migrations > 0),
+        "the batch must exercise the fluid tier somewhere"
+    );
+    let before = rayon::workers_observed();
+    let threaded = rayon::with_threads(3, || run_all(jobs));
+    assert!(
+        rayon::workers_observed() - before >= 2,
+        "3-thread batch must actually fan out over >1 OS thread"
+    );
+    for (a, b) in serial.iter().zip(&threaded) {
+        assert_eq!(digest(a), digest(b), "{}: 3-thread != serial", a.scheme);
+        assert_eq!(
+            fel_depth_hash(a),
+            fel_depth_hash(b),
+            "{}: fel_depth series diverged across thread counts",
+            a.scheme
+        );
+        assert_eq!(
+            a.fluid_migrations, b.fluid_migrations,
+            "{}: migration counts diverged across thread counts",
+            a.scheme
+        );
+        assert_eq!(
+            a.fluid_bytes, b.fluid_bytes,
+            "{}: fluid byte totals diverged across thread counts",
+            a.scheme
+        );
+        assert_eq!(
+            a.audit, b.audit,
+            "{}: audit counters diverged across thread counts",
+            a.scheme
+        );
+    }
+}

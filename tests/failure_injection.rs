@@ -251,3 +251,83 @@ fn degradation_actually_bites() {
     );
     assert_eq!(failed.completed, 1);
 }
+
+/// PR 8 regression: a `FailureEvent` aimed at an already-dead target is a
+/// deterministic no-op. Downing a dead link again, or downing a port of a
+/// switch that already went dark, must change nothing except the one extra
+/// FEL pop the event itself costs — identical FCTs, drops, marks, traces,
+/// audit ledger and forced-reroute tally, in both delivery modes.
+#[test]
+fn refailing_dead_targets_is_a_deterministic_noop() {
+    let link = |at_ms: u64, action: FailureAction| FailureEvent {
+        at: SimTime::from_millis(at_ms),
+        target: FailureTarget::Link {
+            sw: LeafId(0),
+            up: SpineId(3),
+        },
+        action,
+    };
+    let run = |extra: &[FailureEvent], base: &[FailureEvent], delivery: DeliveryKind| {
+        let mut cfg = SimConfig::basic_paper(pinned_tlb());
+        cfg.audit = true;
+        cfg.delivery = delivery;
+        cfg.failure_events.extend_from_slice(base);
+        cfg.failure_events.extend_from_slice(extra);
+        let flows = basic_mix(&cfg.topo, &mix(), &mut SimRng::new(11));
+        Simulation::new(cfg, flows).run()
+    };
+    // Everything but the raw event count must match (the duplicate is
+    // itself one FEL pop, so `events` grows by exactly the extras).
+    let noev = |r: &RunReport| {
+        let (_, fct, drops, marks, traces, completed) = digest(r);
+        (fct, drops, marks, traces, completed)
+    };
+
+    // Case 1: the same link goes down twice before its repair.
+    // Case 2: a whole spine goes dark, then a link event re-downs one of
+    // its (already dead) ports.
+    let spine3 = FailureTarget::Switch { sw: 3 + 3 }; // 3 leaves first, then spines
+    let sw = |at_ms: u64, action: FailureAction| FailureEvent {
+        at: SimTime::from_millis(at_ms),
+        target: spine3,
+        action,
+    };
+    let cases: [(&[FailureEvent], &[FailureEvent]); 2] = [
+        (
+            &[link(5, FailureAction::Down), link(12, FailureAction::Up)],
+            &[link(7, FailureAction::Down), link(9, FailureAction::Down)],
+        ),
+        (
+            &[sw(5, FailureAction::Down), sw(12, FailureAction::Up)],
+            &[link(7, FailureAction::Down)],
+        ),
+    ];
+    for (case, (base_ev, extra)) in cases.iter().enumerate() {
+        for delivery in [DeliveryKind::Pipelined, DeliveryKind::PerPacket] {
+            let base = run(&[], base_ev, delivery);
+            let dup = run(extra, base_ev, delivery);
+            assert_eq!(
+                base.completed, base.total_flows,
+                "case {case}/{delivery:?}: baseline stranded flows"
+            );
+            assert_eq!(
+                noev(&dup),
+                noev(&base),
+                "case {case}/{delivery:?}: re-failing a dead target changed the run"
+            );
+            assert_eq!(
+                dup.events,
+                base.events + extra.len() as u64,
+                "case {case}/{delivery:?}: no-op events must cost exactly one pop each"
+            );
+            assert_eq!(
+                dup.audit, base.audit,
+                "case {case}/{delivery:?}: audit ledger diverged"
+            );
+            assert_eq!(
+                dup.forced_reroutes, base.forced_reroutes,
+                "case {case}/{delivery:?}: forced-reroute tally diverged"
+            );
+        }
+    }
+}

@@ -36,3 +36,33 @@ fn regression_duplicate_straggler_after_fin() {
     );
     run_scenario_checked(raw).unwrap();
 }
+
+/// The hybrid fidelity tier under the same scenario space: every case
+/// runs packet-vs-hybrid with the differential oracle catalog (exact
+/// completion/pinned-reroute agreement, generous FCT bands, hybrid skips
+/// only the FCT lower bound). 128 fresh cases by default; CI's
+/// fidelity-smoke job replays the corpus with `TLB_PROPTEST_CASES=64`.
+#[test]
+fn fuzz_hybrid_differential() {
+    proptest::run_cases_n(
+        "fuzz_hybrid_differential",
+        128,
+        scenario_strategy(),
+        |raw| tlb_fuzz::run_scenario_checked_hybrid(raw).map_err(proptest::TestCaseError::fail),
+    );
+}
+
+/// Named pin for the hybrid differential: a pinned-TLB scenario with
+/// long flows straddling the 100 KB boundary *and* an active failure
+/// schedule, so one replay exercises migration, demotion-on-failure, and
+/// the exact pinned-reroute agreement in a single case.
+#[test]
+fn regression_hybrid_differential_under_failures() {
+    let raw = (
+        (4, 6, 4, 20),
+        (5, 24, 3, 6),
+        (7, true, 10, 0, true),
+        (1, true, 400, 700, true),
+    );
+    tlb_fuzz::run_scenario_checked_hybrid(raw).unwrap();
+}
