@@ -1,0 +1,141 @@
+//! `BENCH_PR9.json` emitter: the sharded multi-core engine, measured
+//! (see `tlb_bench::perf9` for the leg definitions).
+//!
+//! ```sh
+//! cargo run --release -p tlb-bench --bin bench_pr9              # quick
+//! TLB_SCALE=full TLB_BENCH_ASSERT=1 \
+//!     cargo run --release -p tlb-bench --bin bench_pr9
+//! ```
+//!
+//! One fig10-scale web-search job, run serial and then sharded at 2, 4
+//! and 8 workers. Digest equality is asserted on every host under
+//! `TLB_BENCH_ASSERT=1`; the ≥ 2× events/s gate at 4 workers applies
+//! only when the host has ≥ 4 cores (a 1-core box still proves the
+//! digests, it just can't prove scaling). Output:
+//! `results/BENCH_PR9.json` (schema `tlb-bench-pr9/v1`).
+
+use tlb_bench::perf9::{self, EngineEntry, Pr9Report};
+use tlb_bench::Scale;
+use tlb_engine::{EngineKind, SimTime};
+
+fn print_entry(e: &EngineEntry) {
+    println!(
+        "  {:<7} {:>2} worker(s)  {:>6} flows  {:>11} events  {:>8.0} ms  \
+         {:>10.0} ev/s  {:>7} windows",
+        e.engine, e.workers, e.flows, e.events, e.wall_ms, e.events_per_sec, e.sharded_windows
+    );
+}
+
+fn main() {
+    let mut report = Pr9Report::new();
+    println!(
+        "bench_pr9: {} scale, seed {}, {} host core(s)",
+        report.scale, report.seed, report.host_cores
+    );
+
+    let duration = match Scale::from_env() {
+        Scale::Full => SimTime::from_millis(150),
+        Scale::Quick => SimTime::from_millis(25),
+    };
+    let worker_counts = [2u32, 4, 8];
+    let reps: usize = std::env::var("TLB_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1);
+
+    // Best wall-clock per leg over the reps; digests must agree across
+    // every run of every leg, so any rep's digest is "the" digest.
+    let mut best: Vec<Option<EngineEntry>> = vec![None; 1 + worker_counts.len()];
+    for rep in 0..reps {
+        let mut legs = vec![perf9::engine_leg(EngineKind::Serial, duration)];
+        for &w in &worker_counts {
+            legs.push(perf9::engine_leg(
+                EngineKind::Sharded { workers: Some(w) },
+                duration,
+            ));
+        }
+        if reps > 1 {
+            println!(
+                "  rep {}/{reps}: serial {:>8.0} ms / sharded@4 {:>8.0} ms",
+                rep + 1,
+                legs[0].wall_ms,
+                legs[2].wall_ms
+            );
+        }
+        for (slot, leg) in best.iter_mut().zip(legs) {
+            assert_eq!(
+                slot.as_ref().map_or(&leg.digest, |b| &b.digest),
+                &leg.digest,
+                "digest drifted between reps of the same leg"
+            );
+            if slot.as_ref().is_none_or(|b| leg.wall_ms < b.wall_ms) {
+                *slot = Some(leg);
+            }
+        }
+    }
+    let runs: Vec<EngineEntry> = best.into_iter().map(|b| b.unwrap()).collect();
+    for e in &runs {
+        print_entry(e);
+    }
+
+    let serial = &runs[0];
+    report.digests_identical = runs.iter().all(|e| e.digest == serial.digest);
+    let at4 = runs
+        .iter()
+        .find(|e| e.workers_requested == 4)
+        .expect("4-worker leg present");
+    report.speedup_4w = at4.events_per_sec / serial.events_per_sec.max(1e-9);
+    println!(
+        "digests {}; speedup at 4 workers {:.2}x ({} host core(s))",
+        if report.digests_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        report.speedup_4w,
+        report.host_cores
+    );
+
+    if std::env::var("TLB_BENCH_ASSERT").as_deref() == Ok("1") {
+        assert!(
+            report.digests_identical,
+            "sharded digests diverged from serial — see results/BENCH_PR9.json"
+        );
+        assert_eq!(
+            serial.completed, serial.flows,
+            "the fig10-scale job stranded flows"
+        );
+        for e in runs.iter().skip(1) {
+            assert_eq!(
+                e.workers, e.workers_requested,
+                "sharded leg fell back to serial ({} of {} workers)",
+                e.workers, e.workers_requested
+            );
+            assert!(
+                e.sharded_windows > 0,
+                "sharded leg at {} workers opened no parallel windows",
+                e.workers_requested
+            );
+        }
+        if report.host_cores >= 4 {
+            assert!(
+                report.speedup_4w >= 2.0,
+                "sharded engine at 4 workers reached only {:.2}x serial \
+                 events/s on a {}-core host (>= 2x required) — see \
+                 results/BENCH_PR9.json",
+                report.speedup_4w,
+                report.host_cores
+            );
+        } else {
+            println!(
+                "TLB_BENCH_ASSERT: speedup gate skipped ({} host core(s) < 4)",
+                report.host_cores
+            );
+        }
+        println!("TLB_BENCH_ASSERT: digest identity and scaling bounds hold");
+    }
+
+    report.runs = runs;
+    report.save();
+}

@@ -36,6 +36,7 @@ fn main() {
         "bench_pr5",
         "bench_pr6",
         "bench_pr8",
+        "bench_pr9",
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");

@@ -16,6 +16,7 @@ pub mod perf4;
 pub mod perf5;
 pub mod perf6;
 pub mod perf8;
+pub mod perf9;
 pub mod scale;
 
 pub use harness::*;
@@ -25,4 +26,5 @@ pub use perf4::{MacroEntry, MicroEntry, Pr4Report};
 pub use perf5::{Pr5Report, SweepEntry};
 pub use perf6::{Pr6Report, SteadyAllocEntry};
 pub use perf8::{EnduranceEntry, FidelityEntry, Pr8Report};
+pub use perf9::{EngineEntry, Pr9Report};
 pub use scale::Scale;

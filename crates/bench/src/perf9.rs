@@ -1,0 +1,209 @@
+//! `BENCH_PR9.json` — deterministic multi-core execution of one large
+//! simulation, measured. Tracked from PR 9 on.
+//!
+//! One fig10-scale job (the §6.2 web-search fabric: 8 ToR × 8 core,
+//! 256 hosts, 1 Gbit/s, DCTCP, Poisson arrivals at 0.7 load) is run once
+//! on the serial engine and once per sharded worker count. Two claims:
+//!
+//! * **Bit-identical results** — every leg's digest (events, FCT
+//!   statistics, drops, marks, completions) must match the serial
+//!   reference exactly, for every worker count. This is the same
+//!   contract `tests/determinism.rs` pins on small jobs, demonstrated at
+//!   figure scale. Asserted whenever `TLB_BENCH_ASSERT=1`, on any host.
+//! * **Throughput scaling** — events/s at 4 workers must reach ≥ 2× the
+//!   serial engine. Gated only on hosts with ≥ 4 cores (the digest half
+//!   of the contract is machine-independent; the speedup half is not).
+
+use tlb_engine::{EngineKind, SimRng, SimTime};
+use tlb_simnet::{RunReport, Scheme, SimConfig, Simulation};
+use tlb_workload::{web_search, FlowSpec, PoissonWorkload};
+
+/// One timed engine leg on the shared fig10-scale job.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EngineEntry {
+    /// `serial` or `sharded`.
+    pub engine: String,
+    /// Worker threads requested (0 for the serial leg).
+    pub workers_requested: u32,
+    /// Worker threads the engine actually ran (`RunReport::engine_workers`;
+    /// 0 when the run was serial, including silent fallback — the assert
+    /// gate treats fallback on a sharded leg as a failure).
+    pub workers: u32,
+    /// Flows launched.
+    pub flows: usize,
+    /// Flows completed.
+    pub completed: usize,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock (milliseconds).
+    pub wall_ms: f64,
+    /// `events / wall`.
+    pub events_per_sec: f64,
+    /// Parallel windows the conservative protocol opened (0 for serial).
+    pub sharded_windows: u64,
+    /// Determinism digest; every leg must agree with the serial leg.
+    pub digest: String,
+}
+
+/// The whole `BENCH_PR9.json` document.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pr9Report {
+    /// Format tag for downstream tooling (`tlb-bench-pr9/v1`).
+    pub schema: String,
+    /// `quick` or `full` (`TLB_SCALE`).
+    pub scale: String,
+    /// Base RNG seed of the job.
+    pub seed: u64,
+    /// `available_parallelism()` of the host — the ≥ 2× speedup gate
+    /// only applies when this is ≥ 4.
+    pub host_cores: usize,
+    /// Serial leg first, then one sharded leg per worker count.
+    pub runs: Vec<EngineEntry>,
+    /// Sharded-at-4-workers events/s ÷ serial events/s.
+    pub speedup_4w: f64,
+    /// Every leg produced the serial digest.
+    pub digests_identical: bool,
+}
+
+/// The shared fig10-scale job: §6.2 web-search fabric under Poisson
+/// arrivals. Only `engine` differs between legs — flows, seed and every
+/// other knob are bitwise identical so the digests are comparable.
+pub fn fig10_job(engine: EngineKind, duration: SimTime) -> (SimConfig, Vec<FlowSpec>) {
+    let mut cfg = SimConfig::large_scale(Scheme::tlb_default(), 32);
+    cfg.engine = engine;
+    cfg.audit = false;
+    let dist = web_search();
+    let wl = PoissonWorkload {
+        load: 0.7,
+        dist: &dist,
+        duration,
+        deadline_lo: SimTime::from_millis(5),
+        deadline_hi: SimTime::from_millis(25),
+        short_threshold: 100_000,
+        inter_leaf_only: true,
+    };
+    let flows = wl.generate(&cfg.topo, &mut SimRng::new(crate::scale::base_seed()));
+    (cfg, flows)
+}
+
+/// Determinism digest of a run: the same fields
+/// `tests/determinism.rs` compares (event count, FCT statistics, drops,
+/// marks, completions), folded into one comparable string.
+pub fn digest(r: &RunReport) -> String {
+    format!(
+        "{}|{:.12}|{:.12}|{}|{}|{}",
+        r.events, r.fct_short.afct, r.fct_long.mean_goodput, r.drops, r.marks, r.completed
+    )
+}
+
+/// Run one engine leg and fold it into an [`EngineEntry`].
+pub fn engine_leg(engine: EngineKind, duration: SimTime) -> EngineEntry {
+    let (name, requested) = match engine {
+        EngineKind::Serial => ("serial", 0),
+        EngineKind::Sharded { workers } => ("sharded", workers.unwrap_or(0)),
+    };
+    let (cfg, flows) = fig10_job(engine, duration);
+    let n = flows.len();
+    let t0 = std::time::Instant::now();
+    let r = Simulation::new(cfg, flows).run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    EngineEntry {
+        engine: name.to_string(),
+        workers_requested: requested,
+        workers: r.engine_workers.unwrap_or(0),
+        flows: n,
+        completed: r.completed,
+        events: r.events,
+        wall_ms,
+        events_per_sec: r.events as f64 / (wall_ms / 1e3).max(1e-9),
+        sharded_windows: r.sharded_windows,
+        digest: digest(&r),
+    }
+}
+
+impl Pr9Report {
+    /// An empty report stamped with this process's scale/seed/cores.
+    pub fn new() -> Pr9Report {
+        Pr9Report {
+            schema: "tlb-bench-pr9/v1".to_string(),
+            scale: match crate::Scale::from_env() {
+                crate::Scale::Quick => "quick",
+                crate::Scale::Full => "full",
+            }
+            .to_string(),
+            seed: crate::scale::base_seed(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            runs: Vec::new(),
+            speedup_4w: 1.0,
+            digests_identical: false,
+        }
+    }
+
+    /// Write the report to `results/BENCH_PR9.json` (pretty-printed) and
+    /// return the path.
+    pub fn save(&self) -> std::path::PathBuf {
+        let dir = crate::out::results_dir();
+        let path = dir.join("BENCH_PR9.json");
+        let json = serde_json::to_string_pretty(self).expect("serialize perf report");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+        path
+    }
+}
+
+impl Default for Pr9Report {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Pr9Report::new();
+        r.runs.push(EngineEntry {
+            engine: "sharded".into(),
+            workers_requested: 4,
+            workers: 4,
+            flows: 3000,
+            completed: 3000,
+            events: 50_000_000,
+            wall_ms: 900.0,
+            events_per_sec: 5.6e7,
+            sharded_windows: 40_000,
+            digest: "50000000|1.2|3.4|0|12|3000".into(),
+        });
+        r.speedup_4w = 2.4;
+        r.digests_identical = true;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: Pr9Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, "tlb-bench-pr9/v1");
+        assert_eq!(back.runs[0].workers, 4);
+        assert!(back.digests_identical);
+    }
+
+    #[test]
+    fn job_is_identical_across_engines() {
+        let (_, a) = fig10_job(EngineKind::Serial, SimTime::from_millis(2));
+        let (_, b) = fig10_job(
+            EngineKind::Sharded { workers: Some(4) },
+            SimTime::from_millis(2),
+        );
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.size_bytes == y.size_bytes && x.start == y.start));
+    }
+}

@@ -16,7 +16,7 @@
 //! `O(log n)` cost immaterial.
 //!
 //! The minimum bucket is held *activated*: its entries live in `active`,
-//! sorted **descending** by `(time, seq)` so `Vec::pop` yields the minimum
+//! sorted **descending** by `(time, key, seq)` so `Vec::pop` yields the minimum
 //! without shifting. Non-active buckets are plain unsorted append vectors —
 //! a push into them is O(1) — and get one `sort_unstable` when activated.
 //! An occupancy bitmap (one bit per physical bucket) makes
@@ -42,7 +42,7 @@
 //!    active bucket; the old remainder retires to its—also empty—home
 //!    bucket. `wheel_len > 0` implies `active` is non-empty.
 //!
-//! Together with the unique `(time, seq)` key these give the same pop
+//! Together with the unique `(time, key, seq)` key these give the same pop
 //! sequence as any correct min-queue; see the module docs of [`super`].
 
 use super::{Entry, FelBackend};
@@ -67,7 +67,7 @@ pub struct CalendarFel<E> {
     buckets: Vec<Vec<Entry<E>>>,
     /// Occupancy bitmap over `buckets` (the active bucket's bit is clear).
     occ: Vec<u64>,
-    /// The activated minimum bucket, sorted descending by `(time, seq)`.
+    /// The activated minimum bucket, sorted descending by `(time, key, seq)`.
     active: Vec<Entry<E>>,
     /// Absolute slot of the active bucket (meaningful iff `wheel_len > 0`).
     active_slot: u64,
@@ -186,7 +186,7 @@ impl<E> CalendarFel<E> {
         self.active_slot = now_slot + delta as u64;
         std::mem::swap(&mut self.active, &mut self.buckets[p]);
         self.active
-            .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.key, e.seq)));
     }
 
     /// Pull overflow entries whose slot fell inside the wheel window at
@@ -220,7 +220,7 @@ impl<E> FelBackend<E> for CalendarFel<E> {
     fn insert(&mut self, entry: Entry<E>, now: SimTime) {
         // Clamp below-`now` times (a caller-counted monotonicity violation
         // that only release builds survive) for bucketing only; the entry
-        // keeps its original `(time, seq)` sort key.
+        // keeps its original `(time, key, seq)` sort key.
         let slot = self.slot_of(entry.time.max(now));
         if slot >= self.slot_of(now) + self.nb as u64 {
             self.overflow.push(entry);
@@ -230,10 +230,12 @@ impl<E> FelBackend<E> for CalendarFel<E> {
             if slot == self.active_slot {
                 // Sorted insert, descending. Same-instant pushes (the
                 // common case: an event scheduling its immediate successor)
-                // have the largest `(time, seq)` of the bucket so far and
-                // land at/near the tail — no shifting.
-                let key = (entry.time, entry.seq);
-                let pos = self.active.partition_point(|e| (e.time, e.seq) > key);
+                // usually carry the largest `(time, key, seq)` of the bucket
+                // so far and land at/near the tail — little shifting.
+                let key = (entry.time, entry.key, entry.seq);
+                let pos = self
+                    .active
+                    .partition_point(|e| (e.time, e.key, e.seq) > key);
                 self.active.insert(pos, entry);
                 self.wheel_len += 1;
                 return;
@@ -285,6 +287,15 @@ impl<E> FelBackend<E> for CalendarFel<E> {
             self.active.last().map(|e| e.time)
         } else {
             self.overflow.peek().map(|e| e.time)
+        }
+    }
+
+    #[inline]
+    fn min_time_key(&self) -> Option<(SimTime, u32)> {
+        if self.wheel_len > 0 {
+            self.active.last().map(|e| (e.time, e.key))
+        } else {
+            self.overflow.peek().map(|e| (e.time, e.key))
         }
     }
 

@@ -6,7 +6,7 @@ use crate::time::SimTime;
 use std::collections::BinaryHeap;
 
 /// A `BinaryHeap`-backed FEL. [`Entry`]'s reversed `Ord` turns the std
-/// max-heap into a `(time, seq)` min-queue.
+/// max-heap into a `(time, key, seq)` min-queue.
 pub struct HeapFel<E> {
     heap: BinaryHeap<Entry<E>>,
 }
@@ -47,6 +47,11 @@ impl<E> FelBackend<E> for HeapFel<E> {
     #[inline]
     fn min_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    #[inline]
+    fn min_time_key(&self) -> Option<(SimTime, u32)> {
+        self.heap.peek().map(|e| (e.time, e.key))
     }
 
     #[inline]

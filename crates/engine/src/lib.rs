@@ -19,13 +19,16 @@
 //!   pins the random stream independent of dependency versions.
 
 pub mod alloc_audit;
+pub mod env_knob;
 pub mod fel;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use alloc_audit::{AllocCounters, CountingAlloc};
 pub use fel::FelKind;
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use shard::{EngineKind, SpinBarrier};
 pub use time::SimTime;

@@ -36,6 +36,14 @@ impl<E> FelBackend<E> for Backend<E> {
     }
 
     #[inline]
+    fn min_time_key(&self) -> Option<(SimTime, u32)> {
+        match self {
+            Backend::Calendar(b) => b.min_time_key(),
+            Backend::Heap(b) => b.min_time_key(),
+        }
+    }
+
+    #[inline]
     fn len(&self) -> usize {
         match self {
             Backend::Calendar(b) => b.len(),
@@ -54,10 +62,13 @@ impl<E> FelBackend<E> for Backend<E> {
 /// A future-event list with deterministic tie-breaking.
 ///
 /// Events scheduled for the same timestamp are executed in the order they
-/// were pushed, making simulation traces reproducible regardless of the
-/// storage backend: the pop order is the total order over `(time,
-/// insertion seq)`, which both the default calendar queue and the
-/// reference binary heap ([`FelKind`]) realize identically.
+/// were pushed (plain [`EventQueue::push`] uses ordering key 0 for every
+/// entry, so ties are pure FIFO), making simulation traces reproducible
+/// regardless of the storage backend: the pop order is the total order over
+/// `(time, key, insertion seq)`, which both the default calendar queue and
+/// the reference binary heap ([`FelKind`]) realize identically. Callers
+/// that need a cross-queue merge order (the sharded engine) rank ties
+/// explicitly via [`EventQueue::push_keyed`].
 ///
 /// ```
 /// use tlb_engine::{EventQueue, SimTime};
@@ -166,7 +177,44 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.backend.insert(Entry { time, seq, event }, self.now);
+        self.backend.insert(
+            Entry {
+                time,
+                key: 0,
+                seq,
+                event,
+            },
+            self.now,
+        );
+    }
+
+    /// Schedule `event` at `time` with an explicit ordering key: pop order
+    /// is the total order over `(time, key, seq)`. Plain pushes use key 0,
+    /// so a caller mixing both gets keyed entries after the key-0 ties of
+    /// the same instant. The sharded engine keys every event by
+    /// (event class, entity) to make the cross-shard merge order
+    /// independent of per-shard `seq` counters.
+    #[inline]
+    pub fn push_keyed(&mut self, time: SimTime, key: u32, event: E) {
+        if time < self.now {
+            self.monotonicity_violations += 1;
+        }
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {now}",
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.backend.insert(
+            Entry {
+                time,
+                key,
+                seq,
+                event,
+            },
+            self.now,
+        );
     }
 
     /// Schedule `event` `delay` after the current time.
@@ -207,7 +255,42 @@ impl<E> EventQueue<E> {
             "push_reserved with an unclaimed seq {seq} (next is {next})",
             next = self.seq
         );
-        self.backend.insert(Entry { time, seq, event }, self.now);
+        self.backend.insert(
+            Entry {
+                time,
+                key: 0,
+                seq,
+                event,
+            },
+            self.now,
+        );
+    }
+
+    /// The keyed twin of [`EventQueue::push_reserved`].
+    #[inline]
+    pub fn push_reserved_keyed(&mut self, time: SimTime, key: u32, seq: u64, event: E) {
+        if time < self.now {
+            self.monotonicity_violations += 1;
+        }
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {now}",
+            now = self.now
+        );
+        debug_assert!(
+            seq < self.seq,
+            "push_reserved_keyed with an unclaimed seq {seq} (next is {next})",
+            next = self.seq
+        );
+        self.backend.insert(
+            Entry {
+                time,
+                key,
+                seq,
+                event,
+            },
+            self.now,
+        );
     }
 
     /// Remove and return the earliest event, advancing the clock to its
@@ -227,6 +310,32 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.backend.min_time()
+    }
+
+    /// `(time, key)` of the earliest pending event, if any. The sharded
+    /// engine's serialized merge loop compares shard heads by this pair
+    /// (per-shard `seq` counters are not comparable across queues).
+    #[inline]
+    pub fn peek_time_key(&self) -> Option<(SimTime, u32)> {
+        self.backend.min_time_key()
+    }
+
+    /// Advance the clock to `max(now, t)` without popping. The sharded
+    /// engine uses this when merging shard replicas back into one report:
+    /// the merged queue's clock must read the *global* end time, and any
+    /// replica — including the one hosting the merge — may have stopped
+    /// earlier than its peers, so joins in either direction are no-ops or
+    /// forward moves, never rewinds.
+    #[inline]
+    pub fn join_clock(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Fold another queue's monotonicity-violation count into this one
+    /// (report merging across shard replicas).
+    #[inline]
+    pub fn absorb_monotonicity_violations(&mut self, n: u64) {
+        self.monotonicity_violations += n;
     }
 
     /// Number of pending events.
@@ -376,6 +485,49 @@ mod tests {
             q.pop();
             assert_eq!(q.len(), 1);
             assert_eq!(q.scheduled_total(), 2);
+        }
+    }
+
+    #[test]
+    fn keyed_ties_rank_by_key_then_fifo() {
+        // Same-instant entries order by key rank first; within a key, by
+        // insertion order — and plain pushes (key 0) precede keyed ties.
+        for (name, mut q) in all_queues() {
+            let t = SimTime::from_nanos(9);
+            q.push_keyed(t, 2, "c1");
+            q.push(t, "a1");
+            q.push_keyed(t, 1, "b1");
+            q.push_keyed(t, 2, "c2");
+            q.push_keyed(t, 1, "b2");
+            q.push(t, "a2");
+            let held = q.reserve_seq();
+            q.push_keyed(t, 1, "b4");
+            q.push_reserved_keyed(t, 1, held, "b3");
+            assert_eq!(q.peek_time_key(), Some((t, 0)), "{name}");
+            for want in ["a1", "a2", "b1", "b2", "b3", "b4", "c1", "c2"] {
+                assert_eq!(q.pop(), Some((t, want)), "{name}");
+            }
+            assert_eq!(q.pop(), None, "{name}");
+            assert_eq!(q.monotonicity_violations(), 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn keyed_order_is_time_major() {
+        // A later timestamp with a smaller key must still pop after every
+        // earlier timestamp, across wheel and overflow tiers.
+        for (name, mut q) in all_queues() {
+            q.push_keyed(SimTime::from_nanos(20), 0, 2);
+            q.push_keyed(SimTime::from_nanos(10), 9, 1);
+            q.push_keyed(SimTime::from_millis(5), 0, 3); // overflow tier
+            assert_eq!(
+                q.peek_time_key(),
+                Some((SimTime::from_nanos(10), 9)),
+                "{name}"
+            );
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 1)), "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(20), 2)), "{name}");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(5), 3)), "{name}");
         }
     }
 

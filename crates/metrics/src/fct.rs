@@ -91,14 +91,68 @@ impl FctRecorder {
         });
     }
 
-    /// Mark a flow complete (all bytes delivered to the receiver).
+    /// Sentinel size for a completion recorded before its start is known —
+    /// a sharded run completes a flow on the destination host's shard while
+    /// the start lives on the source's. [`FctRecorder::absorb`] pairs the
+    /// halves back up; a summary never sees the sentinel.
+    const DETACHED: u64 = u64::MAX;
+
+    /// Mark a flow complete (all bytes delivered to the receiver). If the
+    /// flow was never registered here (its start lives in another shard's
+    /// recorder), a detached end-only record is kept for [`Self::absorb`].
     pub fn flow_completed(&mut self, flow: FlowId, end: SimTime) {
-        let rec = self.records[flow.index()]
-            .as_mut()
-            .expect("completion for unknown flow");
-        debug_assert!(rec.end.is_none(), "flow {flow} completed twice");
-        debug_assert!(end >= rec.start);
-        rec.end = Some(end);
+        let idx = flow.index();
+        if idx >= self.records.len() {
+            self.records.resize(idx + 1, None);
+        }
+        match self.records[idx].as_mut() {
+            Some(rec) => {
+                debug_assert!(rec.end.is_none(), "flow {flow} completed twice");
+                debug_assert!(rec.size == Self::DETACHED || end >= rec.start);
+                rec.end = Some(end);
+            }
+            None => {
+                self.records[idx] = Some(Record {
+                    size: Self::DETACHED,
+                    start: SimTime::ZERO,
+                    end: Some(end),
+                    deadline: None,
+                });
+            }
+        }
+    }
+
+    /// Merge another recorder's records into this one, index by index. Each
+    /// flow's start and end may live in different recorders (sharded runs
+    /// split them across source and destination shards); the merge pairs a
+    /// start-only record with its detached end so the result is exactly
+    /// what a single serial recorder would hold. Panics on conflicting
+    /// full records for the same flow.
+    pub fn absorb(&mut self, other: FctRecorder) {
+        debug_assert_eq!(self.short_threshold, other.short_threshold);
+        if other.records.len() > self.records.len() {
+            self.records.resize(other.records.len(), None);
+        }
+        for (idx, theirs) in other.records.into_iter().enumerate() {
+            let Some(theirs) = theirs else { continue };
+            match self.records[idx].as_mut() {
+                None => self.records[idx] = Some(theirs),
+                Some(mine) => match (mine.size == Self::DETACHED, theirs.size == Self::DETACHED) {
+                    (true, false) => {
+                        // Ours is the end half, theirs the start half.
+                        debug_assert!(theirs.end.is_none(), "flow {idx} completed twice");
+                        let end = mine.end;
+                        *mine = theirs;
+                        mine.end = end;
+                    }
+                    (false, true) => {
+                        debug_assert!(mine.end.is_none(), "flow {idx} completed twice");
+                        mine.end = theirs.end;
+                    }
+                    _ => panic!("flow {idx} recorded in two shards"),
+                },
+            }
+        }
     }
 
     /// The class of a flow by its registered size.
@@ -286,6 +340,26 @@ mod tests {
         let cdf = r.fct_cdf(FlowClass::Short);
         assert_eq!(cdf.len(), 10);
         assert!((cdf.fraction_below(0.005) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn absorb_pairs_split_starts_and_ends() {
+        // Shard A starts flows 0 and 1 and completes 1 locally; shard B
+        // holds flow 0's detached completion. The merge must reconstruct
+        // exactly what one serial recorder would hold.
+        let mut a = FctRecorder::new(100_000);
+        a.flow_started(FlowId(0), 1_000, ms(0), Some(ms(15)));
+        a.flow_started(FlowId(1), 2_000, ms(1), None);
+        a.flow_completed(FlowId(1), ms(5));
+        let mut b = FctRecorder::new(100_000);
+        b.flow_completed(FlowId(0), ms(10)); // detached: start unknown here
+        a.absorb(b);
+        assert_eq!(a.fct_of(FlowId(0)), Some(0.010));
+        assert_eq!(a.fct_of(FlowId(1)), Some(0.004));
+        let s = a.summary(FlowClass::Short);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.unfinished, 0);
+        assert!((s.deadline_miss - 0.0).abs() < 1e-12);
     }
 
     #[test]

@@ -90,6 +90,23 @@ impl TimeSeries {
             .collect()
     }
 
+    /// Merge another series into this one, bucket by bucket (sums add,
+    /// counts add). Widths must match. Note the merged per-bucket sums add
+    /// each shard's subtotal rather than the serial observation order, so
+    /// floating-point results may differ from a serial run in the last bits
+    /// — merged series are reporting artifacts, not digest material.
+    pub fn absorb(&mut self, other: &TimeSeries) {
+        assert_eq!(self.bucket, other.bucket, "bucket widths differ");
+        if other.sums.len() > self.sums.len() {
+            self.sums.resize(other.sums.len(), 0.0);
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, (&s, &c)) in other.sums.iter().zip(&other.counts).enumerate() {
+            self.sums[i] += s;
+            self.counts[i] += c;
+        }
+    }
+
     /// Mean of the per-bucket means (a robust "steady-state" scalar).
     pub fn grand_mean(&self) -> f64 {
         let m = self.means();
@@ -165,6 +182,18 @@ mod tests {
         let mut t = TimeSeries::new(ms(1));
         t.reserve_until(ms(1_000_000), 64);
         assert_eq!(t.n_buckets(), 64);
+    }
+
+    #[test]
+    fn absorb_adds_buckets_pairwise() {
+        let mut a = TimeSeries::new(ms(1));
+        a.add(ms(0), 1.0);
+        a.add(ms(2), 2.0);
+        let mut b = TimeSeries::new(ms(1));
+        b.add(ms(0), 3.0);
+        b.add(ms(4), 5.0);
+        a.absorb(&b);
+        assert_eq!(a.means(), vec![(0.0, 2.0), (0.002, 2.0), (0.004, 5.0)]);
     }
 
     #[test]

@@ -153,6 +153,26 @@ impl AuditLedger {
         self.enabled
     }
 
+    /// Add another ledger's counters into this one (sharded runs keep one
+    /// ledger per shard and merge before [`AuditLedger::finish`]). Counter
+    /// sums commute, so the merged ledger equals a serial run's.
+    pub fn absorb(&mut self, other: &AuditLedger) {
+        debug_assert_eq!(self.enabled, other.enabled);
+        for (mine, theirs) in self.kinds.iter_mut().zip(&other.kinds) {
+            mine.emitted += theirs.emitted;
+            mine.enqueue_attempts += theirs.enqueue_attempts;
+            mine.enqueued += theirs.enqueued;
+            mine.dropped += theirs.dropped;
+            mine.tx_started += theirs.tx_started;
+            mine.tx_done += theirs.tx_done;
+            mine.arrived += theirs.arrived;
+            mine.delivered += theirs.delivered;
+            mine.queued_at_end += theirs.queued_at_end;
+            mine.in_service_at_end += theirs.in_service_at_end;
+            mine.propagating_at_end += theirs.propagating_at_end;
+        }
+    }
+
     #[inline]
     fn at(&mut self, pkt: &Packet) -> &mut KindCounts {
         &mut self.kinds[kind_idx(pkt.kind)]

@@ -2,7 +2,7 @@
 
 use crate::dispatch::LbDispatch;
 use crate::scheme::Scheme;
-use tlb_engine::{FelKind, SimTime};
+use tlb_engine::{EngineKind, FelKind, SimTime};
 use tlb_net::{Fabric, LeafId, LeafSpineBuilder, SpineId};
 use tlb_switch::QueueCfg;
 use tlb_transport::TcpConfig;
@@ -161,6 +161,16 @@ pub struct SimConfig {
     /// before `W` events. The simulator is deterministic, so the delta is
     /// exactly reproducible for a given (config, flows) pair.
     pub alloc_warmup_events: Option<u64>,
+    /// Execution engine. Presets take the process default (`TLB_ENGINE`
+    /// env var: `serial`, `sharded`, or `sharded:<workers>`, defaulting
+    /// to serial). [`tlb_engine::EngineKind::Sharded`] executes the run
+    /// across OS threads via conservative fabric sharding; results are
+    /// bit-identical to serial for any worker count
+    /// (`tests/determinism.rs`). Configurations the sharded engine cannot
+    /// partition (hybrid fidelity, chained flows, single-shard
+    /// topologies, …) silently run serially — see
+    /// `network/sharded.rs` for the exact preconditions.
+    pub engine: EngineKind,
 }
 
 /// The default warmup (in processed events) for `TLB_ALLOC_AUDIT=1`.
@@ -170,23 +180,14 @@ pub const DEFAULT_ALLOC_WARMUP_EVENTS: u64 = 1 << 17;
 /// [`DEFAULT_ALLOC_WARMUP_EVENTS`], any other integer is the warmup event
 /// count itself.
 fn alloc_warmup_from_env() -> Option<u64> {
-    match std::env::var("TLB_ALLOC_AUDIT") {
-        Ok(s) => match s.trim() {
-            "" | "0" => None,
-            "1" => Some(DEFAULT_ALLOC_WARMUP_EVENTS),
-            other => match other.parse::<u64>() {
-                Ok(n) => Some(n),
-                Err(_) => {
-                    eprintln!(
-                        "warning: ignoring unparsable TLB_ALLOC_AUDIT={other:?} \
-                         (want 0, 1, or a warmup event count)"
-                    );
-                    None
-                }
-            },
-        },
-        Err(_) => None,
-    }
+    tlb_engine::env_knob::parse_with("TLB_ALLOC_AUDIT", None, |s| match s {
+        "0" => Ok(None),
+        "1" => Ok(Some(DEFAULT_ALLOC_WARMUP_EVENTS)),
+        other => other
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| "want 0, 1, or a warmup event count".to_string()),
+    })
 }
 
 /// How in-flight packets are scheduled for arrival.
@@ -206,21 +207,15 @@ impl DeliveryKind {
     /// `TLB_DELIVERY=pipelined` or `=per-packet`, defaulting to
     /// [`DeliveryKind::Pipelined`].
     pub fn from_env() -> DeliveryKind {
-        match std::env::var("TLB_DELIVERY") {
-            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
-                "pipelined" => DeliveryKind::Pipelined,
-                "per-packet" | "per_packet" => DeliveryKind::PerPacket,
-                "" => DeliveryKind::Pipelined,
-                other => {
-                    eprintln!(
-                        "warning: ignoring unknown TLB_DELIVERY={other:?} \
-                         (want `pipelined` or `per-packet`)"
-                    );
-                    DeliveryKind::Pipelined
-                }
-            },
-            Err(_) => DeliveryKind::Pipelined,
-        }
+        tlb_engine::env_knob::choice(
+            "TLB_DELIVERY",
+            DeliveryKind::Pipelined,
+            &[
+                ("pipelined", DeliveryKind::Pipelined),
+                ("per-packet", DeliveryKind::PerPacket),
+                ("per_packet", DeliveryKind::PerPacket),
+            ],
+        )
     }
 }
 
@@ -245,21 +240,14 @@ impl FidelityKind {
     /// The fidelity selected by the environment: `TLB_FIDELITY=packet` or
     /// `=hybrid`, defaulting to [`FidelityKind::Packet`].
     pub fn from_env() -> FidelityKind {
-        match std::env::var("TLB_FIDELITY") {
-            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
-                "packet" => FidelityKind::Packet,
-                "hybrid" => FidelityKind::Hybrid,
-                "" => FidelityKind::Packet,
-                other => {
-                    eprintln!(
-                        "warning: ignoring unknown TLB_FIDELITY={other:?} \
-                         (want `packet` or `hybrid`)"
-                    );
-                    FidelityKind::Packet
-                }
-            },
-            Err(_) => FidelityKind::Packet,
-        }
+        tlb_engine::env_knob::choice(
+            "TLB_FIDELITY",
+            FidelityKind::Packet,
+            &[
+                ("packet", FidelityKind::Packet),
+                ("hybrid", FidelityKind::Hybrid),
+            ],
+        )
     }
 }
 
@@ -299,6 +287,7 @@ impl SimConfig {
             delivery: DeliveryKind::from_env(),
             fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -338,6 +327,7 @@ impl SimConfig {
             delivery: DeliveryKind::from_env(),
             fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -375,6 +365,7 @@ impl SimConfig {
             delivery: DeliveryKind::from_env(),
             fidelity: FidelityKind::from_env(),
             alloc_warmup_events: alloc_warmup_from_env(),
+            engine: EngineKind::from_env(),
         }
     }
 

@@ -39,20 +39,11 @@ impl LbDispatch {
     /// or `=dyn`, defaulting to [`LbDispatch::Enum`] (the `dyn-lb`
     /// feature flips the default to `Dyn`).
     pub fn from_env() -> LbDispatch {
-        match std::env::var("TLB_LB_DISPATCH") {
-            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
-                "enum" => LbDispatch::Enum,
-                "dyn" => LbDispatch::Dyn,
-                "" => Self::default_kind(),
-                other => {
-                    eprintln!(
-                        "warning: ignoring unknown TLB_LB_DISPATCH={other:?} (want `enum` or `dyn`)"
-                    );
-                    Self::default_kind()
-                }
-            },
-            Err(_) => Self::default_kind(),
-        }
+        tlb_engine::env_knob::choice(
+            "TLB_LB_DISPATCH",
+            Self::default_kind(),
+            &[("enum", LbDispatch::Enum), ("dyn", LbDispatch::Dyn)],
+        )
     }
 
     fn default_kind() -> LbDispatch {

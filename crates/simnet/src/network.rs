@@ -388,6 +388,52 @@ enum Event {
     FluidDone { flow: u32, gen: u32 },
 }
 
+/// Bits of an event-ordering key reserved for the entity index; the top
+/// five bits hold the class rank.
+const KEY_ENTITY_BITS: u32 = 27;
+
+#[inline]
+fn key_of(class: u32, entity: u32) -> u32 {
+    debug_assert!(class < 32);
+    debug_assert!(entity < (1 << KEY_ENTITY_BITS), "entity overflows its key");
+    (class << KEY_ENTITY_BITS) | entity
+}
+
+/// The FEL ordering key of an event: `(class rank << 27) | entity`. Both
+/// engines order same-timestamp events by this key before falling back to
+/// per-queue FIFO, which is what makes the sharded engine's cross-shard
+/// merge reconstruct the serial schedule: each `(class, entity)` pair is
+/// pushed by exactly one shard, so same-`(time, key)` ties are always
+/// same-shard (ordered by that shard's local FIFO `seq`, exactly the
+/// relative order a serial run assigns) and cross-shard order is settled
+/// by `(time, key)` alone. `Arrive` and `Deliver` share a class on the
+/// transmitting port because they are the same arrival in the two delivery
+/// modes — the reserved-seq machinery keeps the tie order aligned.
+#[inline]
+fn event_key(ev: &Event) -> u32 {
+    match *ev {
+        Event::FlowStart(f) => key_of(0, f),
+        Event::Timer { flow } => key_of(1, flow),
+        Event::Arrive { port, .. } => key_of(2, port),
+        Event::Deliver(p) => key_of(2, p),
+        Event::TxDone(p) => key_of(3, p),
+        Event::LbTick { sw } => key_of(4, sw as u32),
+        Event::QueueSample => key_of(5, 0),
+        Event::LinkChange(i) => key_of(6, i),
+        Event::Failure(i) => key_of(7, i),
+        Event::FluidDone { flow, .. } => key_of(8, flow),
+    }
+}
+
+/// Push `ev` with its ordering key (every FEL insertion in this module
+/// goes through here or [`tlb_engine::EventQueue::push_reserved_keyed`],
+/// so both engines realize the same `(time, key, seq)` order).
+#[inline]
+fn push_ev(q: &mut EventQueue<Event>, at: SimTime, ev: Event) {
+    let key = event_key(&ev);
+    q.push_keyed(at, key, ev);
+}
+
 /// One in-flight packet parked in a link's delivery pipe: its arrival
 /// time and the FEL sequence number reserved for it.
 struct PipeEntry {
@@ -501,17 +547,21 @@ struct Net<'a> {
     // on it, so packet-fidelity runs execute the historical per-packet
     // paths bit-for-bit.
     fluid: Option<FluidNet>,
-    /// Per-flow: has migrated packet→fluid. Set at most once per flow — a
-    /// flow demoted by a failure finishes at packet fidelity.
+    /// Per-flow: has ever migrated packet→fluid (audit bookkeeping). A
+    /// flow demoted by a failure reroutes at packet fidelity, then may
+    /// migrate *again* once it re-qualifies over a healthy path; stale
+    /// `FluidDone`s from earlier residencies die on the generation
+    /// counter.
     migrated: Vec<bool>,
     /// Per-flow: fluid tail still in flight (completion waits for it).
     fluid_pend: Vec<bool>,
-    /// Per-flow payload bytes handed to the fluid tier at migration.
-    /// Allocated only under hybrid fidelity.
+    /// Per-flow payload bytes handed to the fluid tier at the *latest*
+    /// migration. Allocated only under hybrid fidelity.
     fluid_tail_bytes: Vec<u64>,
-    /// Per-flow payload bytes the fluid tier actually delivered — equal to
-    /// `fluid_tail_bytes` unless the flow was demoted mid-tail. Allocated
-    /// only under hybrid fidelity.
+    /// Per-flow payload bytes the fluid tier actually delivered, summed
+    /// over every residency — equal to the tail sizes handed over unless
+    /// a demotion returned a remainder mid-tail. Allocated only under
+    /// hybrid fidelity.
     fluid_credit: Vec<u64>,
     /// `FluidDone` events pending in the FEL, stale ones included (part of
     /// the FEL occupancy bound).
@@ -523,6 +573,19 @@ struct Net<'a> {
     rate_changes: Vec<RateChange>,
     /// Scratch for collecting failure-demoted fluid flows.
     demote_scratch: Vec<u32>,
+    /// Sharded-engine context: `Some` iff this `Net` is one shard's
+    /// replica of the fabric (see [`sharded`]). Serial runs never set it
+    /// and every sharded hook is gated on it.
+    shard: Option<sharded::ShardCtx>,
+    /// Ordering key of the event currently dispatching (trace tagging).
+    cur_key: u32,
+    /// Per-row ordering keys for `traces`, recorded only under sharding:
+    /// the report merge stable-sorts the concatenated shard traces by
+    /// `(at, key)`, which reconstructs the serial emission order.
+    trace_keys: Vec<u32>,
+    /// Event count at which to capture the allocation-audit baseline
+    /// (`u64::MAX` = off; sharded replicas never arm it).
+    warmup_at: u64,
 }
 
 impl Simulation {
@@ -576,13 +639,27 @@ pub(crate) fn run_with(
     next_flow: Vec<Option<u32>>,
 ) -> RunReport {
     let wall_start = std::time::Instant::now();
-    let mut net = Net::build(cfg, flows, next_flow);
+    if let tlb_engine::EngineKind::Sharded { workers } = cfg.engine {
+        if let Some(report) = sharded::try_run(cfg, flows, &next_flow, workers, wall_start) {
+            return report;
+        }
+        // Preconditions unmet (hybrid fidelity, chained flows, injected
+        // drops, a single-shard topology, or zero lookahead): the serial
+        // engine is the sharded engine's own fallback, digest-identical
+        // by definition.
+    }
+    let mut net = Net::build(cfg, flows, next_flow, None);
     net.run_loop();
     net.into_report(wall_start.elapsed())
 }
 
 impl<'a> Net<'a> {
-    fn build(cfg: &'a SimConfig, flows: &'a [FlowSpec], next_flow: Vec<Option<u32>>) -> Net<'a> {
+    fn build(
+        cfg: &'a SimConfig,
+        flows: &'a [FlowSpec],
+        next_flow: Vec<Option<u32>>,
+        shard: Option<sharded::ShardCtx>,
+    ) -> Net<'a> {
         let topo = &cfg.topo;
         let mut master_rng = SimRng::new(cfg.seed);
         let pmap = PortMap::new(topo);
@@ -696,8 +773,9 @@ impl<'a> Net<'a> {
         }
         let mut starts_pending = 0u64;
         for (i, f) in flows.iter().enumerate() {
-            if !is_chained[i] {
-                q.push(f.start, Event::FlowStart(i as u32));
+            let owned = shard.as_ref().is_none_or(|c| c.owns_host(f.src.0));
+            if !is_chained[i] && owned {
+                push_ev(&mut q, f.start, Event::FlowStart(i as u32));
                 starts_pending += 1;
             }
         }
@@ -787,7 +865,9 @@ impl<'a> Net<'a> {
             // like the FEL so steady-state occupancy never grows the slab.
             // Pipelined mode keeps packets in the link pipes instead and
             // skips the allocation entirely.
-            arena: if cfg.delivery == DeliveryKind::PerPacket {
+            arena: if cfg.delivery == DeliveryKind::PerPacket || shard.is_some() {
+                // Sharded replicas park cross-shard handoffs here even in
+                // pipelined mode.
                 PacketArena::with_capacity(fel_cap)
             } else {
                 PacketArena::new()
@@ -849,6 +929,20 @@ impl<'a> Net<'a> {
             fluid_bytes: 0,
             rate_changes: Vec::new(),
             demote_scratch: Vec::new(),
+            cur_key: 0,
+            trace_keys: if shard.is_some() {
+                Vec::with_capacity(trace_rows)
+            } else {
+                Vec::new()
+            },
+            warmup_at: if shard.is_some() {
+                // The allocation audit is a serial-engine gate; replica
+                // plumbing (inboxes, handoffs) is outside its contract.
+                u64::MAX
+            } else {
+                cfg.alloc_warmup_events.unwrap_or(u64::MAX)
+            },
+            shard,
             cfg,
             flows,
         };
@@ -868,8 +962,11 @@ impl<'a> Net<'a> {
             net.demote_scratch = Vec::with_capacity(64);
         }
         for l in 0..net.lb_sws.len() {
+            if !net.shard.as_ref().is_none_or(|c| c.owns_sw(l)) {
+                continue;
+            }
             if let Some(iv) = net.lb_sws[l].lb.tick_interval() {
-                net.q.push(iv, Event::LbTick { sw: l as u16 });
+                push_ev(&mut net.q, iv, Event::LbTick { sw: l as u16 });
                 net.misc_pending += 1;
                 // Leaf 0's threshold trace grows by at most one row per
                 // tick; materialize the worst case now (capped like
@@ -880,21 +977,23 @@ impl<'a> Net<'a> {
                 }
             }
         }
-        for (i, ev) in net.cfg.link_events.iter().enumerate() {
-            net.q.push(ev.at, Event::LinkChange(i as u32));
-            net.misc_pending += 1;
-        }
-        for (i, ev) in net.cfg.failure_events.iter().enumerate() {
-            net.q.push(ev.at, Event::Failure(i as u32));
-            net.misc_pending += 1;
+        if net.shard.as_ref().is_none_or(|c| c.id == 0) {
+            for (i, ev) in net.cfg.link_events.iter().enumerate() {
+                push_ev(&mut net.q, ev.at, Event::LinkChange(i as u32));
+                net.misc_pending += 1;
+            }
+            for (i, ev) in net.cfg.failure_events.iter().enumerate() {
+                push_ev(&mut net.q, ev.at, Event::Failure(i as u32));
+                net.misc_pending += 1;
+            }
         }
         if net.has_failures {
             // Seed the reachability masks from the (fully live) fabric so
             // an `Up`-leading schedule still sees consistent state.
             net.recompute_reach();
         }
-        if net.cfg.sample_queues {
-            net.q.push(net.cfg.series_bucket, Event::QueueSample);
+        if net.cfg.sample_queues && net.shard.as_ref().is_none_or(|c| c.id == 0) {
+            push_ev(&mut net.q, net.cfg.series_bucket, Event::QueueSample);
             net.misc_pending += 1;
         }
         net
@@ -931,9 +1030,6 @@ impl<'a> Net<'a> {
 
     fn run_loop(&mut self) {
         let horizon = self.cfg.horizon;
-        // Allocation-audit warmup boundary, hoisted to a plain u64 compare
-        // on the hot path (`u64::MAX` = auditing off).
-        let warmup = self.cfg.alloc_warmup_events.unwrap_or(u64::MAX);
         while self.n_completed < self.flows.len() {
             // Peek before popping: an event past the horizon must stay in
             // the queue (end-of-run accounting counts it as in flight) and
@@ -943,78 +1039,108 @@ impl<'a> Net<'a> {
                 Some(t) if t <= horizon => {}
                 _ => break, // queue empty, or nothing left before the horizon
             }
-            let (now, ev) = self.q.pop().expect("peeked event vanished");
-            self.events += 1;
-            if self.events == warmup {
-                self.alloc_at_warmup = Some(alloc_audit::counters());
+            self.step();
+        }
+        self.close_alloc_window();
+    }
+
+    /// Sharded engine: run every local event strictly before `end` (and at
+    /// or before `horizon`). The global completion gate lives with the
+    /// coordinator — the window protocol switches to a serialized tail
+    /// before the run could possibly finish mid-window (see [`sharded`]).
+    fn run_window(&mut self, end: SimTime, horizon: SimTime) {
+        loop {
+            match self.q.peek_time() {
+                Some(t) if t < end && t <= horizon => {}
+                _ => break,
             }
-            if self.events.is_multiple_of(Self::FEL_DEPTH_SAMPLE_EVERY) {
-                self.fel_depth.push(self.q.len() as f64);
-                let bound = self.fel_bound();
-                self.fel_bound_peak = self.fel_bound_peak.max(bound);
-                // The occupancy oracle: pipelined delivery must keep the
-                // FEL within the fabric-sized bound.
-                if self.cfg.audit && self.cfg.delivery == DeliveryKind::Pipelined {
-                    assert!(
-                        self.q.len() as u64 <= bound,
-                        "FEL occupancy {} exceeds the pipelined bound {bound}",
-                        self.q.len(),
-                    );
-                }
-            }
-            match ev {
-                Event::FlowStart(i) => {
-                    self.starts_pending -= 1;
-                    self.on_flow_start(i, now);
-                }
-                Event::TxDone(p) => self.on_tx_done(p, now),
-                Event::Deliver(p) => self.on_deliver(p, now),
-                Event::Arrive { port, slot } => {
-                    let pkt = self.arena.take(slot);
-                    self.arrive_seen += 1;
-                    if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
-                        // Injected driver bug (audit tests only): the packet
-                        // vanishes without any accounting layer hearing of it.
-                        continue;
-                    }
-                    self.on_arrive(port, pkt, now);
-                }
-                Event::Timer { flow } => {
-                    self.timers_live -= 1;
-                    self.on_timer(flow, now);
-                }
-                Event::LbTick { sw } => {
-                    self.misc_pending -= 1;
-                    self.on_lb_tick(sw, now);
-                }
-                Event::LinkChange(i) => {
-                    self.misc_pending -= 1;
-                    self.on_link_change(i as usize, now);
-                }
-                Event::Failure(i) => {
-                    self.misc_pending -= 1;
-                    self.on_failure(i as usize, now);
-                }
-                Event::QueueSample => {
-                    self.misc_pending -= 1;
-                    self.on_queue_sample(now);
-                }
-                Event::FluidDone { flow, gen } => {
-                    self.fluid_events_pending -= 1;
-                    self.on_fluid_done(flow, gen, now);
-                }
+            self.step();
+        }
+    }
+
+    /// Pop and dispatch one event — the shared body of the serial loop,
+    /// the sharded window loop, and the coordinator's merged loops.
+    fn step(&mut self) {
+        let (now, ev) = self.q.pop().expect("peeked event vanished");
+        self.events += 1;
+        if self.events == self.warmup_at {
+            self.alloc_at_warmup = Some(alloc_audit::counters());
+        }
+        if self.events.is_multiple_of(Self::FEL_DEPTH_SAMPLE_EVERY) {
+            self.fel_depth.push(self.q.len() as f64);
+            let bound = self.fel_bound();
+            self.fel_bound_peak = self.fel_bound_peak.max(bound);
+            // The occupancy oracle: pipelined delivery must keep the
+            // FEL within the fabric-sized bound. A shard replica is
+            // exempt: cross-shard handoffs arrive as per-packet events,
+            // which the pipelined bound deliberately excludes.
+            if self.cfg.audit
+                && self.cfg.delivery == DeliveryKind::Pipelined
+                && self.shard.is_none()
+            {
+                assert!(
+                    self.q.len() as u64 <= bound,
+                    "FEL occupancy {} exceeds the pipelined bound {bound}",
+                    self.q.len(),
+                );
             }
         }
-        // Close the allocation-audit window at loop exit, *before* the
-        // reporting/audit phase — end-of-run summarization is allowed to
-        // allocate; the steady-state invariant covers event processing
-        // only. The probe runs after the final read so it cannot pollute
-        // the delta.
+        self.cur_key = event_key(&ev);
+        match ev {
+            Event::FlowStart(i) => {
+                self.starts_pending -= 1;
+                self.on_flow_start(i, now);
+            }
+            Event::TxDone(p) => self.on_tx_done(p, now),
+            Event::Deliver(p) => self.on_deliver(p, now),
+            Event::Arrive { port, slot } => {
+                let pkt = self.arena.take(slot);
+                self.arrive_seen += 1;
+                if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
+                    // Injected driver bug (audit tests only): the packet
+                    // vanishes without any accounting layer hearing of it.
+                    return;
+                }
+                self.on_arrive(port, pkt, now);
+            }
+            Event::Timer { flow } => {
+                self.timers_live -= 1;
+                self.on_timer(flow, now);
+            }
+            Event::LbTick { sw } => {
+                self.misc_pending -= 1;
+                self.on_lb_tick(sw, now);
+            }
+            Event::LinkChange(i) => {
+                self.misc_pending -= 1;
+                self.on_link_change(i as usize, now);
+            }
+            Event::Failure(i) => {
+                self.misc_pending -= 1;
+                self.on_failure(i as usize, now);
+            }
+            Event::QueueSample => {
+                self.misc_pending -= 1;
+                self.on_queue_sample(now);
+            }
+            Event::FluidDone { flow, gen } => {
+                self.fluid_events_pending -= 1;
+                self.on_fluid_done(flow, gen, now);
+            }
+        }
+    }
+
+    /// Close the allocation-audit window at run-loop exit, *before* the
+    /// reporting/audit phase — end-of-run summarization is allowed to
+    /// allocate; the steady-state invariant covers event processing
+    /// only. The probe runs after the final read so it cannot pollute
+    /// the delta.
+    fn close_alloc_window(&mut self) {
         if let Some(start) = self.alloc_at_warmup.take() {
             let d = start.delta(alloc_audit::counters());
             self.alloc_report = Some(AllocAudit {
-                warmup_events: warmup,
-                steady_events: self.events.saturating_sub(warmup),
+                warmup_events: self.warmup_at,
+                steady_events: self.events.saturating_sub(self.warmup_at),
                 counting: alloc_audit::probe_counting(),
                 allocs: d.allocs,
                 reallocs: d.reallocs,
@@ -1085,7 +1211,7 @@ impl<'a> Net<'a> {
         if let Some(iv) = l.lb.tick_interval() {
             let next = now + iv;
             if next <= self.cfg.horizon {
-                self.q.push(next, Event::LbTick { sw });
+                push_ev(&mut self.q, next, Event::LbTick { sw });
                 self.misc_pending += 1;
             }
         }
@@ -1102,7 +1228,7 @@ impl<'a> Net<'a> {
                     self.enqueue(self.pmap.host_nic(src.0), pkt, now);
                 }
                 SenderOutput::ArmTimer { deadline } => {
-                    self.q.push(deadline.max(now), Event::Timer { flow });
+                    push_ev(&mut self.q, deadline.max(now), Event::Timer { flow });
                     self.timers_live += 1;
                 }
                 SenderOutput::Finished => {
@@ -1122,7 +1248,7 @@ impl<'a> Net<'a> {
         self.queue_series.push((now.as_secs_f64(), lens));
         let next = now + self.cfg.series_bucket;
         if next <= self.cfg.horizon {
-            self.q.push(next, Event::QueueSample);
+            push_ev(&mut self.q, next, Event::QueueSample);
             self.misc_pending += 1;
         }
     }
@@ -1130,6 +1256,17 @@ impl<'a> Net<'a> {
     /// Apply a configured mid-run link change to both directions of the
     /// targeted uplink pair.
     fn on_link_change(&mut self, i: usize, now: SimTime) {
+        let (up, down) = self.apply_link_change(i);
+        if self.fluid.is_some() {
+            self.fluid_link_update(up, down, now);
+        }
+    }
+
+    /// The state mutation of a link change — everything except the fluid
+    /// tier's rerating. Factored out so the sharded coordinator can mirror
+    /// the change into every replica (all replicas read link physics on
+    /// their own ports at build and per-event). Returns the port pair.
+    fn apply_link_change(&mut self, i: usize) -> (PortId, PortId) {
         let ev = self.cfg.link_events[i];
         let change = |port: &mut OutPort| {
             let mut l = port.link();
@@ -1147,9 +1284,7 @@ impl<'a> Net<'a> {
             self.refit_pipe(up as usize);
             self.refit_pipe(down as usize);
         }
-        if self.fluid.is_some() {
-            self.fluid_link_update(up, down, now);
-        }
+        (up, down)
     }
 
     /// Safety net behind the build-time schedule-aware pipe sizing: after
@@ -1186,6 +1321,18 @@ impl<'a> Net<'a> {
     /// of the target port(s) and their reverse directions, then
     /// reconverge routing by recomputing the reachability masks.
     fn on_failure(&mut self, i: usize, now: SimTime) {
+        self.apply_failure(i);
+        if self.fluid.is_some() {
+            self.demote_failed(now);
+        }
+    }
+
+    /// The state mutation of a failure/repair — admin flips plus routing
+    /// reconvergence, without the hybrid-tier demotions. Factored out so
+    /// the sharded coordinator can mirror it into every replica: each
+    /// replica's `recompute_reach` reads the admin state of the *whole*
+    /// fabric, so all replicas must agree on it.
+    fn apply_failure(&mut self, i: usize) {
         use crate::config::{FailureAction, FailureTarget};
         let ev = self.cfg.failure_events[i];
         let down = ev.action == FailureAction::Down;
@@ -1205,9 +1352,6 @@ impl<'a> Net<'a> {
             }
         }
         self.recompute_reach();
-        if self.fluid.is_some() {
-            self.demote_failed(now);
-        }
     }
 
     /// Take one directed port and its reverse down (or back up). Queued
@@ -1357,7 +1501,7 @@ impl<'a> Net<'a> {
             self.short_qdelay_series.add(now, w);
         }
         self.audit.tx_started(&pkt);
-        self.q.push(now + tx_time, Event::TxDone(p));
+        push_ev(&mut self.q, now + tx_time, Event::TxDone(p));
     }
 
     fn on_tx_done(&mut self, p: PortId, now: SimTime) {
@@ -1372,6 +1516,17 @@ impl<'a> Net<'a> {
         // earlier (matters only after a prop-delay-shrinking LinkEvent).
         let at = (now + prop).max(self.link_fifo[pi]);
         self.link_fifo[pi] = at;
+        if let Some(ctx) = self.shard.as_mut() {
+            if ctx.map.arrive_owner[pi] != ctx.id {
+                // The next hop lives in another shard: hand the packet
+                // off as a message; the owner schedules the `Arrive`
+                // (see [`Net::inject_arrival`]). Always per-packet, even
+                // in pipelined mode — the shared ordering class keeps the
+                // merged schedule identical.
+                ctx.outbox.push(sharded::XMsg { port: p, at, pkt });
+                return;
+            }
+        }
         match self.cfg.delivery {
             DeliveryKind::Pipelined => {
                 // Reserve the seq a per-packet `Arrive` push would have
@@ -1382,13 +1537,15 @@ impl<'a> Net<'a> {
                 let seq = self.q.reserve_seq();
                 let pipe = &mut self.pipes[pi];
                 if pipe.is_empty() {
-                    self.q.push_reserved(at, seq, Event::Deliver(p));
+                    self.q
+                        .push_reserved_keyed(at, key_of(2, p), seq, Event::Deliver(p));
                 }
                 pipe.push_back(PipeEntry { at, seq, pkt });
             }
             DeliveryKind::PerPacket => {
                 let slot = self.arena.insert(pkt);
-                self.q.push(at, Event::Arrive { port: p, slot });
+                self.q
+                    .push_keyed(at, key_of(2, p), Event::Arrive { port: p, slot });
             }
         }
     }
@@ -1403,7 +1560,8 @@ impl<'a> Net<'a> {
         debug_assert_eq!(entry.at, now, "pipe head out of FIFO order");
         if let Some(front) = self.pipes[p as usize].front() {
             let (at, seq) = (front.at, front.seq);
-            self.q.push_reserved(at, seq, Event::Deliver(p));
+            self.q
+                .push_reserved_keyed(at, key_of(2, p), seq, Event::Deliver(p));
         }
         self.arrive_seen += 1;
         if self.cfg.fault_drop_nth == Some(self.arrive_seen) {
@@ -1538,6 +1696,9 @@ impl<'a> Net<'a> {
             (PortRef::Up { sw, up }, PlanKind::FatTree { .. }) => Hop::FabricUp { sw, up },
             (PortRef::Down { sw, down }, PlanKind::FatTree { .. }) => Hop::FabricDown { sw, down },
         };
+        if self.shard.is_some() {
+            self.trace_keys.push(self.cur_key);
+        }
         self.traces.push(TraceEvent {
             flow: pkt.flow,
             kind: pkt.kind,
@@ -1551,6 +1712,9 @@ impl<'a> Net<'a> {
         debug_assert_eq!(pkt.dst.0, h, "packet delivered to the wrong host");
         self.audit.delivered(&pkt);
         if self.traced[pkt.flow.index()] {
+            if self.shard.is_some() {
+                self.trace_keys.push(self.cur_key);
+            }
             self.traces.push(crate::report::TraceEvent {
                 flow: pkt.flow,
                 kind: pkt.kind,
@@ -1657,7 +1821,7 @@ impl<'a> Net<'a> {
         self.fct.flow_completed(self.flows[fi].id, now);
         // Closed-loop chain: launch the successor back-to-back.
         if let Some(nf) = self.next_flow[fi] {
-            self.q.push(now, Event::FlowStart(nf));
+            push_ev(&mut self.q, now, Event::FlowStart(nf));
             self.starts_pending += 1;
         }
     }
@@ -1666,13 +1830,16 @@ impl<'a> Net<'a> {
 
     /// Consider moving flow `fi`'s unsent tail onto the fluid tier.
     /// Called after every processed ACK under hybrid fidelity; fires at
-    /// most once per flow, at the first ACK where the cumulatively
-    /// acknowledged bytes cross the short/long threshold (the same 100 KB
-    /// reclassification boundary TLB itself uses) while unsent data
-    /// remains. Handshakes, short flows, retransmissions of the already
-    /// emitted prefix, and all queue/ECN dynamics stay packet-level.
+    /// the first ACK where the cumulatively acknowledged bytes cross the
+    /// short/long threshold (the same 100 KB reclassification boundary
+    /// TLB itself uses) while unsent data remains. Handshakes, short
+    /// flows, retransmissions of the already emitted prefix, and all
+    /// queue/ECN dynamics stay packet-level. A flow demoted by a failure
+    /// re-qualifies here and migrates again once an ACK finds unsent data
+    /// and a fully-up path — the `in_fluid`/`snd_nxt` gates keep a flow
+    /// from double-joining or rejoining after its tail completed.
     fn maybe_migrate(&mut self, fi: usize, now: SimTime) {
-        if self.is_short[fi] || self.migrated[fi] || self.completed[fi] {
+        if self.is_short[fi] || self.completed[fi] {
             return;
         }
         let mss = self.cfg.tcp.mss as u64;
@@ -1816,7 +1983,8 @@ impl<'a> Net<'a> {
         }
         for ch in changes.drain(..) {
             let at = SimTime::from_nanos((ch.done_at_s * 1e9).ceil() as u64).max(now);
-            self.q.push(
+            push_ev(
+                &mut self.q,
                 at,
                 Event::FluidDone {
                     flow: ch.flow,
@@ -1846,7 +2014,7 @@ impl<'a> Net<'a> {
         debug_assert!(rem < 16.0, "FluidDone fired with {rem} bytes left");
         self.flush_fluid_changes(now);
         self.fluid_pend[fi] = false;
-        self.fluid_credit[fi] = self.fluid_tail_bytes[fi];
+        self.fluid_credit[fi] += self.fluid_tail_bytes[fi];
         let mut out = std::mem::take(&mut self.out_buf);
         if let Some(sender) = self.senders[fi].as_mut() {
             sender.fluid_done(now, &mut out);
@@ -1868,7 +2036,10 @@ impl<'a> Net<'a> {
     /// path lost a link back to the packet path. The sender's segment plan
     /// regrows by the undelivered remainder and resumes ordinary
     /// (re)transmission — the reroute happens at packet fidelity, exactly
-    /// like a never-migrated flow, and the flow never re-migrates.
+    /// like a never-migrated flow. Once a later ACK re-qualifies the flow
+    /// over a healthy path, [`Net::maybe_migrate`] moves the tail back to
+    /// the fluid tier; `FluidDone`s left over from this residency are
+    /// inert because [`tlb_net::FluidNet::leave`] bumped the generation.
     fn demote_failed(&mut self, now: SimTime) {
         let mut victims = std::mem::take(&mut self.demote_scratch);
         victims.clear();
@@ -1893,7 +2064,7 @@ impl<'a> Net<'a> {
             // is ≥ 1 byte by construction).
             let rem_bytes = (rem.ceil() as u64).clamp(1, self.fluid_tail_bytes[fi]);
             self.fluid_pend[fi] = false;
-            self.fluid_credit[fi] = self.fluid_tail_bytes[fi] - rem_bytes;
+            self.fluid_credit[fi] += self.fluid_tail_bytes[fi] - rem_bytes;
             self.fluid_demotions += 1;
             let mut out = std::mem::take(&mut self.out_buf);
             let add = self.senders[fi]
@@ -1906,6 +2077,110 @@ impl<'a> Net<'a> {
         }
         self.demote_scratch = victims;
         self.flush_fluid_changes(now);
+    }
+
+    // ---- sharded-engine plumbing (see `sharded`) ---------------------
+
+    /// Receive a cross-shard handoff: park the packet and schedule its
+    /// arrival, exactly as the per-packet delivery path would have on the
+    /// sending side. `Arrive` and `Deliver` share ordering class 2 on the
+    /// transmitting port, so the merged `(time, key, seq)` schedule is
+    /// unchanged relative to a serial run in either delivery mode.
+    fn inject_arrival(&mut self, port: PortId, at: SimTime, pkt: Packet) {
+        debug_assert!(self.shard.is_some());
+        let slot = self.arena.insert(pkt);
+        self.q
+            .push_keyed(at, key_of(2, port), Event::Arrive { port, slot });
+    }
+
+    /// Fold one shard replica into this one (the coordinator folds every
+    /// shard into shard 0, then calls [`Net::into_report`] on the result).
+    /// Entities move wholesale to their owner; counters add; peaks max;
+    /// the clocks join on the latest. Per the ownership partition every
+    /// moved slot on `self` is still in its pristine build state, so the
+    /// merged `Net` is field-for-field what a serial run would have
+    /// produced — except for FEL-occupancy telemetry (`fel_depth`,
+    /// `fel_bound_peak`), whose per-shard sampling schedules differ from
+    /// the serial one (deterministically, but not identically).
+    fn absorb_shard(&mut self, mut other: Net<'a>) {
+        let octx = other.shard.take().expect("absorbing a serial net");
+        let oid = octx.id;
+        let map = &octx.map;
+        debug_assert!(octx.outbox.is_empty(), "unrouted cross-shard messages");
+        for pi in 0..self.ports.len() {
+            if map.port_owner[pi] == oid {
+                std::mem::swap(&mut self.ports[pi], &mut other.ports[pi]);
+                std::mem::swap(&mut self.pipes[pi], &mut other.pipes[pi]);
+                self.link_fifo[pi] = other.link_fifo[pi];
+            }
+        }
+        for l in 0..self.lb_sws.len() {
+            if map.sw_owner[l] == oid {
+                std::mem::swap(&mut self.lb_sws[l], &mut other.lb_sws[l]);
+            }
+        }
+        for i in 0..self.flows.len() {
+            if other.senders[i].is_some() {
+                debug_assert!(self.senders[i].is_none());
+                self.senders[i] = other.senders[i].take();
+            }
+            if other.receivers[i].is_some() {
+                debug_assert!(self.receivers[i].is_none());
+                self.receivers[i] = other.receivers[i].take();
+            }
+            if other.completed[i] {
+                debug_assert!(!self.completed[i]);
+                self.completed[i] = true;
+            }
+        }
+        self.n_completed += other.n_completed;
+        self.events += other.events;
+        self.lb_decisions += other.lb_decisions;
+        self.arrive_seen += other.arrive_seen;
+        self.lb_state_peak = self.lb_state_peak.max(other.lb_state_peak);
+        self.fel_bound_peak = self.fel_bound_peak.max(other.fel_bound_peak);
+        self.fct.absorb(std::mem::take(&mut other.fct));
+        self.short_qlen.merge(&other.short_qlen);
+        self.long_qlen.merge(&other.long_qlen);
+        self.short_qdelay.merge(&other.short_qdelay);
+        self.fel_depth.merge(&other.fel_depth);
+        self.short_qdelay_series.absorb(&other.short_qdelay_series);
+        self.short_reorder.absorb(&other.short_reorder);
+        self.long_reorder.absorb(&other.long_reorder);
+        self.long_goodput.absorb(&other.long_goodput);
+        // Leaf/edge 0 (and with it the qth/queue samplers) is always
+        // shard 0's.
+        debug_assert!(other.qth_series.is_empty());
+        debug_assert!(other.queue_series.is_empty());
+        self.traces.append(&mut other.traces);
+        self.trace_keys.append(&mut other.trace_keys);
+        self.audit.absorb(&other.audit);
+        self.q
+            .absorb_monotonicity_violations(other.q.monotonicity_violations());
+        // Residual in-flight packets (end-of-run leftovers in the other
+        // shard's FEL) feed the merged ledger; queued/in-service residuals
+        // ride the moved ports and pipe residuals the moved pipes, both
+        // scanned later by `finish_audit`.
+        let end = other.q.now();
+        for (_, ev) in other.q.drain_unordered() {
+            if let Event::Arrive { slot, .. } = ev {
+                self.audit.residual_propagating(&other.arena.take(slot));
+            }
+        }
+        self.q.join_clock(end);
+    }
+
+    /// After every shard is folded in: stable-sort the concatenated trace
+    /// rows by `(at, key)`, reconstructing serial emission order (rows
+    /// from one event keep their relative order; events are totally
+    /// ordered by `(time, key)` since every key has a single origin).
+    fn finish_sharded_traces(&mut self) {
+        let keys = std::mem::take(&mut self.trace_keys);
+        debug_assert_eq!(keys.len(), self.traces.len());
+        let mut rows: Vec<(crate::report::TraceEvent, u32)> =
+            self.traces.drain(..).zip(keys).collect();
+        rows.sort_by_key(|(t, k)| (t.at, *k));
+        self.traces.extend(rows.into_iter().map(|(t, _)| t));
     }
 
     // ---- reporting ---------------------------------------------------
@@ -2026,6 +2301,8 @@ impl<'a> Net<'a> {
             alloc_audit: self.alloc_report,
             sim_end,
             wall,
+            engine_workers: None,
+            sharded_windows: 0,
         }
     }
 
@@ -2147,6 +2424,8 @@ impl<'a> Net<'a> {
         )
     }
 }
+
+mod sharded;
 
 #[cfg(test)]
 mod tests;

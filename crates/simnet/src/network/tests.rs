@@ -477,7 +477,7 @@ fn ooo_buffers_return_to_the_pool() {
         .map(|i| mk(i, 0))
         .chain((4..8).map(|i| mk(i, 20_000)))
         .collect();
-    let mut net = Net::build(&cfg, &flows, vec![None; flows.len()]);
+    let mut net = Net::build(&cfg, &flows, vec![None; flows.len()], None);
     net.run_loop();
     assert_eq!(net.n_completed, flows.len());
     let (hits, misses) = net.ooo_pool.stats();
@@ -496,7 +496,7 @@ fn per_packet_arena_drains_and_recycles() {
     let mut cfg = crate::SimConfig::basic_paper(Scheme::Ecmp);
     cfg.delivery = crate::DeliveryKind::PerPacket;
     let flows = one_flow(500 * 1460);
-    let mut net = Net::build(&cfg, &flows, vec![None; 1]);
+    let mut net = Net::build(&cfg, &flows, vec![None; 1], None);
     net.run_loop();
     assert_eq!(net.n_completed, 1);
     let slots = net.arena.slots_allocated();

@@ -278,6 +278,17 @@ pub struct RunReport {
     pub sim_end: SimTime,
     /// Wall-clock runtime.
     pub wall: std::time::Duration,
+    /// `Some(workers)` iff the sharded engine executed this run (with that
+    /// many worker threads); `None` for the serial engine, including when
+    /// [`tlb_engine::EngineKind::Sharded`] was requested but a
+    /// precondition forced the serial fallback. Results are bit-identical
+    /// either way — this records which machinery produced them.
+    pub engine_workers: Option<u32>,
+    /// Parallel windows the sharded engine opened (0 for serial runs and
+    /// for sharded runs small enough to execute entirely in the
+    /// serialized tail). Tests use this to prove a job actually
+    /// exercised barrier-synchronized parallel execution.
+    pub sharded_windows: u64,
 }
 
 impl RunReport {

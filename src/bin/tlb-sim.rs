@@ -8,6 +8,7 @@
 //! tlb-sim --help
 //! ```
 
+use tlb::engine::EngineKind;
 use tlb::prelude::*;
 
 const HELP: &str = "\
@@ -31,6 +32,11 @@ OPTIONS:
     --gbps <f>            link rate in Gbit/s                                   [1.0]
     --duration-ms <n>     Poisson traffic window                                 [50]
     --seed <n>            RNG seed (runs are deterministic per seed)              [1]
+    --engine <e>          serial | sharded — execution engine (default: the
+                          TLB_ENGINE env knob, itself defaulting to serial);
+                          sharded falls back to serial when the config is
+                          unpartitionable, with bit-identical results
+    --workers <n>         worker threads for --engine sharded          [all cores]
     --degrade l:s:bw:us   degrade uplink leaf l -> spine s to bw x bandwidth
                           with +us microseconds delay (repeatable)
     --fail sw:up:at_us    take LB switch sw's uplink up down at_us microseconds
@@ -123,6 +129,23 @@ fn main() {
             .into()
     };
     cfg.seed = seed;
+
+    if let Some(engine) = args.value_of("--engine") {
+        let workers = args.value_of("--workers").map(|w| {
+            w.parse::<u32>().unwrap_or_else(|_| {
+                eprintln!("bad --workers '{w}', expected a positive integer");
+                std::process::exit(2);
+            })
+        });
+        cfg.engine = match engine {
+            "serial" => EngineKind::Serial,
+            "sharded" => EngineKind::Sharded { workers },
+            other => {
+                eprintln!("unknown engine: {other}\n{HELP}");
+                std::process::exit(2);
+            }
+        };
+    }
 
     for spec in args.values_of("--degrade") {
         let parts: Vec<&str> = spec.split(':').collect();

@@ -143,12 +143,14 @@ fn unfinished_flows_leave_in_flight_packets_the_audit_accounts_for() {
 }
 
 // ---------------------------------------------------------------------------
-// The 100 KB reclassification seam under hybrid fidelity (PR 8). A long
-// flow crosses the short/long boundary mid-life, hands its tail to the
-// fluid tier exactly once, and byte conservation must hold through link
-// flaps, rate changes and demotion back to the packet path — the audit's
-// per-flow byte ledger (sender packet bytes + fluid credit == flow size)
-// is asserted inside the driver whenever `cfg.audit` is on.
+// The 100 KB reclassification seam under hybrid fidelity (PR 8, re-entry
+// in PR 9). A long flow crosses the short/long boundary mid-life and
+// hands its tail to the fluid tier; a failure may demote it back to
+// packets, and a later ACK over a healthy path may migrate it *again*.
+// Byte conservation must hold through link flaps, rate changes and any
+// migrate/demote/re-migrate history — the audit's per-flow byte ledger
+// (sender packet bytes + accumulated fluid credit == flow size) is
+// asserted inside the driver whenever `cfg.audit` is on.
 // ---------------------------------------------------------------------------
 
 /// Exactly-one-path fabric so the flap below is guaranteed to hit the
@@ -232,14 +234,19 @@ fn hybrid_seam_survives_a_brownout_without_demotion() {
 }
 
 #[test]
-fn hybrid_seam_demotes_on_path_failure_and_still_conserves() {
-    // Hard flap on the fluid tail's path: the flow must be demoted back to
-    // the packet tier (its remaining bytes regrown into segments), never
-    // re-migrate, reroute onto the surviving spine, and complete with the
-    // ledger balanced. Two spines so a live path remains after the flap;
-    // the ECMP hash deterministically lands flow 0 on spine 0 (if that
-    // tie-break ever changes, the `fluid_demotions` assert below will say
-    // so — retarget the failure at the other spine).
+fn hybrid_seam_demotes_then_remigrates_and_conserves() {
+    // Hard flap on the fluid tail's path: the flow is demoted back to the
+    // packet tier (its remaining bytes regrown into segments), reroutes
+    // onto the surviving spine, and — once an ACK confirms the new path
+    // is healthy and unsent bytes remain — hands its tail to the fluid
+    // tier a *second* time (PR 9; demotion previously pinned the flow to
+    // packets for good). Stale `FluidDone`s from the first residency must
+    // die on the generation counter, and the byte ledger must balance
+    // across the whole migrate → demote → re-migrate history. Two spines
+    // so a live path remains after the flap; the ECMP hash
+    // deterministically lands flow 0 on spine 0 (if that tie-break ever
+    // changes, the `fluid_demotions` assert below will say so — retarget
+    // the failure at the other spine).
     let mut cfg = one_path_cfg(Scheme::Ecmp);
     cfg.topo = LeafSpineBuilder::new(2, 2, 2)
         .link_gbps(1.0)
@@ -257,20 +264,20 @@ fn hybrid_seam_demotes_on_path_failure_and_still_conserves() {
         });
     }
     let r = Simulation::new(cfg, vec![cross_leaf_flow(2_000_000)]).run();
-    assert_eq!(r.completed, 1, "demoted flow must finish after the repair");
-    assert_eq!(
-        r.fluid_migrations, 1,
-        "a demoted flow must not migrate a second time"
-    );
+    assert_eq!(r.completed, 1, "demoted flow must finish");
     assert_eq!(
         r.fluid_demotions, 1,
         "the path failure must demote the tail"
+    );
+    assert_eq!(
+        r.fluid_migrations, 2,
+        "the demoted flow must re-qualify and migrate a second time"
     );
     let audit = r.audit.expect("audit enabled");
     let in_flight: u64 = audit.kinds.iter().map(|k| k.in_flight_at_end()).sum();
     assert_eq!(
         audit.total_emitted(),
         audit.total_delivered() + audit.total_dropped() + in_flight,
-        "conservation must close the books across migrate + demote"
+        "conservation must close the books across migrate + demote + re-migrate"
     );
 }

@@ -586,3 +586,220 @@ fn hybrid_fuzz_batch_is_digest_stable_across_thread_counts() {
         );
     }
 }
+
+/// Compare everything the sharded merge path must reproduce bit-for-bit
+/// against a serial reference: the scalar digest, the audit ledger, the
+/// end-of-run clock, and every traced hop. `fel_depth` is deliberately
+/// absent — its sampling schedule is a function of each shard's local
+/// event counter, so the sharded samples interleave differently (the
+/// *simulation* is still bit-identical; the probe is engine-local).
+fn assert_sharded_matches(serial: &RunReport, sharded: &RunReport, label: &str) {
+    assert_eq!(
+        digest(serial),
+        digest(sharded),
+        "{label}: sharded != serial"
+    );
+    assert_eq!(
+        serial.audit, sharded.audit,
+        "{label}: audit counters diverged"
+    );
+    assert_eq!(serial.sim_end, sharded.sim_end, "{label}: sim_end diverged");
+    assert_eq!(serial.traces.len(), sharded.traces.len());
+    for (x, y) in serial.traces.iter().zip(&sharded.traces) {
+        assert_eq!(x.hop, y.hop, "{label}: trace hop diverged");
+        assert_eq!(x.at, y.at, "{label}: trace timing diverged");
+    }
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_across_worker_counts() {
+    // The tentpole acceptance gate: one simulation executed across OS
+    // threads by conservative fabric sharding must produce the exact
+    // serial digests for ANY worker count. Same 16-job fuzz batch as the
+    // backend/dispatch/delivery differentials (schemes, incast, static +
+    // mid-run degradation), serial vs sharded at 1/2/4/8 workers.
+    use tlb::engine::EngineKind;
+    let raws: [tlb_fuzz::RawScenario; 4] = [
+        (
+            (2, 3, 2, 10),
+            (4, 6, 1, 2),
+            (42, true, 50, 10, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (3, 4, 3, 15),
+            (5, 10, 2, 3),
+            (7, true, 25, 40, true),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (2, 2, 4, 5),
+            (1, 8, 1, 0),
+            (99, false, 50, 0, false),
+            (0, false, 0, 0, false),
+        ),
+        (
+            (4, 6, 2, 20),
+            (3, 12, 3, 5),
+            (1234, true, 75, 5, true),
+            (0, false, 0, 0, false),
+        ),
+    ];
+    let jobs_with = |engine: EngineKind| -> Vec<_> {
+        raws.iter()
+            .flat_map(
+                |&(topo, traffic, (seed, degrade, bw, extra, mid), failure)| {
+                    (0..4).map(move |k| {
+                        (
+                            topo,
+                            traffic,
+                            (seed + k * 1000, degrade, bw, extra, mid),
+                            failure,
+                        )
+                    })
+                },
+            )
+            .map(|raw| {
+                let mut b = tlb_fuzz::Scenario::from_raw(raw).build();
+                b.cfg.engine = engine;
+                (b.cfg, b.flows)
+            })
+            .collect()
+    };
+    let serial = run_all(jobs_with(EngineKind::Serial));
+    for workers in [1u32, 2, 4, 8] {
+        let sharded = run_all(jobs_with(EngineKind::Sharded {
+            workers: Some(workers),
+        }));
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert!(
+                b.engine_workers.is_some(),
+                "{}: sharded engine fell back to serial on a fuzz job",
+                b.scheme
+            );
+            assert_sharded_matches(a, b, &format!("{} @ {workers} workers", a.scheme));
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_matches_serial_on_fat_tree_failure_flap() {
+    // Three-tier partition + global-event micro-steps: a k=8 fat tree
+    // (128 hosts, 80 switches, 8 pod shards) with a mid-run edge-uplink
+    // down/up flap. Failures force whole-fabric reachability recomputes,
+    // which the sharded engine must mirror into every replica at exactly
+    // the serial instant.
+    use tlb::engine::EngineKind;
+    let run = |engine: EngineKind| {
+        let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        cfg.topo = FatTreeBuilder::new(8)
+            .link_gbps(1.0)
+            .target_rtt(SimTime::from_micros(100))
+            .build()
+            .into();
+        cfg.audit = true;
+        cfg.engine = engine;
+        cfg.trace_flows = vec![FlowId(3)];
+        for (at_ms, action) in [(2, FailureAction::Down), (6, FailureAction::Up)] {
+            cfg.failure_events.push(FailureEvent {
+                at: SimTime::from_millis(at_ms),
+                target: FailureTarget::Link {
+                    sw: LeafId(0), // edge 0
+                    up: SpineId(1),
+                },
+                action,
+            });
+        }
+        let mut mix = BasicMixConfig::paper_default();
+        mix.n_short = 40;
+        mix.n_long = 2;
+        mix.long_lo = 1_500_000;
+        mix.long_hi = 2_500_000;
+        let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(23));
+        Simulation::new(cfg, flows).run()
+    };
+    let serial = run(EngineKind::Serial);
+    assert_eq!(serial.completed, serial.total_flows);
+    for workers in [2u32, 4, 8] {
+        let sharded = run(EngineKind::Sharded {
+            workers: Some(workers),
+        });
+        assert_eq!(
+            sharded.engine_workers,
+            Some(workers),
+            "k=8 fat tree must shard into 8 pods"
+        );
+        assert_sharded_matches(&serial, &sharded, &format!("k8 flap @ {workers} workers"));
+    }
+}
+
+#[test]
+fn sharded_parallel_windows_match_serial() {
+    // The fuzz batch above is small enough that the sharded engine runs
+    // it entirely in the serialized completion tail. This job is shaped
+    // so `flows >> completion bound` (tiny lookahead, few hosts, many
+    // short flows): the engine MUST open barrier-synchronized parallel
+    // windows — asserted via `sharded_windows` — and still match the
+    // serial digests bit for bit.
+    use tlb::engine::EngineKind;
+    let run = |engine: EngineKind| {
+        let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        cfg.topo = LeafSpineBuilder::new(2, 2, 2)
+            .link_mbps(100.0)
+            .prop_per_link(SimTime::from_micros(5))
+            .build()
+            .into();
+        cfg.audit = true;
+        cfg.engine = engine;
+        let mut mix = BasicMixConfig::paper_default();
+        mix.n_short = 60;
+        mix.n_long = 2;
+        mix.long_lo = 300_000;
+        mix.long_hi = 400_000;
+        let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(5));
+        Simulation::new(cfg, flows).run()
+    };
+    let serial = run(EngineKind::Serial);
+    for workers in [1u32, 2] {
+        let sharded = run(EngineKind::Sharded {
+            workers: Some(workers),
+        });
+        assert_eq!(sharded.engine_workers, Some(workers));
+        assert!(
+            sharded.sharded_windows > 0,
+            "job sized for parallel windows ran entirely in the tail"
+        );
+        assert_sharded_matches(&serial, &sharded, &format!("windows @ {workers} workers"));
+    }
+}
+
+#[test]
+fn sharded_engine_delegates_hybrid_fidelity_to_serial() {
+    // Hybrid fluid flows span shards (FluidNet recomputes whole-fabric
+    // fair shares), so the sharded engine refuses them and delegates to
+    // the serial engine. The run must report the fallback and produce the
+    // exact serial-hybrid results.
+    use tlb::engine::EngineKind;
+    let run = |engine: EngineKind| {
+        let mut cfg = SimConfig::basic_paper(Scheme::tlb_default());
+        cfg.fidelity = FidelityKind::Hybrid;
+        cfg.engine = engine;
+        let mut mix = BasicMixConfig::paper_default();
+        mix.n_short = 20;
+        mix.n_long = 2;
+        mix.long_lo = 1_500_000;
+        mix.long_hi = 2_500_000;
+        let flows = basic_mix(&cfg.topo, &mix, &mut SimRng::new(11));
+        Simulation::new(cfg, flows).run()
+    };
+    let serial = run(EngineKind::Serial);
+    let sharded = run(EngineKind::Sharded { workers: Some(4) });
+    assert_eq!(
+        sharded.engine_workers, None,
+        "hybrid fidelity must fall back to the serial engine"
+    );
+    assert_sharded_matches(&serial, &sharded, "hybrid fallback");
+    assert_eq!(serial.fluid_migrations, sharded.fluid_migrations);
+    assert_eq!(serial.fluid_bytes, sharded.fluid_bytes);
+}

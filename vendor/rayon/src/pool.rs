@@ -55,17 +55,15 @@ pub fn current_num_threads() -> usize {
         return n;
     }
     *DEFAULT_THREADS.get_or_init(|| {
-        if let Ok(s) = std::env::var("TLB_THREADS") {
-            match s.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => return n,
-                _ => eprintln!(
-                    "warning: ignoring invalid TLB_THREADS={s:?} (want a positive integer)"
-                ),
-            }
-        }
-        std::thread::available_parallelism()
+        let cores = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        tlb_engine::env_knob::parse_with("TLB_THREADS", cores, |s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "want a positive integer".to_string())
+        })
     })
 }
 
